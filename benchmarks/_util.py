@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one paper artifact through the
+experiment registry, times it with pytest-benchmark (one round — these
+are simulations, not microbenchmarks), prints the reproduced
+rows/series, and writes them to ``benchmarks/reports/<id>.txt`` so that
+EXPERIMENTS.md can cite a stable copy.
+
+Environment knobs:
+
+- ``REPRO_BENCH_REPS``  — repetitions for barrier-model experiments
+  (default 100, the paper's count).
+- ``REPRO_BENCH_SCALE`` — scale for trace-driven experiments
+  (default 1.0, the paper-sized workloads).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.experiments import ExperimentResult, run
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "100"))
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def run_and_report(benchmark, experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment under the benchmark timer and emit its report."""
+    result = benchmark.pedantic(
+        run, args=(experiment_id,), kwargs=kwargs, iterations=1, rounds=1
+    )
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, f"{result.experiment_id}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(str(result) + "\n")
+    print()
+    print(result)
+    return result

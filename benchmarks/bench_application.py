@@ -1,0 +1,26 @@
+"""Benchmark: end-to-end application model (rounds of work + barriers).
+
+Beyond the paper's per-barrier metrics: with the arrival spread
+*emerging* from work jitter and prior-round overshoot, variable backoff
+is free end-to-end, binary backoff trades modest slowdown for a ~40x
+traffic cut, and aggressive bases compound their overshoot round after
+round (the paper's idle-time warning, amplified).
+"""
+
+from benchmarks._util import run_and_report
+
+
+def bench_application(benchmark):
+    result = run_and_report(benchmark, "application", repetitions=20)
+    none = result.data["Without Backoff"]
+    var = result.data["Backoff on Barrier Var."]
+    b2 = result.data["Base 2 Backoff on Barrier Flag"]
+    b8 = result.data["Base 8 Backoff on Barrier Flag"]
+    # Variable backoff never slows the application down.
+    assert var["completion"] <= none["completion"] * 1.01
+    assert var["accesses"] < none["accesses"]
+    # Binary backoff slashes traffic at bounded slowdown.
+    assert b2["traffic_rate"] < none["traffic_rate"] / 10
+    assert b2["completion"] < none["completion"] * 2.0
+    # Aggressive bases compound their overshoot.
+    assert b8["completion"] > b2["completion"]

@@ -1,0 +1,20 @@
+"""Benchmark: Section 2.1 — snoopy bus vs limited-pointer directory.
+
+Shape: broadcast coherence keeps synchronization's share of bus traffic
+modest regardless of sharing width, while the directory pays per-copy
+invalidations on the widely shared synchronization words — the paper's
+scaling argument.
+"""
+
+from benchmarks._util import BENCH_SCALE, run_and_report
+
+
+def bench_bus_vs_directory(benchmark):
+    result = run_and_report(
+        benchmark, "bus_vs_directory", scale=min(BENCH_SCALE, 0.5)
+    )
+    bus_share = result.data["snoopy-invalidate"][0]
+    directory_share = result.data["directory-2ptr"][0]
+    assert bus_share < directory_share
+    # Per-reference traffic is also lower on the broadcast bus.
+    assert result.data["snoopy-invalidate"][1] < result.data["directory-2ptr"][1]

@@ -1,0 +1,17 @@
+"""Benchmark: combining-tree barriers vs the flat barrier.
+
+Paper shape: once N is large relative to A, the flat barrier's
+accesses grow linearly while the combining tree's stay near-constant
+(logarithmic work spread over many modules) — the regime where the
+paper says distributed software combining is required.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def bench_combining(benchmark):
+    result = run_and_report(benchmark, "combining", repetitions=50)
+    flat = result.data["flat"]
+    tree4 = result.data["tree-4"]
+    assert tree4[(256, 100)] < flat[(256, 100)] / 3
+    assert tree4[(64, 100)] < flat[(64, 100)]

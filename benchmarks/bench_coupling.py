@@ -1,0 +1,18 @@
+"""Benchmark: Section 3 coupling of barrier traffic into Patel's model.
+
+The paper suggests feeding barrier traffic rates into Patel's
+multistage-network model "if network contention results are desired".
+The coupled estimate must show backoff raising the network's acceptance
+probability monotonically with the traffic removed.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def bench_coupling(benchmark):
+    result = run_and_report(benchmark, "coupling", repetitions=50)
+    none = result.data["Without Backoff"]["acceptance"]
+    b2 = result.data["Base 2 Backoff on Barrier Flag"]["acceptance"]
+    b8 = result.data["Base 8 Backoff on Barrier Flag"]["acceptance"]
+    assert none < b2 < b8
+    assert all(r > 0 for r in result.data["relief"].values())

@@ -1,0 +1,18 @@
+"""Ablation benchmark: deterministic vs randomized exponential backoff.
+
+Paper argument (Section 4.2): deterministic backoff preserves the
+serialization established by the first contention episode, while
+probabilistic retries "destroy the serialization and could result in
+contention again".  The ablation must show the deterministic policy
+making no more accesses at every point.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def bench_determinism(benchmark):
+    result = run_and_report(benchmark, "determinism", repetitions=50)
+    for point, outcome in result.data.items():
+        det_accesses = outcome["deterministic"][0]
+        rnd_accesses = outcome["randomized"][0]
+        assert det_accesses <= rnd_accesses * 1.02, point

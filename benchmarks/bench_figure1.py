@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 1 (invalidation histogram, SIMPLE/64).
+
+Paper shape: in over 95% of invalidation events no more than three
+caches are invalidated; the rare wide invalidations (up to N-1) come
+from the barrier flag writes.
+"""
+
+from benchmarks._util import BENCH_SCALE, run_and_report
+
+
+def bench_figure1(benchmark):
+    result = run_and_report(benchmark, "figure1", scale=BENCH_SCALE)
+    assert result.data["at_most_3_pct"] > 95.0
+    assert max(result.data["fractions"]) > 10  # wide sync invalidations exist

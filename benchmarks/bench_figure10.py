@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 10 (waiting times, A = 1000).
+
+Paper shape: large backoff bases overshoot the release at large A
+(+350% waiting at N=64, base 8) while base 2 stays within ~16%; the
+waiting-time curve peaks around N=64 and then declines.
+"""
+
+from benchmarks._util import BENCH_REPS, run_and_report
+
+
+def bench_figure10(benchmark):
+    result = run_and_report(benchmark, "figure10", repetitions=BENCH_REPS)
+    base = result.data["Without Backoff"]
+    b2 = result.data["Base 2 Backoff on Barrier Flag"]
+    b8 = result.data["Base 8 Backoff on Barrier Flag"]
+    # Base 8 overshoots badly at N=64 (paper: 576 -> 2048 cycles).
+    assert b8[64] > 2.5 * base[64]
+    # Base 2 is the favourable tradeoff (paper: +16%).
+    assert b2[64] < 1.35 * base[64]
+    # The backoff waiting time peaks near N=64 and then declines.
+    assert b8[64] > b8[512]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3 (arrival distribution within A).
+
+Paper shape: FFT's arrivals are roughly uniform across A; SIMPLE's are
+skewed toward the ends of the interval (uneven load balancing).
+"""
+
+from benchmarks._util import BENCH_SCALE, run_and_report
+
+
+def bench_figure3(benchmark):
+    result = run_and_report(benchmark, "figure3", scale=BENCH_SCALE)
+    for app, fractions in result.data.items():
+        assert abs(sum(fractions) - 1.0) < 1e-6, app
+    fft = result.data["FFT"]
+    # No single bin of FFT's distribution may hold a majority.
+    assert max(fft) < 0.75

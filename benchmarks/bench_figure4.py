@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 4 (analytic models vs simulation).
+
+Paper shape: Model 1 matches the A=0 curve; Model 2 matches A=1000 at
+every plotted N; max(Model1, Model2) fits everywhere; for N < 32 the
+A=0 curve lies below A=100, and the ordering flips for large N.
+"""
+
+from benchmarks._util import BENCH_REPS, run_and_report
+
+
+def bench_figure4(benchmark):
+    result = run_and_report(benchmark, "figure4", repetitions=BENCH_REPS)
+    for n, sim in result.data["sim_A0"].items():
+        assert abs(sim - result.data["model1"][n]) <= max(0.05 * sim, 2.0)
+    for n, sim in result.data["sim_A1000"].items():
+        if n <= 128:
+            assert abs(sim - result.data["model2_A1000"][n]) <= 0.1 * sim
+    assert result.data["sim_A0"][8] < result.data["sim_A100"][8]
+    assert result.data["sim_A100"][256] < result.data["sim_A0"][256]

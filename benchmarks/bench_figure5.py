@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 5 (network accesses, A = 0).
+
+Paper shape: the no-backoff curve grows as 5N/2; variable backoff
+cuts ~20%; flag backoff makes no further difference at A = 0.
+"""
+
+from benchmarks._util import BENCH_REPS, run_and_report
+
+
+def bench_figure5(benchmark):
+    result = run_and_report(benchmark, "figure5", repetitions=BENCH_REPS)
+    baseline = result.data["Without Backoff"]
+    var = result.data["Backoff on Barrier Var."]
+    # ~20% savings from the barrier variable at A=0 for large N.
+    assert 0.15 < 1 - var[64] / baseline[64] < 0.25
+    # Flag backoff adds little when everyone arrives at once.
+    b8 = result.data["Base 8 Backoff on Barrier Flag"]
+    assert b8[64] > var[64] * 0.9

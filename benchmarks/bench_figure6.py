@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 6 (network accesses, A = 100).
+
+Paper shape: exponential flag backoff saves >90% at small N and
+progressively less as N grows toward A.
+"""
+
+from benchmarks._util import BENCH_REPS, run_and_report
+
+
+def bench_figure6(benchmark):
+    result = run_and_report(benchmark, "figure6", repetitions=BENCH_REPS)
+    baseline = result.data["Without Backoff"]
+    b4 = result.data["Base 4 Backoff on Barrier Flag"]
+    b8 = result.data["Base 8 Backoff on Barrier Flag"]
+    # Paper: >90% savings at N=16 with base 4; ~60% at N=64 base 8;
+    # only ~30% at N=512 base 8.
+    assert 1 - b4[16] / baseline[16] > 0.85
+    assert 0.45 < 1 - b8[64] / baseline[64] < 0.9
+    assert 1 - b8[512] / baseline[512] < 0.5

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 7 (network accesses, A = 1000).
+
+Paper shape: at A = 1000 variable backoff alone does nothing for
+small N, while exponential flag backoff removes >95% of accesses.
+"""
+
+from benchmarks._util import BENCH_REPS, run_and_report
+
+
+def bench_figure7(benchmark):
+    result = run_and_report(benchmark, "figure7", repetitions=BENCH_REPS)
+    baseline = result.data["Without Backoff"]
+    var = result.data["Backoff on Barrier Var."]
+    b2 = result.data["Base 2 Backoff on Barrier Flag"]
+    # Variable backoff alone is nearly useless for N <= 32 here.
+    assert 1 - var[16] / baseline[16] < 0.1
+    # Base-2 flag backoff saves >95% at N=16 and N=64.
+    assert 1 - b2[16] / baseline[16] > 0.95
+    assert 1 - b2[64] / baseline[64] > 0.95

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8 (waiting times, A = 0).
+
+Paper shape: with simultaneous arrivals the waiting-time curves of
+all policies nearly coincide (waits are set by drain contention).
+"""
+
+from benchmarks._util import BENCH_REPS, run_and_report
+
+
+def bench_figure8(benchmark):
+    result = run_and_report(benchmark, "figure8", repetitions=BENCH_REPS)
+    base = result.data["Without Backoff"]
+    b8 = result.data["Base 8 Backoff on Barrier Flag"]
+    # All four curves are similar at A=0 (within ~30%).
+    for n in (16, 64, 256):
+        assert abs(b8[n] - base[n]) < 0.3 * base[n]

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 9 (waiting times, A = 100).
+
+Paper shape: waiting times track network accesses closely, because
+the accesses themselves are what delay the processes.
+"""
+
+from benchmarks._util import BENCH_REPS, run_and_report
+
+
+def bench_figure9(benchmark):
+    result = run_and_report(benchmark, "figure9", repetitions=BENCH_REPS)
+    base = result.data["Without Backoff"]
+    b8 = result.data["Base 8 Backoff on Barrier Flag"]
+    # Waits resemble the access counts (paper: Figures 6 and 9 alike);
+    # backoff never helps waiting dramatically at A=100.
+    for n in (64, 256):
+        assert b8[n] < 2.0 * base[n]

@@ -1,0 +1,14 @@
+"""Benchmark: Section 5.1 — backoff vs hardware-supported barriers.
+
+Paper shape: with favourable (N, A) combinations the base-2 flag
+backoff's access counts "compare reasonably" with the bus, directory
+and Hoshino schemes; at large N it does much worse than any of them.
+"""
+
+from benchmarks._util import BENCH_REPS, run_and_report
+
+
+def bench_hardware(benchmark):
+    result = run_and_report(benchmark, "hardware", repetitions=BENCH_REPS)
+    assert result.data["backoff"][4] < 3 * result.data["full-map directory"][4]
+    assert result.data["backoff"][128] > 5 * result.data["full-map directory"][128]

@@ -1,0 +1,22 @@
+"""Benchmark: spin vs block vs the spin-then-queue hybrid.
+
+Paper shape: blocking wastes its overhead when arrivals are tight and
+wins when they are spread; the threshold hybrid tracks the better
+scheme at both extremes without knowing A in advance.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def bench_queueing(benchmark):
+    result = run_and_report(benchmark, "queueing", repetitions=50)
+    spin = result.data["spin-b2"]
+    block = result.data["block"]
+    hybrid = result.data["hybrid"]
+    # Spin wins waiting time at A=0; block wins at A=10000.
+    assert spin[0][1] < block[0][1]
+    assert block[10_000][1] < spin[10_000][1]
+    # Hybrid within 25% of the better scheme at both extremes.
+    for a in (0, 10_000):
+        best = min(spin[a][1], block[a][1])
+        assert hybrid[a][1] <= 1.25 * best

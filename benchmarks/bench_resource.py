@@ -1,0 +1,17 @@
+"""Benchmark: Section 8 — resource waiting with proportional backoff.
+
+Paper shape: waiting time at a resource is directly proportional to
+the waiter count, so proportional backoff removes almost all polling
+traffic without materially hurting the makespan.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def bench_resource(benchmark):
+    result = run_and_report(benchmark, "resource", repetitions=50)
+    tas = result.data["test-and-set"]
+    backoff = result.data["backoff"]
+    for n in (16, 32, 64):
+        assert backoff[n][0] < tas[n][0] / 3  # accesses slashed
+        assert backoff[n][1] < tas[n][1] * 1.25  # makespan preserved

@@ -1,0 +1,21 @@
+"""Ablation benchmark: linear vs exponential flag-backoff schedules.
+
+Section 4.2 allows both; the paper's figures evaluate only exponential.
+Shape: linear schedules land between no-backoff and the exponential
+family's log-of-span floor, and exponential wins by a growing margin as
+the arrival interval A stretches.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def bench_schedules(benchmark):
+    result = run_and_report(benchmark, "schedules", repetitions=50)
+    for a in (1000, 10_000):
+        none = result.data["none"][a][0]
+        lin1 = result.data["linear c=1"][a][0]
+        exp2 = result.data["exp b=2"][a][0]
+        assert exp2 < lin1 < none
+    # Exponential's margin over linear grows with A.
+    margin = lambda a: result.data["linear c=1"][a][0] / result.data["exp b=2"][a][0]
+    assert margin(10_000) > margin(100)

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 1 (invalidations by reference class).
+
+Paper shape: synchronization references cause invalidations far more
+often than data references under limited-pointer directories, both
+improve from 2 to 3+ pointers, and the full map nearly eliminates the
+synchronization column.
+"""
+
+from benchmarks._util import BENCH_SCALE, run_and_report
+
+
+def bench_table1(benchmark):
+    result = run_and_report(benchmark, "table1", scale=BENCH_SCALE)
+    for app, per_app in result.data.items():
+        limited_sync = per_app[2][1]
+        full_sync = per_app[64][1]
+        assert limited_sync > per_app[2][0], app  # sync >> data at i=2
+        assert full_sync < limited_sync / 4, app  # full map collapses it

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 2 (uncached sync traffic share).
+
+Paper shape: FFT's share (1.3-1.9%) is far below SIMPLE's (~22-25%)
+and WEATHER's (~55-60%); the share is nearly flat in the pointer count
+(sync traffic is constant, only data traffic varies slightly).
+"""
+
+from benchmarks._util import BENCH_SCALE, run_and_report
+
+
+def bench_table2(benchmark):
+    result = run_and_report(benchmark, "table2", scale=BENCH_SCALE)
+    fft = result.data["FFT"][2]
+    simple = result.data["SIMPLE"][2]
+    weather = result.data["WEATHER"][2]
+    assert fft < simple / 2
+    assert fft < weather / 2
+    assert weather > simple * 0.9  # WEATHER worst-balanced

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 3 (A and E interval statistics).
+
+Paper shape: FFT has a tiny A and an E orders of magnitude larger;
+FFT's A grows markedly from 16 to 64 processors (index-F&A
+serialization) while SIMPLE's and WEATHER's barely move; at 64
+processors SIMPLE and WEATHER have A and E of comparable magnitude.
+"""
+
+from benchmarks._util import BENCH_SCALE, run_and_report
+
+
+def bench_table3(benchmark):
+    result = run_and_report(benchmark, "table3", scale=BENCH_SCALE)
+    fft16 = result.data["FFT"][16]
+    fft64 = result.data["FFT"][64]
+    assert fft64[1] > 5 * fft64[0]  # E >> A for FFT
+    assert fft64[0] / max(fft16[0], 1) > 2  # A grows with P for FFT
+    for app in ("SIMPLE", "WEATHER"):
+        a64, e64 = result.data[app][64]
+        assert e64 < 10 * a64  # same magnitude at 64 CPUs

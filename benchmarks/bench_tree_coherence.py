@@ -1,0 +1,20 @@
+"""Ablation benchmark: combining trees vs directory pointer pressure.
+
+Paper claim (Section 1): "as long as the degree of the nodes in the
+combining tree is less than the number of pointers in the
+cache-directory, then synchronization variables will not result in
+extra invalidation traffic."
+"""
+
+from benchmarks._util import BENCH_SCALE, run_and_report
+
+
+def bench_tree_coherence(benchmark):
+    result = run_and_report(
+        benchmark, "tree_coherence", scale=min(BENCH_SCALE, 0.5)
+    )
+    flat_sync = result.data["flat"][0]
+    below = result.data["tree-3"][0]   # degree < pointers
+    above = result.data["tree-8"][0]   # degree > pointers
+    assert below < flat_sync / 4
+    assert below < above

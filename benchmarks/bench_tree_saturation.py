@@ -1,0 +1,23 @@
+"""Benchmark: hot-spot tree saturation (the paper's motivation).
+
+Pfister-Norton shape: a few percent of hot references collapse the
+cold-traffic bandwidth of the whole machine; the Section 8(5) proactive
+queue-feedback throttle cannot restore bandwidth (the hot module is the
+bottleneck) but sharply reduces the latency everyone suffers.
+"""
+
+from benchmarks._util import run_and_report
+
+
+def bench_tree_saturation(benchmark):
+    result = run_and_report(benchmark, "tree_saturation")
+    immediate = result.data["immediate"]
+    # Bandwidth collapse: >60% of cold throughput gone by 16% hot.
+    assert immediate[0.16][0] < immediate[0.0][0] * 0.4
+    # Monotone degradation along the sweep.
+    fractions = sorted(immediate)
+    throughputs = [immediate[f][0] for f in fractions]
+    assert all(a >= b * 0.9 for a, b in zip(throughputs, throughputs[1:]))
+    # Proactive feedback cuts cold latency under deep saturation.
+    proactive = result.data["feedback-proactive"]
+    assert proactive[0.16][1] < immediate[0.16][1] * 0.8

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""The Section 8 selection pipeline: profile, recommend, verify.
+
+"One can get more venturesome by using profiling to determine the
+temporal behavior of the application and the number of processors
+participating in the synchronization and pass this information on to
+the compiler for further optimization."
+
+This example runs that pipeline end-to-end for each application:
+
+1. schedule the application and *profile* its barriers (N, A, measured
+   arrival offsets);
+2. ask the :class:`~repro.core.selection.PolicyAdvisor` for an analytic
+   recommendation (the conservative compiler path);
+3. rank the paper's five policies empirically on the profiled arrival
+   distribution (the venturesome path) and compare.
+
+Run:  python examples/adaptive_selection.py [scale]
+"""
+
+import sys
+
+from repro import PolicyAdvisor, PostMortemScheduler, SynchronizationProfile, build_app
+
+
+def main(scale: float = 0.5) -> None:
+    advisor = PolicyAdvisor(waiting_weight=0.1, queue_overhead=100)
+    for app in ("FFT", "SIMPLE", "WEATHER"):
+        trace = PostMortemScheduler(build_app(app, scale=scale), 64).run()
+        profile = SynchronizationProfile.from_trace(trace)
+        print(f"\n{app}: N = {profile.num_processors}, "
+              f"measured A ~ {profile.interval_a:.0f} cycles "
+              f"(A/N = {profile.spread_ratio:.2f})")
+        analytic = advisor.recommend(profile)
+        print(f"  analytic : {analytic.policy!r}")
+        print(f"             {analytic.rationale}")
+        ranking = advisor.rank(profile, repetitions=30)
+        print("  empirical ranking (cost = accesses + 0.1 x waiting):")
+        for label, cost in ranking:
+            print(f"    {cost:10.1f}  {label}")
+    print(
+        "\nReading: the analytic rule (from the paper's Figures 5-10"
+        "\nfindings) and the empirical ranking agree on the policy family;"
+        "\nprofiling sharpens the exponential base per application."
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.5)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Scaling past the flat barrier: software combining trees + backoff.
+
+The paper observes that once N is comparable to A, a flat barrier is
+"probably inappropriate anyway without some form of distributed
+software combining [Yew, Tseng & Lawrie].  Our backoff methods can
+still be used on the intermediate nodes of the combining tree."
+
+This example scales N with a fixed A = 100 and compares:
+
+- the flat Tang-Yew barrier (with and without backoff), and
+- combining trees of degree 2, 4 and 8 (whose every node is a Tang-Yew
+  barrier in its own pair of memory modules), with and without base-2
+  flag backoff at the nodes.
+
+Run:  python examples/combining_tree.py
+"""
+
+from repro import (
+    ExponentialFlagBackoff,
+    NoBackoff,
+    simulate_barrier,
+    simulate_tree_barrier,
+)
+
+INTERVAL_A = 100
+REPETITIONS = 30
+
+
+def main() -> None:
+    print(f"A = {INTERVAL_A}, averages over {REPETITIONS} runs\n")
+    header = (
+        f"{'N':>4} | {'flat':>7} {'flat+b2':>8} | "
+        f"{'tree-2':>7} {'tree-4':>7} {'tree-8':>7} | {'tree-4+b2':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for n in (16, 64, 256, 512):
+        flat = simulate_barrier(
+            n, INTERVAL_A, NoBackoff(), repetitions=REPETITIONS
+        )
+        flat_b2 = simulate_barrier(
+            n, INTERVAL_A, ExponentialFlagBackoff(base=2), repetitions=REPETITIONS
+        )
+        trees = {
+            degree: simulate_tree_barrier(
+                n, INTERVAL_A, degree=degree, repetitions=REPETITIONS
+            )
+            for degree in (2, 4, 8)
+        }
+        tree_backoff = simulate_tree_barrier(
+            n,
+            INTERVAL_A,
+            degree=4,
+            policy=ExponentialFlagBackoff(base=2),
+            repetitions=REPETITIONS,
+        )
+        print(
+            f"{n:>4} | {flat.mean_accesses:7.1f} {flat_b2.mean_accesses:8.1f} | "
+            f"{trees[2].mean_accesses:7.1f} {trees[4].mean_accesses:7.1f} "
+            f"{trees[8].mean_accesses:7.1f} | {tree_backoff.mean_accesses:9.1f}"
+        )
+    print(
+        "\n(accesses per process)  Reading: the flat barrier's accesses grow"
+        "\nlinearly in N while the tree's grow ~logarithmically, because each"
+        "\nnode spreads contention over its own memory modules; backoff at"
+        "\nthe tree nodes removes most of the remaining polls, combining both"
+        "\nideas exactly as Section 4 suggests."
+    )
+
+
+if __name__ == "__main__":
+    main()

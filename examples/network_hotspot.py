@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Section 8 extension: backoff for network accesses under hot-spots.
+
+Drives a 64-port circuit-switched Omega network with closed-loop
+traffic in which a fraction of requests target one "hot" memory module
+(the Pfister-Norton tree-saturation scenario the paper cites), and
+compares the five network-backoff strategies Section 8 proposes against
+immediate retry.
+
+Run:  python examples/network_hotspot.py
+"""
+
+from repro.network import (
+    ConstantRoundTripBackoff,
+    DepthProportionalBackoff,
+    ExponentialRetryBackoff,
+    ImmediateRetry,
+    InverseDepthBackoff,
+    QueueFeedbackBackoff,
+    hotspot_sweep,
+)
+
+NUM_PORTS = 64
+HOT_FRACTIONS = (0.0, 0.05, 0.2)
+HORIZON = 20_000
+
+POLICIES = [
+    ImmediateRetry(),
+    DepthProportionalBackoff(factor=2),
+    InverseDepthBackoff(factor=2),
+    ConstantRoundTripBackoff(multiple=1.0),
+    ExponentialRetryBackoff(base=2),
+    QueueFeedbackBackoff(factor=1),
+]
+
+
+def main() -> None:
+    print(
+        f"{NUM_PORTS}-port Omega network, closed-loop traffic, "
+        f"{HORIZON:,} cycle horizon\n"
+    )
+    results = hotspot_sweep(
+        num_ports=NUM_PORTS,
+        hot_fractions=HOT_FRACTIONS,
+        policies=POLICIES,
+        horizon=HORIZON,
+    )
+    header = (
+        f"{'policy':20}"
+        + "".join(f"  h={h:<4} thr/att" for h in HOT_FRACTIONS)
+    )
+    print(header)
+    print("-" * len(header))
+    for policy in POLICIES:
+        per_fraction = results[policy.name]
+        cells = []
+        for fraction in HOT_FRACTIONS:
+            outcome = per_fraction[fraction]
+            cells.append(
+                f"{outcome.throughput:6.3f}/{outcome.attempts_per_message.mean:4.1f}"
+            )
+        print(f"{policy.name:20}  " + "  ".join(cells))
+    print(
+        "\nReading: as the hot fraction grows, immediate retry burns attempts"
+        "\nre-colliding in the saturated tree; the backoff strategies keep"
+        "\nattempts-per-message near 1 at a modest throughput cost — and the"
+        "\nqueue-feedback scheme (Scott & Sohi style) adapts the most."
+    )
+
+
+if __name__ == "__main__":
+    main()

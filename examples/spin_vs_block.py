@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Spin, block, or adapt?  The Section 4/7 queueing hybrid.
+
+"Often, the choice of busy waiting or blocking cannot be made at
+compile time due to uncertainty in execution times of processes.  In
+such cases, our adaptive methods can be used to decide when it might be
+best to take a busy-waiting process out of circulation and queue it on
+a condition variable."
+
+This example sweeps the arrival interval A and compares three barriers
+at N = 64:
+
+- spin with base-2 exponential flag backoff,
+- pure blocking (every non-last process pays the enqueue overhead),
+- the hybrid, which spins with backoff until the next backoff interval
+  would cross a threshold, then enqueues.
+
+Run:  python examples/spin_vs_block.py
+"""
+
+from repro import (
+    ExponentialFlagBackoff,
+    simulate_barrier,
+    simulate_blocking_barrier,
+    simulate_threshold_barrier,
+)
+
+NUM_PROCESSORS = 64
+OVERHEAD = 100  # cycles to enqueue / wake a process
+THRESHOLD = 256  # queue when the next backoff exceeds this
+REPETITIONS = 50
+
+
+def main() -> None:
+    print(
+        f"N = {NUM_PROCESSORS}, enqueue/wakeup overhead = {OVERHEAD} cycles, "
+        f"queue threshold = {THRESHOLD} cycles\n"
+    )
+    header = (
+        f"{'A':>7} | {'spin acc':>8} {'wait':>6} | {'block acc':>9} "
+        f"{'wait':>6} | {'hybrid acc':>10} {'wait':>6} {'queued':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for interval_a in (0, 100, 1000, 10_000, 50_000):
+        spin = simulate_barrier(
+            NUM_PROCESSORS,
+            interval_a,
+            ExponentialFlagBackoff(base=2),
+            repetitions=REPETITIONS,
+        )
+        block = simulate_blocking_barrier(
+            NUM_PROCESSORS,
+            interval_a,
+            enqueue_overhead=OVERHEAD,
+            wakeup_overhead=OVERHEAD,
+            repetitions=REPETITIONS,
+        )
+        hybrid = simulate_threshold_barrier(
+            NUM_PROCESSORS,
+            interval_a,
+            ExponentialFlagBackoff(base=2),
+            threshold=THRESHOLD,
+            enqueue_overhead=OVERHEAD,
+            wakeup_overhead=OVERHEAD,
+            repetitions=REPETITIONS,
+        )
+        print(
+            f"{interval_a:>7} | {spin.mean_accesses:8.1f} "
+            f"{spin.mean_waiting_time:6.0f} | {block.mean_accesses:9.1f} "
+            f"{block.mean_waiting_time:6.0f} | {hybrid.mean_accesses:10.1f} "
+            f"{hybrid.mean_waiting_time:6.0f} {hybrid.queued.mean:6.1f}"
+        )
+    print(
+        "\nReading: at small A the enqueue overhead is wasted (spinning wins"
+        "\non waiting time); at large A blocking wins and spinning overshoots."
+        "\nThe hybrid spins while arrivals are close and queues when its own"
+        "\nbackoff state signals a long wait — tracking the better scheme"
+        "\nwithout knowing A in advance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The problem the paper solves: hot-spot tree saturation.
+
+Before any backoff technique, the paper's premise (after Pfister &
+Norton): when even a few percent of memory requests target one "hot"
+module — which is exactly what barrier spinning produces — the switch
+queues feeding that module fill, the congestion spreads backward
+through the network in a tree, and *everyone's* memory bandwidth
+collapses, including processors that never touch the hot variable.
+
+This example sweeps the hot-traffic fraction through a 64-port buffered
+Omega network and prints the bandwidth collapse, then shows what the
+Section 8(5) queue-feedback throttle (Scott & Sohi style) buys when
+applied proactively.
+
+Run:  python examples/tree_saturation.py
+"""
+
+from repro.network.netbackoff import QueueFeedbackBackoff
+from repro.network.packet import tree_saturation_sweep
+
+NUM_PORTS = 64
+HOT_FRACTIONS = (0.0, 0.01, 0.02, 0.04, 0.08, 0.16)
+HORIZON = 4000
+
+
+def main() -> None:
+    print(
+        f"{NUM_PORTS}-port buffered Omega network, 0.4 injections/port/cycle\n"
+    )
+    plain = tree_saturation_sweep(
+        num_ports=NUM_PORTS, hot_fractions=HOT_FRACTIONS, horizon=HORIZON
+    )
+    throttled = tree_saturation_sweep(
+        num_ports=NUM_PORTS,
+        hot_fractions=HOT_FRACTIONS,
+        horizon=HORIZON,
+        backoff=QueueFeedbackBackoff(factor=2),
+        proactive=True,
+    )
+    header = (
+        f"{'hot %':>6} | {'cold bw/port':>12} {'cold latency':>12} | "
+        f"{'throttled bw':>12} {'latency':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    baseline = plain[0.0].cold_throughput
+    for fraction in HOT_FRACTIONS:
+        p, t = plain[fraction], throttled[fraction]
+        bar = "#" * max(int(24 * p.cold_throughput / baseline), 1)
+        print(
+            f"{100 * fraction:>5.0f}% | {p.cold_throughput:>12.4f} "
+            f"{p.latency_cold.mean:>12.1f} | {t.cold_throughput:>12.4f} "
+            f"{t.latency_cold.mean:>8.1f}  {bar}"
+        )
+    print(
+        "\nReading: 4% hot traffic costs a third of everyone's bandwidth;"
+        "\n16% costs four fifths — while the hot module itself saturates at"
+        "\n~1 packet/cycle. The proactive queue-feedback throttle cannot"
+        "\nrestore bandwidth (the hot module is the bottleneck) but sharply"
+        "\ncuts the latency every cold request suffers. The real fix is to"
+        "\nremove the hot traffic at its source — which is what the paper's"
+        "\nadaptive backoff does to barrier spinning."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+Allows `pip install -e . --no-build-isolation` (legacy editable install)
+where PEP 517 editable builds would fail for lack of `bdist_wheel`.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``experiment <id> [...]`` — regenerate paper artifacts by id.
+- ``list``                  — list available experiment ids.
+- ``report``                — run every experiment, write reports to a
+                              directory.
+- ``verify``                — re-check the paper's headline claims and
+                              print PASS/FAIL with measured evidence.
+- ``barrier``               — simulate one barrier configuration.
+- ``trace``                 — schedule an application and report its
+                              synchronization statistics (optionally
+                              saving the trace to .npz).
+- ``advise``                — profile an application and recommend a
+                              backoff policy (Section 8's pipeline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.experiments import EXPERIMENTS, run as run_experiment
+from repro.core.backoff import (
+    ExponentialFlagBackoff,
+    LinearFlagBackoff,
+    NoBackoff,
+    VariableBackoff,
+)
+from repro.core.selection import PolicyAdvisor, SynchronizationProfile
+
+
+def _build_policy(name: str, base: int, step: int):
+    if name == "none":
+        return NoBackoff()
+    if name == "variable":
+        return VariableBackoff()
+    if name == "linear":
+        return LinearFlagBackoff(step=step)
+    if name == "exponential":
+        return ExponentialFlagBackoff(base=base)
+    raise ValueError(f"unknown policy {name!r}")
+
+
+def _cmd_list(_args) -> int:
+    for experiment_id in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[experiment_id].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{experiment_id:12} {summary}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    for experiment_id in args.ids:
+        kwargs = {}
+        if args.repetitions is not None and experiment_id.startswith(
+            ("figure4", "figure5", "figure6", "figure7", "figure8", "figure9",
+             "figure10", "hardware")
+        ):
+            kwargs["repetitions"] = args.repetitions
+        if args.scale is not None and experiment_id in (
+            "table1", "table2", "table3", "figure1", "figure3", "fft_traffic"
+        ):
+            kwargs["scale"] = args.scale
+        print(run_experiment(experiment_id, **kwargs))
+        print()
+    return 0
+
+
+def _cmd_barrier(args) -> int:
+    from repro.barrier.simulator import simulate_barrier
+
+    policy = _build_policy(args.policy, args.base, args.step)
+    aggregate = simulate_barrier(
+        args.n, args.interval_a, policy, repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    print(
+        f"N={args.n} A={args.interval_a} policy={args.policy} "
+        f"(reps={aggregate.repetitions})"
+    )
+    print(f"  accesses/process : {aggregate.mean_accesses:.2f}")
+    print(f"  waiting cycles   : {aggregate.mean_waiting_time:.2f}")
+    print(f"  relative sigma   : {aggregate.relative_stddev_accesses:.3f}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.trace.apps import build_app
+    from repro.trace.scheduler import PostMortemScheduler
+
+    program = build_app(args.app, scale=args.scale)
+    scheduler = PostMortemScheduler(
+        program,
+        args.cpus,
+        barrier_style=args.barrier_style,
+        tree_degree=args.degree,
+    )
+    trace = scheduler.run()
+    print(
+        f"{args.app} x{args.cpus} (scale {args.scale}, "
+        f"{args.barrier_style} barriers):"
+    )
+    print(f"  references       : {len(trace):,} over {trace.cycles:,} cycles")
+    print(f"  sync fraction    : {100 * trace.sync_fraction:.2f}%")
+    print(f"  barriers         : {len(trace.barriers)}")
+    print(f"  mean A / mean E  : {trace.mean_interval_a():.0f} / "
+          f"{trace.mean_interval_e():.0f} cycles")
+    if args.save:
+        from repro.trace.io import save_trace
+
+        save_trace(trace, args.save)
+        print(f"  saved to         : {args.save}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Run every experiment and write reports to a directory."""
+    import os
+
+    os.makedirs(args.output, exist_ok=True)
+    failures = 0
+    for experiment_id in sorted(EXPERIMENTS):
+        try:
+            result = run_experiment(experiment_id)
+        except Exception as error:  # pragma: no cover - defensive
+            print(f"{experiment_id:18} FAILED: {error}")
+            failures += 1
+            continue
+        path = os.path.join(args.output, f"{experiment_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(str(result) + "\n")
+        print(f"{experiment_id:18} -> {path}")
+    return 1 if failures else 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.analysis.claims import verify_report
+
+    report = verify_report(repetitions=args.repetitions, seed=args.seed)
+    print(report)
+    return 0 if "FAIL" not in report else 1
+
+
+def _cmd_advise(args) -> int:
+    from repro.trace.apps import build_app
+    from repro.trace.scheduler import PostMortemScheduler
+
+    program = build_app(args.app, scale=args.scale)
+    trace = PostMortemScheduler(program, args.cpus).run()
+    profile = SynchronizationProfile.from_trace(trace)
+    advisor = PolicyAdvisor(waiting_weight=args.waiting_weight)
+    print(f"profile: N={profile.num_processors}, A~{profile.interval_a:.0f}, "
+          f"A/N={profile.spread_ratio:.2f}")
+    print(f"analytic   : {advisor.recommend(profile)}")
+    if not args.no_simulate:
+        recommendation = advisor.select(
+            profile, repetitions=args.repetitions, seed=args.seed
+        )
+        print(f"empirical  : {recommendation}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Adaptive Backoff Synchronization Techniques — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser("experiment", help="run experiments by id")
+    p.add_argument("ids", nargs="+", choices=sorted(EXPERIMENTS))
+    p.add_argument("--repetitions", type=int, default=None)
+    p.add_argument("--scale", type=float, default=None)
+    p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("barrier", help="simulate one barrier configuration")
+    p.add_argument("--n", type=int, default=64, help="processors")
+    p.add_argument("--interval-a", type=int, default=1000, help="arrival interval A")
+    p.add_argument(
+        "--policy",
+        choices=("none", "variable", "linear", "exponential"),
+        default="exponential",
+    )
+    p.add_argument("--base", type=int, default=2, help="exponential base")
+    p.add_argument("--step", type=int, default=1, help="linear step")
+    p.add_argument("--repetitions", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_barrier)
+
+    p = sub.add_parser("trace", help="schedule an application")
+    p.add_argument("--app", choices=("FFT", "SIMPLE", "WEATHER"), default="SIMPLE")
+    p.add_argument("--cpus", type=int, default=64)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--barrier-style", choices=("flat", "tree"), default="flat")
+    p.add_argument("--degree", type=int, default=4, help="tree fan-in")
+    p.add_argument("--save", default=None, help="write trace to this .npz path")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("report", help="run every experiment, write reports")
+    p.add_argument("--output", default="reports", help="output directory")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("verify", help="re-check the paper's headline claims")
+    p.add_argument("--repetitions", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser("advise", help="recommend a backoff policy from a profile")
+    p.add_argument("--app", choices=("FFT", "SIMPLE", "WEATHER"), default="SIMPLE")
+    p.add_argument("--cpus", type=int, default=64)
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--waiting-weight", type=float, default=0.1)
+    p.add_argument("--repetitions", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-simulate", action="store_true",
+                   help="skip the empirical ranking")
+    p.set_defaults(fn=_cmd_advise)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output was piped into something like `head`; exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Plain-text rendering of figure series (one column per curve)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.analysis.tables import render_table
+from repro.sim.stats import Series
+
+
+def render_series(
+    series: Mapping[str, Series],
+    x_label: str = "N",
+    title: Optional[str] = None,
+    float_format: str = "%.1f",
+) -> str:
+    """Render several curves sharing an x-axis as a text table.
+
+    All series must be sampled at the same x values (the sweeps
+    guarantee this); a missing point renders as ``-``.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    xs: Sequence[float] = []
+    for curve in series.values():
+        if len(curve.xs) > len(xs):
+            xs = curve.xs
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for x in xs:
+        row: list = [int(x) if float(x).is_integer() else x]
+        for curve in series.values():
+            try:
+                row.append(curve.y_at(x))
+            except KeyError:
+                row.append(None)
+        rows.append(row)
+    return render_table(headers, rows, title=title, float_format=float_format)
+
+
+def render_ascii_plot(
+    series: Mapping[str, Series],
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """A rough character plot of several curves on shared axes.
+
+    Each curve is drawn with its own marker (`*`, `o`, `+`, ...);
+    overlapping points show the later curve's marker.  Meant for quick
+    terminal inspection of the figure sweeps — the tables rendered by
+    :func:`render_series` remain the precise record.
+    """
+    import math
+
+    if not series:
+        raise ValueError("series must be non-empty")
+    markers = "*o+x#@%&"
+    points = []
+    for curve in series.values():
+        points.extend(curve.points())
+    if not points:
+        raise ValueError("series contain no points")
+
+    def x_of(value: float) -> float:
+        return math.log2(value) if log_x and value > 0 else value
+
+    def y_of(value: float) -> float:
+        return math.log10(value) if log_y and value > 0 else value
+
+    xs = [x_of(p[0]) for p in points]
+    ys = [y_of(p[1]) for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, curve) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in curve.points():
+            column = int((x_of(x) - x_low) / x_span * (width - 1))
+            row = int((y_of(y) - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_label_top = f"{(10 ** y_high if log_y else y_high):.0f}"
+    y_label_bottom = f"{(10 ** y_low if log_y else y_low):.0f}"
+    gutter = max(len(y_label_top), len(y_label_bottom))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = y_label_top.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = y_label_bottom.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_left = f"{(2 ** x_low if log_x else x_low):.0f}"
+    x_right = f"{(2 ** x_high if log_x else x_high):.0f}"
+    lines.append(
+        " " * gutter
+        + "  "
+        + x_left
+        + " " * max(width - len(x_left) - len(x_right), 1)
+        + x_right
+    )
+    legend = "   ".join(
+        f"{markers[index % len(markers)]} {label}"
+        for index, label in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def savings_column(
+    baseline: Series, improved: Series
+) -> Series:
+    """Percent reduction of ``improved`` relative to ``baseline``."""
+    result = Series(label=f"savings({improved.label})")
+    for x, base_y in baseline.points():
+        try:
+            new_y = improved.y_at(x)
+        except KeyError:
+            continue
+        if base_y:
+            result.add(x, 100.0 * (1.0 - new_y / base_y))
+    return result

@@ -1,0 +1,72 @@
+"""Fixed-width plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def _format_cell(value, float_format: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return float_format % value
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    float_format: str = "%.2f",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Numeric columns are right-aligned, text columns left-aligned;
+    floats use ``float_format``.
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    formatted: List[List[str]] = [
+        [_format_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    # A column is right-aligned if every body cell parses as a number.
+    def is_numeric(column: int) -> bool:
+        cells = [row[column] for row in formatted if row[column] != "-"]
+        if not cells:
+            return False
+        for cell in cells:
+            try:
+                float(cell)
+            except ValueError:
+                return False
+        return True
+
+    numeric = [is_numeric(c) for c in range(len(headers))]
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for column, cell in enumerate(cells):
+            if numeric[column]:
+                parts.append(cell.rjust(widths[column]))
+            else:
+                parts.append(cell.ljust(widths[column]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in formatted)
+    return "\n".join(lines)

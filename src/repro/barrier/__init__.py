@@ -1,0 +1,73 @@
+"""Barrier evaluation harness (Sections 5-7 of the paper).
+
+- :mod:`repro.barrier.arrivals` — arrival processes (uniform within A).
+- :mod:`repro.barrier.simulator` — the cycle-exact barrier simulator.
+- :mod:`repro.barrier.models` — Model 1 / Model 2 analytic predictions.
+- :mod:`repro.barrier.hardware` — hardware-supported barrier baselines.
+- :mod:`repro.barrier.metrics` — per-run results and aggregation.
+- :mod:`repro.barrier.sweep` — the parameter sweeps behind Figures 4-10.
+- :mod:`repro.barrier.tree` — software combining-tree barriers.
+- :mod:`repro.barrier.queueing` — spin vs block vs threshold-queue.
+- :mod:`repro.barrier.resource` — Section 8 resource waiting.
+"""
+
+from repro.barrier.application import (
+    ApplicationAggregate,
+    ApplicationSimulator,
+    simulate_application,
+)
+from repro.barrier.coherent import (
+    CoherentBarrierSimulator,
+    simulate_coherent_barrier,
+)
+from repro.barrier.arrivals import (
+    EmpiricalArrivals,
+    FixedArrivals,
+    UniformArrivals,
+)
+from repro.barrier.hardware import (
+    full_map_directory_accesses,
+    hoshino_accesses,
+    invalidating_bus_accesses,
+    updating_bus_accesses,
+)
+from repro.barrier.metrics import BarrierAggregate, BarrierRunResult
+from repro.barrier.models import (
+    expected_span,
+    exponential_savings_bound,
+    model1_accesses,
+    model2_accesses,
+    model_prediction,
+)
+from repro.barrier.simulator import BarrierSimulator, simulate_barrier
+from repro.barrier.validation import ValidationResult, validate_uniform_model
+from repro.barrier.sweep import sweep_accesses, sweep_interval, sweep_waiting_time
+
+__all__ = [
+    "UniformArrivals",
+    "FixedArrivals",
+    "EmpiricalArrivals",
+    "BarrierSimulator",
+    "simulate_barrier",
+    "BarrierRunResult",
+    "BarrierAggregate",
+    "model1_accesses",
+    "model2_accesses",
+    "model_prediction",
+    "expected_span",
+    "exponential_savings_bound",
+    "invalidating_bus_accesses",
+    "updating_bus_accesses",
+    "full_map_directory_accesses",
+    "hoshino_accesses",
+    "sweep_accesses",
+    "sweep_interval",
+    "sweep_waiting_time",
+    "ValidationResult",
+    "validate_uniform_model",
+    "ApplicationSimulator",
+    "ApplicationAggregate",
+    "simulate_application",
+    "CoherentBarrierSimulator",
+    "simulate_coherent_barrier",
+]

@@ -1,0 +1,110 @@
+"""Arrival processes for the barrier model.
+
+    "We now define A to be the interval during which processors may
+    arrive at the barrier, and N to be the number of synchronizing
+    processors.  We further assume that each processor has a uniform
+    probability of appearing at any time instant during the interval A."
+
+:class:`UniformArrivals` is that model; :class:`FixedArrivals` pins the
+times for deterministic tests; :class:`EmpiricalArrivals` resamples the
+per-barrier arrival offsets measured by the post-mortem scheduler, so
+the barrier simulator can be driven by application-shaped arrivals
+(used to validate the uniform model, as in Section 5 / Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class ArrivalProcess:
+    """Base class: draws sorted arrival cycles for ``n`` processors."""
+
+    def draw(self, n: int, rng: np.random.Generator) -> List[int]:
+        raise NotImplementedError
+
+    @property
+    def interval(self) -> int:
+        """Nominal A of the process (0 if not applicable)."""
+        return 0
+
+
+class UniformArrivals(ArrivalProcess):
+    """Each processor arrives uniformly at random within [0, A]."""
+
+    def __init__(self, interval_a: int) -> None:
+        if interval_a < 0:
+            raise ValueError("interval_a must be non-negative")
+        self._interval = interval_a
+
+    @property
+    def interval(self) -> int:
+        return self._interval
+
+    def draw(self, n: int, rng: np.random.Generator) -> List[int]:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if self._interval == 0:
+            return [0] * n
+        times = rng.integers(0, self._interval + 1, size=n)
+        return sorted(int(t) for t in times)
+
+    def __repr__(self) -> str:
+        return f"UniformArrivals(A={self._interval})"
+
+
+class FixedArrivals(ArrivalProcess):
+    """Deterministic arrival times (tests and worked examples)."""
+
+    def __init__(self, times: Sequence[int]) -> None:
+        if not times:
+            raise ValueError("times must be non-empty")
+        if any(t < 0 for t in times):
+            raise ValueError("arrival times must be non-negative")
+        self._times = sorted(int(t) for t in times)
+
+    @property
+    def interval(self) -> int:
+        return self._times[-1] - self._times[0]
+
+    def draw(self, n: int, rng: np.random.Generator) -> List[int]:
+        if n != len(self._times):
+            raise ValueError(
+                f"FixedArrivals holds {len(self._times)} times, asked for {n}"
+            )
+        return list(self._times)
+
+    def __repr__(self) -> str:
+        return f"FixedArrivals(n={len(self._times)}, A={self.interval})"
+
+
+class EmpiricalArrivals(ArrivalProcess):
+    """Resamples measured arrival offsets (e.g. from a ScheduledTrace).
+
+    ``offsets`` is a pool of arrival offsets (cycles from the first
+    arrival) observed at real barriers; each draw samples ``n`` of them
+    with replacement, anchored at 0.
+    """
+
+    def __init__(self, offsets: Sequence[int]) -> None:
+        if not offsets:
+            raise ValueError("offsets must be non-empty")
+        if any(o < 0 for o in offsets):
+            raise ValueError("offsets must be non-negative")
+        self._offsets = np.asarray(sorted(offsets), dtype=np.int64)
+
+    @property
+    def interval(self) -> int:
+        return int(self._offsets[-1])
+
+    def draw(self, n: int, rng: np.random.Generator) -> List[int]:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        sample = rng.choice(self._offsets, size=n, replace=True)
+        sample = np.sort(sample)
+        return [int(t - sample[0]) for t in sample]
+
+    def __repr__(self) -> str:
+        return f"EmpiricalArrivals(pool={len(self._offsets)}, A={self.interval})"

@@ -1,0 +1,126 @@
+"""Result records and aggregation for barrier simulations.
+
+The paper's metrics (Section 5):
+
+    "(1) the number of network accesses per process in accessing the
+    barrier variable and barrier flag; and (2) the number of cycles
+    that an average process spends from the time it arrives at the
+    barrier to the time it is allowed to proceed from the barrier."
+
+Each simulation point is repeated (the paper uses 100 repetitions) and
+averaged; "the standard deviation was less than about 7% over the
+hundred runs", which :meth:`BarrierAggregate.relative_stddev_accesses`
+lets tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.stats import RunningStats
+
+
+@dataclass
+class BarrierRunResult:
+    """Outcome of one simulated barrier episode."""
+
+    num_processors: int
+    interval_a: int
+    policy_name: str
+    accesses_per_process: List[int] = field(default_factory=list)
+    waiting_times: List[int] = field(default_factory=list)
+    flag_set_time: Optional[int] = None
+    completion_time: int = 0
+    variable_accesses: int = 0
+    flag_accesses: int = 0
+    queued_processes: int = 0
+
+    @property
+    def mean_accesses(self) -> float:
+        if not self.accesses_per_process:
+            return 0.0
+        return sum(self.accesses_per_process) / len(self.accesses_per_process)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        if not self.waiting_times:
+            return 0.0
+        return sum(self.waiting_times) / len(self.waiting_times)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(self.accesses_per_process)
+
+    @property
+    def max_waiting_time(self) -> int:
+        return max(self.waiting_times) if self.waiting_times else 0
+
+    def waiting_percentile(self, q: float) -> float:
+        """The q-th percentile (0..100) of per-process waiting times.
+
+        Overshoot shows up in the tail: at A=1000 with a large backoff
+        base, the p95 wait can sit several times above the median.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        if not self.waiting_times:
+            return 0.0
+        ordered = sorted(self.waiting_times)
+        index = min(int(round(q / 100.0 * (len(ordered) - 1))), len(ordered) - 1)
+        return float(ordered[index])
+
+
+@dataclass
+class BarrierAggregate:
+    """Aggregate of repeated runs at one (N, A, policy) point."""
+
+    num_processors: int
+    interval_a: int
+    policy_name: str
+    accesses: RunningStats = field(default_factory=RunningStats)
+    waiting: RunningStats = field(default_factory=RunningStats)
+    waiting_p95: RunningStats = field(default_factory=RunningStats)
+    queued: RunningStats = field(default_factory=RunningStats)
+
+    def add_run(self, run: BarrierRunResult) -> None:
+        if run.num_processors != self.num_processors:
+            raise ValueError("run has a different processor count")
+        self.accesses.add(run.mean_accesses)
+        self.waiting.add(run.mean_waiting_time)
+        self.waiting_p95.add(run.waiting_percentile(95.0))
+        self.queued.add(run.queued_processes)
+
+    @property
+    def repetitions(self) -> int:
+        return self.accesses.count
+
+    @property
+    def mean_accesses(self) -> float:
+        return self.accesses.mean
+
+    @property
+    def mean_waiting_time(self) -> float:
+        return self.waiting.mean
+
+    @property
+    def mean_waiting_p95(self) -> float:
+        """Mean 95th-percentile waiting time across repetitions."""
+        return self.waiting_p95.mean
+
+    @property
+    def relative_stddev_accesses(self) -> float:
+        """Relative sigma across repetitions (paper verifies < ~7%)."""
+        return self.accesses.relative_stddev
+
+    def savings_vs(self, baseline: "BarrierAggregate") -> float:
+        """Fractional reduction in accesses relative to ``baseline``."""
+        if baseline.mean_accesses == 0:
+            return 0.0
+        return 1.0 - self.mean_accesses / baseline.mean_accesses
+
+    def waiting_increase_vs(self, baseline: "BarrierAggregate") -> float:
+        """Fractional increase in waiting time relative to ``baseline``."""
+        if baseline.mean_waiting_time == 0:
+            return 0.0
+        return self.mean_waiting_time / baseline.mean_waiting_time - 1.0

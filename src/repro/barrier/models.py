@@ -1,0 +1,100 @@
+"""Analytic barrier models (Section 5.1).
+
+Model 1 — all N processors arrive simultaneously (A = 0):
+
+    "a processor will make on average N + N + N/2 synchronization
+    references.  Each processor makes on average N/2 references to get
+    at the barrier variable, polls the barrier flag N/2 references
+    before the last processor gets through the barrier variable,
+    continues polling the barrier flag N times until the last processor
+    can set the flag, and finally leaves after N/2 references"
+
+so ``5N/2`` accesses per processor.
+
+Model 2 — A >> N, no contention for the barrier variable: with
+uniform arrivals the expected span between first and last arrival is
+
+    r = A (N - 1) / (N + 1)
+
+and each processor makes ``r/2 + N + N/2`` accesses on average.
+
+"In general, the maximum of the predictions of the two models yields a
+good fit with simulation in all ranges" — :func:`model_prediction`.
+
+The exponential-backoff savings bound: with base ``b`` the ``M``
+no-backoff polls of the flag shrink to roughly ``log_b M``, giving
+:func:`exponential_savings_bound` = ``log_b(r / 2)`` fewer-is-better
+poll counts for the waiting phase.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def model1_accesses(n: int) -> float:
+    """Model 1 (A << N): average network accesses per processor."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return 2.5 * n
+
+
+def expected_span(interval_a: float, n: int) -> float:
+    """Expected span r between first and last of N uniform arrivals in A.
+
+    The average time from the start of the interval to the first
+    arrival is A/(N+1), and from the last arrival to the end is also
+    A/(N+1); the span is the difference of their complements:
+    ``r = A (N-1)/(N+1)``.  r -> A as N grows.
+    """
+    if interval_a < 0:
+        raise ValueError("interval_a must be non-negative")
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return interval_a * (n - 1) / (n + 1)
+
+
+def model2_accesses(n: int, interval_a: float) -> float:
+    """Model 2 (A >> N): average network accesses per processor.
+
+    ``r/2 + N + N/2``: half the arrival span spent polling before the
+    last arrival, N polls while the last processor traverses the
+    barrier, N/2 to leave.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return expected_span(interval_a, n) / 2.0 + 1.5 * n
+
+
+def model_prediction(n: int, interval_a: float) -> float:
+    """max(Model 1, Model 2): the paper's good-fit-everywhere predictor."""
+    return max(model1_accesses(n), model2_accesses(n, interval_a))
+
+
+def exponential_savings_bound(
+    n: int, interval_a: float, base: int
+) -> float:
+    """Upper bound on flag polls with exponential backoff, ``log_b(r/2)``.
+
+    "the potential savings in network accesses can be as large as
+    log_b(r/2) for exponential backoff, where b is the basis of the
+    exponential backoff algorithm used" — i.e. the waiting-phase polls
+    drop from ~r/2 to ~log_b(r/2).
+    """
+    if base < 2:
+        raise ValueError("base must be >= 2")
+    span = expected_span(interval_a, n)
+    if span <= 2.0:
+        return 1.0
+    return math.log(span / 2.0, base)
+
+
+def variable_backoff_accesses(n: int, interval_a: float) -> float:
+    """Analytic estimate with backoff on the barrier variable only.
+
+    The scheme saves the N/2 polls made while processors are still
+    getting through the barrier variable ("A similar savings of N/2 is
+    made for A >> N. ... the savings is a constant N/2 no matter what
+    A is").
+    """
+    return model_prediction(n, interval_a) - 0.5 * n

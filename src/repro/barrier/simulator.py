@@ -1,0 +1,209 @@
+"""The cycle-exact barrier simulator (Sections 3 and 5).
+
+Model, from the paper:
+
+- processors access any memory over the network in one network cycle;
+- the barrier variable and the barrier flag live in *different* memory
+  modules (except for the single-variable barrier);
+- a module satisfies exactly one access per cycle; a denied access is
+  repeated — and counted — every cycle until it succeeds;
+- each processor arrives at a time drawn from the arrival process,
+  increments the barrier variable (fetch&add), then polls the flag
+  until it observes the value written by the last arrival.
+
+Backoff semantics:
+
+- after reading barrier value ``i`` at cycle ``g``, the first flag poll
+  is presented at ``g + max(variable_wait(i, N), 1)`` — the paper's
+  "can start polling the barrier flag at least (N - i) cycles after
+  reaching the barrier variable";
+- after the ``k``-th unsuccessful flag read at cycle ``g``, the next
+  poll is presented at ``g + max(flag_wait(k), 1)``;
+- the last arrival presents its flag *write* one cycle after its
+  fetch&add completes, and contends with the pollers for the flag
+  module ("backoff ... can also help prevent interference with the
+  final processor write request").
+
+The per-cycle retry loop is collapsed exactly by
+:class:`~repro.network.module.MemoryModule`: a request presented at
+``t`` and granted at ``g`` made ``g - t + 1`` network accesses.  Events
+are processed in presented-time order off a heap, so each module sees
+non-decreasing request times (earliest-request-first arbitration; for
+continuously polling processors this equals round-robin service).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.barrier.arrivals import ArrivalProcess, UniformArrivals
+from repro.barrier.metrics import BarrierAggregate, BarrierRunResult
+from repro.core.backoff import BackoffPolicy
+from repro.core.barrier import SingleVariableBarrier, TangYewBarrier
+from repro.network.model import NetworkModel
+from repro.network.module import MemoryModule
+from repro.sim.rng import spawn_stream
+
+# Event kinds.
+_REQ_VARIABLE = 0
+_REQ_FLAG_READ = 1
+_REQ_FLAG_WRITE = 2
+
+BarrierAlgorithm = Union[TangYewBarrier, SingleVariableBarrier]
+
+
+class BarrierSimulator:
+    """Simulates one barrier algorithm under one arrival process."""
+
+    def __init__(
+        self,
+        barrier: BarrierAlgorithm,
+        arrivals: Optional[ArrivalProcess] = None,
+        seed: int = 0,
+    ) -> None:
+        self.barrier = barrier
+        self.arrivals = arrivals if arrivals is not None else UniformArrivals(0)
+        self.seed = seed
+
+    @property
+    def policy(self) -> BackoffPolicy:
+        return self.barrier.backoff
+
+    def run_once(self, rng: np.random.Generator) -> BarrierRunResult:
+        """Simulate one barrier episode; returns its metrics."""
+        n = self.barrier.num_processors
+        policy = self.barrier.backoff
+        network = NetworkModel()
+        variable_module = network.variable_module
+        if self.barrier.separate_modules:
+            flag_module: MemoryModule = network.flag_module
+        else:
+            flag_module = variable_module
+
+        arrival_times = self.arrivals.draw(n, rng)
+        result = BarrierRunResult(
+            num_processors=n,
+            interval_a=self.arrivals.interval,
+            policy_name=policy.name,
+        )
+        accesses = [0] * n
+        polls = [0] * n
+        depart = [0] * n
+
+        heap: List[Tuple[int, int, int, int]] = []
+        seq = 0
+
+        def push(time: int, cpu: int, kind: int) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (time, seq, cpu, kind))
+            seq += 1
+
+        for cpu, when in enumerate(arrival_times):
+            push(when, cpu, _REQ_VARIABLE)
+
+        barrier_count = 0
+        flag_set_time: Optional[int] = None
+
+        while heap:
+            ready, __, cpu, kind = heapq.heappop(heap)
+
+            if kind == _REQ_VARIABLE:
+                grant, cost = variable_module.request(ready)
+                accesses[cpu] += cost
+                barrier_count += 1
+                value = barrier_count
+                if value == n:
+                    if self.barrier.separate_modules:
+                        # Travel to the flag module takes one cycle.
+                        push(grant + 1, cpu, _REQ_FLAG_WRITE)
+                    else:
+                        # Single-variable barrier: the final increment
+                        # itself is the release.
+                        flag_set_time = grant
+                        depart[cpu] = grant
+                else:
+                    wait = max(policy.variable_wait(value, n), 1)
+                    push(grant + wait, cpu, _REQ_FLAG_READ)
+                continue
+
+            if kind == _REQ_FLAG_WRITE:
+                grant, cost = flag_module.request(ready)
+                accesses[cpu] += cost
+                flag_set_time = grant
+                depart[cpu] = grant
+                continue
+
+            # _REQ_FLAG_READ
+            grant, cost = flag_module.request(ready)
+            accesses[cpu] += cost
+            if flag_set_time is not None and grant > flag_set_time:
+                depart[cpu] = grant
+            else:
+                polls[cpu] += 1
+                wait = max(policy.flag_wait(polls[cpu]), 1)
+                push(grant + wait, cpu, _REQ_FLAG_READ)
+
+        result.accesses_per_process = accesses
+        result.waiting_times = [
+            depart[cpu] - arrival_times[cpu] for cpu in range(n)
+        ]
+        result.flag_set_time = flag_set_time
+        result.completion_time = max(depart) if depart else 0
+        result.variable_accesses = variable_module.total_accesses
+        if self.barrier.separate_modules:
+            result.flag_accesses = flag_module.total_accesses
+        else:
+            result.flag_accesses = 0
+        return result
+
+    def run(self, repetitions: int = 100) -> BarrierAggregate:
+        """Average over ``repetitions`` independent episodes.
+
+        The paper: "The simulation for each set of parameters is
+        repeated 100 times and the numbers are averaged over all the
+        runs."
+        """
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        aggregate = BarrierAggregate(
+            num_processors=self.barrier.num_processors,
+            interval_a=self.arrivals.interval,
+            policy_name=self.barrier.backoff.name,
+        )
+        for rep in range(repetitions):
+            rng = spawn_stream(self.seed, f"barrier-rep-{rep}")
+            aggregate.add_run(self.run_once(rng))
+        return aggregate
+
+
+def simulate_barrier(
+    num_processors: int,
+    interval_a: int,
+    policy: BackoffPolicy,
+    repetitions: int = 100,
+    seed: int = 0,
+    single_variable: bool = False,
+) -> BarrierAggregate:
+    """Convenience wrapper: simulate a (N, A, policy) point.
+
+    Args:
+        num_processors: N.
+        interval_a: the arrival interval A in cycles.
+        policy: backoff policy to apply.
+        repetitions: independent episodes to average (paper: 100).
+        seed: root seed (episodes use derived streams).
+        single_variable: use the naive one-variable barrier instead of
+            the Tang-Yew two-variable barrier.
+    """
+    barrier: BarrierAlgorithm
+    if single_variable:
+        barrier = SingleVariableBarrier(num_processors, backoff=policy)
+    else:
+        barrier = TangYewBarrier(num_processors, backoff=policy)
+    simulator = BarrierSimulator(
+        barrier, UniformArrivals(interval_a), seed=seed
+    )
+    return simulator.run(repetitions)

@@ -1,0 +1,128 @@
+"""Parameter sweeps behind Figures 4 through 10.
+
+The paper evaluates N in {2, 4, ..., 512} for A in {0, 100, 1000}
+under five policies (no backoff; backoff on the barrier variable;
+exponential backoff on the flag with bases 2, 4 and 8 — flag backoff
+always includes variable backoff), reporting network accesses per
+process (Figures 4-7) and waiting time per process (Figures 8-10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.barrier.metrics import BarrierAggregate
+from repro.barrier.simulator import simulate_barrier
+from repro.core.backoff import BackoffPolicy, paper_policies
+from repro.sim.stats import Series
+
+#: The processor counts of Figures 4-10.
+PAPER_N_VALUES = (2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+#: The arrival intervals of Figures 4-10.
+PAPER_A_VALUES = (0, 100, 1000)
+
+
+def sweep(
+    n_values: Sequence[int],
+    interval_a: int,
+    policies: Optional[Mapping[str, BackoffPolicy]] = None,
+    repetitions: int = 100,
+    seed: int = 0,
+) -> Dict[str, List[BarrierAggregate]]:
+    """Simulate every (policy, N) point at one arrival interval A.
+
+    Returns:
+        ``{policy_label: [BarrierAggregate per N, in n_values order]}``.
+    """
+    if policies is None:
+        policies = paper_policies()
+    results: Dict[str, List[BarrierAggregate]] = {}
+    for label, policy in policies.items():
+        points = []
+        for n in n_values:
+            points.append(
+                simulate_barrier(
+                    n, interval_a, policy, repetitions=repetitions, seed=seed
+                )
+            )
+        results[label] = points
+    return results
+
+
+def _to_series(
+    results: Mapping[str, List[BarrierAggregate]], metric: str
+) -> Dict[str, Series]:
+    series: Dict[str, Series] = {}
+    for label, points in results.items():
+        curve = Series(label=label)
+        for point in points:
+            curve.add(point.num_processors, getattr(point, metric))
+        series[label] = curve
+    return series
+
+
+def sweep_accesses(
+    n_values: Sequence[int] = PAPER_N_VALUES,
+    interval_a: int = 0,
+    policies: Optional[Mapping[str, BackoffPolicy]] = None,
+    repetitions: int = 100,
+    seed: int = 0,
+) -> Dict[str, Series]:
+    """Network accesses per process vs N (Figures 4-7 curves)."""
+    results = sweep(n_values, interval_a, policies, repetitions, seed)
+    return _to_series(results, "mean_accesses")
+
+
+def sweep_waiting_time(
+    n_values: Sequence[int] = PAPER_N_VALUES,
+    interval_a: int = 0,
+    policies: Optional[Mapping[str, BackoffPolicy]] = None,
+    repetitions: int = 100,
+    seed: int = 0,
+) -> Dict[str, Series]:
+    """Waiting time per process vs N (Figures 8-10 curves)."""
+    results = sweep(n_values, interval_a, policies, repetitions, seed)
+    return _to_series(results, "mean_waiting_time")
+
+
+def sweep_interval(
+    n: int,
+    a_values: Sequence[int],
+    policies: Optional[Mapping[str, BackoffPolicy]] = None,
+    repetitions: int = 100,
+    seed: int = 0,
+) -> Dict[str, Series]:
+    """Network accesses vs the arrival interval A at fixed N.
+
+    The complement of the figures' N-sweeps: shows where each policy's
+    savings switch on as A grows past N (the crossover the paper's
+    summary describes).
+    """
+    if policies is None:
+        policies = paper_policies()
+    series: Dict[str, Series] = {}
+    for label, policy in policies.items():
+        curve = Series(label=label)
+        for interval_a in a_values:
+            point = simulate_barrier(
+                n, interval_a, policy, repetitions=repetitions, seed=seed
+            )
+            curve.add(interval_a, point.mean_accesses)
+        series[label] = curve
+    return series
+
+
+def sweep_both(
+    n_values: Sequence[int] = PAPER_N_VALUES,
+    interval_a: int = 0,
+    policies: Optional[Mapping[str, BackoffPolicy]] = None,
+    repetitions: int = 100,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Series]]:
+    """One simulation pass yielding both metrics (no duplicated work)."""
+    results = sweep(n_values, interval_a, policies, repetitions, seed)
+    return {
+        "accesses": _to_series(results, "mean_accesses"),
+        "waiting": _to_series(results, "mean_waiting_time"),
+    }

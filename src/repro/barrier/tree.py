@@ -1,0 +1,268 @@
+"""Software combining-tree barriers (Yew, Tseng & Lawrie), with backoff.
+
+The paper points at combining trees twice: as the fix for directory
+pointer overflow ("as long as the degree of the nodes in the combining
+tree is less than the number of pointers ... synchronization variables
+will not result in extra invalidation traffic") and as the right
+structure once N approaches A ("for these cases barrier synchronization
+is probably inappropriate anyway without some form of distributed
+software combining.  Our backoff methods can still be used on the
+intermediate nodes of the combining tree").
+
+Protocol simulated here:
+
+- processors are split into groups of ``degree``; each group runs a
+  Tang-Yew barrier whose variable and flag live in that node's own two
+  memory modules (the tree spreads traffic across 2 * #nodes modules);
+- the *last* arrival at a node ascends and becomes a participant in the
+  parent node (its arrival time there is one cycle after its F&A at the
+  child completes);
+- the last arrival at the root writes the root flag, then descends:
+  every node winner, upon observing its parent's flag, writes its own
+  node's flag one cycle later; waiting processors poll their node's
+  flag under the configured backoff policy.
+
+Metrics match the flat simulator: network accesses per process (summed
+over every node the process touched) and waiting time from first
+arrival to observing the release.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.barrier.arrivals import ArrivalProcess, UniformArrivals
+from repro.barrier.metrics import BarrierAggregate, BarrierRunResult
+from repro.core.barrier import CombiningTreeBarrier
+from repro.network.module import MemoryModule
+from repro.sim.rng import spawn_stream
+
+_REQ_VARIABLE = 0
+_REQ_FLAG_READ = 1
+_REQ_FLAG_WRITE = 2
+
+
+class _Node:
+    """One combining-tree node: a Tang-Yew barrier over own modules."""
+
+    __slots__ = (
+        "node_id",
+        "parent",
+        "expected",
+        "count",
+        "flag_set_time",
+        "variable_module",
+        "flag_module",
+        "winner",
+    )
+
+    def __init__(self, node_id: int, parent: Optional[int], expected: int) -> None:
+        self.node_id = node_id
+        self.parent = parent
+        self.expected = expected
+        self.count = 0
+        self.flag_set_time: Optional[int] = None
+        self.variable_module = MemoryModule(f"tree-var-{node_id}")
+        self.flag_module = MemoryModule(f"tree-flag-{node_id}")
+        self.winner: Optional[int] = None
+
+
+def _build_nodes(n: int, degree: int) -> Tuple[List[_Node], List[int]]:
+    """Create the node table and each processor's leaf assignment.
+
+    Nodes are numbered level by level, leaves first.  Returns the node
+    list and ``leaf_of[cpu]``.
+    """
+    nodes: List[_Node] = []
+    # Group the current level's participants; participants of level 0
+    # are processors, above that they are winner tokens.
+    level_group_counts = []
+    count = n
+    while count > 1:
+        groups = -(-count // degree)
+        level_group_counts.append((count, groups))
+        count = groups
+    if not level_group_counts:
+        level_group_counts.append((1, 1))
+
+    # Create nodes; record each level's starting node id.
+    level_start: List[int] = []
+    for participants, groups in level_group_counts:
+        level_start.append(len(nodes))
+        for g in range(groups):
+            lo = g * degree
+            hi = min(lo + degree, participants)
+            nodes.append(_Node(len(nodes), None, hi - lo))
+
+    # Wire parents: group g of level k feeds node (g // degree) of k+1.
+    for level in range(len(level_group_counts) - 1):
+        __, groups = level_group_counts[level]
+        for g in range(groups):
+            child = nodes[level_start[level] + g]
+            child.parent = level_start[level + 1] + g // degree
+
+    leaf_of = [level_start[0] + cpu // degree for cpu in range(n)]
+    return nodes, leaf_of
+
+
+class TreeBarrierSimulator:
+    """Simulates a :class:`CombiningTreeBarrier` episode."""
+
+    def __init__(
+        self,
+        barrier: CombiningTreeBarrier,
+        arrivals: Optional[ArrivalProcess] = None,
+        seed: int = 0,
+    ) -> None:
+        self.barrier = barrier
+        self.arrivals = arrivals if arrivals is not None else UniformArrivals(0)
+        self.seed = seed
+
+    def run_once(self, rng: np.random.Generator) -> BarrierRunResult:
+        n = self.barrier.num_processors
+        degree = self.barrier.degree
+        policy = self.barrier.backoff
+        nodes, leaf_of = _build_nodes(n, degree)
+
+        arrival_times = self.arrivals.draw(n, rng)
+        accesses = [0] * n
+        depart = [0] * n
+        polls: Dict[Tuple[int, int], int] = {}  # (cpu, node) -> failed polls
+        # The node a cpu must observe released to depart: its leaf.
+        heap: List[Tuple[int, int, int, int, int]] = []  # (t, seq, cpu, node, kind)
+        seq = 0
+
+        def push(time: int, cpu: int, node_id: int, kind: int) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (time, seq, cpu, node_id, kind))
+            seq += 1
+
+        def release(node: _Node, set_time: int) -> None:
+            """Mark node released; its winner descends to children later
+            via the flag observations (children poll their own node)."""
+            node.flag_set_time = set_time
+
+        for cpu, when in enumerate(arrival_times):
+            push(when, cpu, leaf_of[cpu], _REQ_VARIABLE)
+
+        while heap:
+            ready, __, cpu, node_id, kind = heapq.heappop(heap)
+            node = nodes[node_id]
+
+            if kind == _REQ_VARIABLE:
+                grant, cost = node.variable_module.request(ready)
+                accesses[cpu] += cost
+                node.count += 1
+                value = node.count
+                if value == node.expected:
+                    node.winner = cpu
+                    if node.parent is None:
+                        # Root complete: write the root flag.
+                        push(grant + 1, cpu, node_id, _REQ_FLAG_WRITE)
+                    else:
+                        # Ascend: arrive at the parent one cycle later.
+                        push(grant + 1, cpu, node.parent, _REQ_VARIABLE)
+                else:
+                    wait = max(policy.variable_wait(value, node.expected), 1)
+                    push(grant + wait, cpu, node_id, _REQ_FLAG_READ)
+                continue
+
+            if kind == _REQ_FLAG_WRITE:
+                grant, cost = node.flag_module.request(ready)
+                accesses[cpu] += cost
+                release(node, grant)
+                if node_id == leaf_of[cpu]:
+                    depart[cpu] = grant
+                else:
+                    # Descend: the winner of a child of this node polls
+                    # this node's flag; but THIS cpu is the writer — it
+                    # now releases the child it came from.
+                    child = self._child_of(nodes, node_id, cpu, leaf_of)
+                    push(grant + 1, cpu, child, _REQ_FLAG_WRITE)
+                continue
+
+            # _REQ_FLAG_READ
+            grant, cost = node.flag_module.request(ready)
+            accesses[cpu] += cost
+            if node.flag_set_time is not None and grant > node.flag_set_time:
+                if node_id == leaf_of[cpu]:
+                    depart[cpu] = grant
+                else:
+                    # A winner waiting at an interior node: release the
+                    # child it ascended from.
+                    child = self._child_of(nodes, node_id, cpu, leaf_of)
+                    push(grant + 1, cpu, child, _REQ_FLAG_WRITE)
+            else:
+                key = (cpu, node_id)
+                polls[key] = polls.get(key, 0) + 1
+                wait = max(policy.flag_wait(polls[key]), 1)
+                push(grant + wait, cpu, node_id, _REQ_FLAG_READ)
+
+        result = BarrierRunResult(
+            num_processors=n,
+            interval_a=self.arrivals.interval,
+            policy_name=f"tree-{degree}/{policy.name}",
+        )
+        result.accesses_per_process = accesses
+        result.waiting_times = [depart[cpu] - arrival_times[cpu] for cpu in range(n)]
+        result.completion_time = max(depart) if depart else 0
+        root = [node for node in nodes if node.parent is None][0]
+        result.flag_set_time = root.flag_set_time
+        result.variable_accesses = sum(
+            node.variable_module.total_accesses for node in nodes
+        )
+        result.flag_accesses = sum(node.flag_module.total_accesses for node in nodes)
+        return result
+
+    @staticmethod
+    def _child_of(
+        nodes: List[_Node], node_id: int, cpu: int, leaf_of: List[int]
+    ) -> int:
+        """The child of ``node_id`` that ``cpu`` won on its way up."""
+        current = leaf_of[cpu]
+        while nodes[current].parent is not None and nodes[current].parent != node_id:
+            current = nodes[current].parent
+        if nodes[current].parent != node_id:
+            raise AssertionError(
+                f"cpu {cpu} is not a descendant winner of node {node_id}"
+            )
+        return current
+
+    def run(self, repetitions: int = 100) -> BarrierAggregate:
+        """Average over independent episodes (cf. flat simulator)."""
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        aggregate = BarrierAggregate(
+            num_processors=self.barrier.num_processors,
+            interval_a=self.arrivals.interval,
+            policy_name=f"tree-{self.barrier.degree}/{self.barrier.backoff.name}",
+        )
+        for rep in range(repetitions):
+            rng = spawn_stream(self.seed, f"tree-rep-{rep}")
+            aggregate.add_run(self.run_once(rng))
+        return aggregate
+
+
+def simulate_tree_barrier(
+    num_processors: int,
+    interval_a: int,
+    degree: int = 4,
+    policy=None,
+    repetitions: int = 100,
+    seed: int = 0,
+) -> BarrierAggregate:
+    """Convenience wrapper mirroring :func:`simulate_barrier`."""
+    from repro.core.backoff import NoBackoff
+
+    barrier = CombiningTreeBarrier(
+        num_processors,
+        degree=degree,
+        backoff=policy if policy is not None else NoBackoff(),
+    )
+    simulator = TreeBarrierSimulator(
+        barrier, UniformArrivals(interval_a), seed=seed
+    )
+    return simulator.run(repetitions)

@@ -1,0 +1,63 @@
+"""The paper's contribution: adaptive backoff synchronization.
+
+- :mod:`repro.core.backoff` — the backoff policy hierarchy (Section 4):
+  backoff on the barrier variable, linear and exponential backoff on the
+  barrier flag, the spin-then-queue threshold hybrid, and the
+  proportional policy for resource waiting (Section 8).
+- :mod:`repro.core.barrier` — barrier algorithm descriptions: the
+  single-variable barrier, the Tang–Yew two-variable barrier the paper
+  studies, the Yew–Tseng–Lawrie software combining tree, and the
+  blocking barrier.
+- :mod:`repro.core.locks` — spin-lock models for the resource-waiting
+  extension.
+"""
+
+from repro.core.backoff import (
+    AdaptiveBackoff,
+    BackoffPolicy,
+    ExponentialFlagBackoff,
+    FlagBackoff,
+    LinearFlagBackoff,
+    NoBackoff,
+    NoFlagBackoff,
+    ProportionalBackoff,
+    RandomizedExponentialBackoff,
+    ThresholdQueueBackoff,
+    VariableBackoff,
+)
+from repro.core.selection import (
+    PolicyAdvisor,
+    Recommendation,
+    SynchronizationProfile,
+)
+from repro.core.barrier import (
+    BlockingBarrier,
+    CombiningTreeBarrier,
+    SingleVariableBarrier,
+    TangYewBarrier,
+)
+from repro.core.locks import BackoffLock, TestAndSetLock, TestAndTestAndSetLock
+
+__all__ = [
+    "BackoffPolicy",
+    "NoBackoff",
+    "VariableBackoff",
+    "FlagBackoff",
+    "NoFlagBackoff",
+    "LinearFlagBackoff",
+    "ExponentialFlagBackoff",
+    "RandomizedExponentialBackoff",
+    "ThresholdQueueBackoff",
+    "PolicyAdvisor",
+    "Recommendation",
+    "SynchronizationProfile",
+    "ProportionalBackoff",
+    "AdaptiveBackoff",
+    "SingleVariableBarrier",
+    "TangYewBarrier",
+    "CombiningTreeBarrier",
+    "BlockingBarrier",
+    "TestAndSetLock",
+    "TestAndTestAndSetLock",
+    "BackoffLock",
+]

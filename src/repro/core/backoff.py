@@ -1,0 +1,373 @@
+"""Adaptive backoff policies (Sections 4 and 8).
+
+A backoff policy answers two questions for a process inside a barrier:
+
+1. :meth:`BackoffPolicy.variable_wait` — having incremented the barrier
+   variable and seen its value ``i`` (so ``i`` of ``N`` processors have
+   arrived), how many cycles should I wait before my *first* poll of the
+   barrier flag?  The paper's *backoff on the barrier variable* waits
+   ``(N - i)`` cycles: with unit memory-access time, at least ``N - i``
+   more barrier-variable accesses must complete before the flag can
+   possibly be set.  Generalisations ``(N - i) * C`` and ``(N - i) + C``
+   are exposed through ``multiplier`` and ``offset``.
+
+2. :meth:`BackoffPolicy.flag_wait` — having polled the flag ``polls``
+   times and found it clear, how many cycles should I wait before the
+   next poll?  *Backoff on the barrier flag* waits a linear (``c *
+   polls``) or exponential (``base ** polls``) amount; the paper
+   evaluates exponential bases 2, 4 and 8.
+
+Policies are deterministic on purpose:
+
+    "Since all the processors backoff by equal amounts the
+    serialization is preserved.  However, if the processors retry
+    probabilistically, the serialization is destroyed and could result
+    in contention again."
+
+:class:`ThresholdQueueBackoff` adds the Section 4/7 hybrid — "if the
+backoff amount crosses some preset threshold, then it might be
+worthwhile to place the process on a queue pending the arrival of the
+last process" — and :class:`ProportionalBackoff` is the Section 8
+policy for processors waiting on a resource (wait proportional to the
+number of waiters).
+"""
+
+from __future__ import annotations
+
+
+class BackoffPolicy:
+    """Base class: no backoff on either the variable or the flag."""
+
+    name = "none"
+
+    def variable_wait(self, barrier_value: int, num_processors: int) -> int:
+        """Cycles to wait after the barrier-variable F&A, before poll 1.
+
+        Args:
+            barrier_value: the variable's value after this process's
+                increment (the number of processes that have arrived).
+            num_processors: N, the number of synchronizing processes.
+        """
+        return 0
+
+    def flag_wait(self, polls: int) -> int:
+        """Cycles to wait after the ``polls``-th unsuccessful flag read."""
+        return 0
+
+    def should_queue(self, polls: int) -> bool:
+        """True if the process should block instead of polling again."""
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NoBackoff(BackoffPolicy):
+    """Continuous polling — the paper's baseline ("Without Backoff")."""
+
+    name = "no-backoff"
+
+
+class VariableBackoff(BackoffPolicy):
+    """Backoff on the barrier variable only (Section 4.1).
+
+    Waits ``max((N - i) * multiplier + offset, 0)`` cycles before the
+    first flag poll.  The paper's basic scheme is ``multiplier=1,
+    offset=0``; "a modified scheme that backs off some constant factor
+    times the value in the barrier ... will provide a higher savings in
+    network traffic, but it also adds the potential of increasing cpu
+    idle time".
+    """
+
+    name = "variable"
+
+    def __init__(self, multiplier: int = 1, offset: int = 0) -> None:
+        if multiplier < 0 or offset < 0:
+            raise ValueError("multiplier and offset must be non-negative")
+        self.multiplier = multiplier
+        self.offset = offset
+
+    def variable_wait(self, barrier_value: int, num_processors: int) -> int:
+        remaining = num_processors - barrier_value
+        if remaining <= 0:
+            return 0
+        return remaining * self.multiplier + self.offset
+
+    def __repr__(self) -> str:
+        return (
+            f"VariableBackoff(multiplier={self.multiplier}, offset={self.offset})"
+        )
+
+
+class FlagBackoff(VariableBackoff):
+    """Base for flag-backoff policies.
+
+    "In all our discussions of the performance of these latter methods,
+    we assume that backoff on the barrier variable is also applied" —
+    so flag policies inherit the variable backoff (disable it by
+    passing ``multiplier=0`` if needed).
+    """
+
+    name = "flag"
+
+
+class NoFlagBackoff(FlagBackoff):
+    """Variable backoff with explicit zero flag backoff (alias helper)."""
+
+    name = "variable-only"
+
+
+class LinearFlagBackoff(FlagBackoff):
+    """Linear backoff on the barrier flag: wait ``step * polls`` cycles."""
+
+    name = "linear-flag"
+
+    def __init__(
+        self, step: int = 1, multiplier: int = 1, offset: int = 0
+    ) -> None:
+        super().__init__(multiplier=multiplier, offset=offset)
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        self.step = step
+
+    def flag_wait(self, polls: int) -> int:
+        if polls < 1:
+            raise ValueError("polls must be >= 1 (counts unsuccessful reads)")
+        return self.step * polls
+
+    def __repr__(self) -> str:
+        return f"LinearFlagBackoff(step={self.step})"
+
+
+class ExponentialFlagBackoff(FlagBackoff):
+    """Exponential backoff on the barrier flag: wait ``base ** polls``.
+
+    The paper evaluates bases 2, 4 and 8.  ``cap`` bounds the wait so a
+    pathological run cannot sleep forever (the paper's simulations have
+    no cap; the default is high enough to be equivalent over the
+    evaluated parameter ranges).
+    """
+
+    name = "exponential-flag"
+
+    def __init__(
+        self,
+        base: int = 2,
+        cap: int = 1 << 20,
+        multiplier: int = 1,
+        offset: int = 0,
+    ) -> None:
+        super().__init__(multiplier=multiplier, offset=offset)
+        if base < 2:
+            raise ValueError("base must be >= 2")
+        if cap < 1:
+            raise ValueError("cap must be >= 1")
+        self.base = base
+        self.cap = cap
+
+    def flag_wait(self, polls: int) -> int:
+        if polls < 1:
+            raise ValueError("polls must be >= 1 (counts unsuccessful reads)")
+        # base ** polls, capped; avoid huge intermediate powers.
+        wait = 1
+        for __ in range(polls):
+            wait *= self.base
+            if wait >= self.cap:
+                return self.cap
+        return wait
+
+    def __repr__(self) -> str:
+        return f"ExponentialFlagBackoff(base={self.base}, cap={self.cap})"
+
+
+class RandomizedExponentialBackoff(FlagBackoff):
+    """Ethernet-style *randomized* exponential backoff — the foil.
+
+    The paper argues *against* randomization for synchronization spins:
+
+        "once a processor initiates a barrier read request ... their
+        execution becomes serialized.  Once serialized, the processors
+        experience no contention the next time they poll the barrier
+        flag.  Since all the processors backoff by equal amounts the
+        serialization is preserved.  However, if the processors retry
+        probabilistically, the serialization is destroyed and could
+        result in contention again."
+
+    This class exists to *test* that argument: it waits a uniformly
+    random amount in ``[1, base ** polls]`` (the classic contention
+    window).  The determinism ablation benchmark shows it re-creates
+    flag contention that the deterministic policy avoids.
+
+    Randomness is drawn from a seeded stream, so runs remain exactly
+    reproducible.
+    """
+
+    name = "randomized-exponential-flag"
+
+    def __init__(
+        self,
+        base: int = 2,
+        cap: int = 1 << 20,
+        seed: int = 0,
+        multiplier: int = 1,
+        offset: int = 0,
+    ) -> None:
+        super().__init__(multiplier=multiplier, offset=offset)
+        if base < 2:
+            raise ValueError("base must be >= 2")
+        if cap < 1:
+            raise ValueError("cap must be >= 1")
+        self.base = base
+        self.cap = cap
+        self.seed = seed
+        self._rng = None
+
+    def reseed(self, seed: int) -> None:
+        """Re-seed the draw stream (used between repetitions)."""
+        self.seed = seed
+        self._rng = None
+
+    def _window(self, polls: int) -> int:
+        window = 1
+        for __ in range(polls):
+            window *= self.base
+            if window >= self.cap:
+                return self.cap
+        return window
+
+    def flag_wait(self, polls: int) -> int:
+        if polls < 1:
+            raise ValueError("polls must be >= 1 (counts unsuccessful reads)")
+        if self._rng is None:
+            from repro.sim.rng import spawn_stream
+
+            self._rng = spawn_stream(self.seed, "randomized-backoff")
+        window = self._window(polls)
+        return int(self._rng.integers(1, window + 1))
+
+    def __repr__(self) -> str:
+        return (
+            f"RandomizedExponentialBackoff(base={self.base}, cap={self.cap}, "
+            f"seed={self.seed})"
+        )
+
+
+class ThresholdQueueBackoff(BackoffPolicy):
+    """Spin-then-block hybrid (Sections 4 and 7).
+
+    Delegates to an inner policy until the inner policy's next flag wait
+    would cross ``threshold``; from then on :meth:`should_queue` returns
+    True and the process should be enqueued on a condition variable
+    (the queueing simulator charges the enqueue/dequeue overhead).
+    """
+
+    name = "threshold-queue"
+
+    def __init__(self, inner: BackoffPolicy, threshold: int) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.inner = inner
+        self.threshold = threshold
+
+    def variable_wait(self, barrier_value: int, num_processors: int) -> int:
+        return self.inner.variable_wait(barrier_value, num_processors)
+
+    def flag_wait(self, polls: int) -> int:
+        return self.inner.flag_wait(polls)
+
+    def should_queue(self, polls: int) -> bool:
+        return self.inner.flag_wait(polls) >= self.threshold
+
+    def __repr__(self) -> str:
+        return f"ThresholdQueueBackoff(inner={self.inner!r}, threshold={self.threshold})"
+
+
+class ProportionalBackoff:
+    """Resource-waiting backoff (Section 8).
+
+    "Processors waiting to access a resource can backoff testing the
+    resource by an amount proportional to the number of processors
+    waiting (with the constant of the proportion being the average
+    amount of time the resource is held by each processor)."
+    """
+
+    name = "proportional"
+
+    def __init__(self, hold_time: int = 1) -> None:
+        if hold_time < 1:
+            raise ValueError("hold_time must be >= 1")
+        self.hold_time = hold_time
+
+    def resource_wait(self, waiters_ahead: int) -> int:
+        """Cycles to wait given ``waiters_ahead`` processors in line."""
+        if waiters_ahead < 0:
+            raise ValueError("waiters_ahead must be non-negative")
+        return self.hold_time * waiters_ahead
+
+    def __repr__(self) -> str:
+        return f"ProportionalBackoff(hold_time={self.hold_time})"
+
+
+class AdaptiveBackoff(BackoffPolicy):
+    """A fully configurable composite of the paper's mechanisms.
+
+    Combines variable backoff (``multiplier``/``offset``), a flag
+    schedule (``flag_base`` exponential, or ``flag_step`` linear, or
+    neither), and an optional queueing threshold.  The named classes
+    above are the common fixed points; this class is the "venturesome"
+    profile-everything variant Section 8 sketches, where a compiler or
+    profiler chooses the parameters per synchronization point.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        multiplier: int = 1,
+        offset: int = 0,
+        flag_base: int = 0,
+        flag_step: int = 0,
+        cap: int = 1 << 20,
+        queue_threshold: int = 0,
+    ) -> None:
+        if flag_base and flag_step:
+            raise ValueError("choose exponential (flag_base) OR linear (flag_step)")
+        if flag_base and flag_base < 2:
+            raise ValueError("flag_base must be >= 2 when set")
+        self._variable = VariableBackoff(multiplier=multiplier, offset=offset)
+        self._flag: BackoffPolicy
+        if flag_base:
+            self._flag = ExponentialFlagBackoff(base=flag_base, cap=cap)
+        elif flag_step:
+            self._flag = LinearFlagBackoff(step=flag_step)
+        else:
+            self._flag = NoBackoff()
+        self.queue_threshold = queue_threshold
+
+    def variable_wait(self, barrier_value: int, num_processors: int) -> int:
+        return self._variable.variable_wait(barrier_value, num_processors)
+
+    def flag_wait(self, polls: int) -> int:
+        return self._flag.flag_wait(polls)
+
+    def should_queue(self, polls: int) -> bool:
+        if not self.queue_threshold:
+            return False
+        return self._flag.flag_wait(polls) >= self.queue_threshold
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveBackoff(variable={self._variable!r}, flag={self._flag!r}, "
+            f"queue_threshold={self.queue_threshold})"
+        )
+
+
+def paper_policies() -> dict:
+    """The five policies of Figures 5-10, keyed by their curve labels."""
+    return {
+        "Without Backoff": NoBackoff(),
+        "Backoff on Barrier Var.": VariableBackoff(),
+        "Base 2 Backoff on Barrier Flag": ExponentialFlagBackoff(base=2),
+        "Base 4 Backoff on Barrier Flag": ExponentialFlagBackoff(base=4),
+        "Base 8 Backoff on Barrier Flag": ExponentialFlagBackoff(base=8),
+    }

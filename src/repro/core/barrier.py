@@ -1,0 +1,135 @@
+"""Barrier algorithm descriptions.
+
+These classes *describe* a barrier protocol — which shared variables it
+uses, how processes wait, which backoff policy applies.  Execution
+against the network model happens in :mod:`repro.barrier`:
+
+- :class:`TangYewBarrier` — the paper's subject; executed by
+  :class:`repro.barrier.simulator.BarrierSimulator`.
+- :class:`SingleVariableBarrier` — the naive one-variable barrier of
+  Section 2 ("each processor attempting to increment the barrier
+  variable must contend with all the others simply polling it"); also
+  executed by the barrier simulator (variable and flag collapse onto
+  one memory module).
+- :class:`CombiningTreeBarrier` — Yew/Tseng/Lawrie software combining
+  tree whose nodes are Tang–Yew barriers; executed by
+  :mod:`repro.barrier.tree`.
+- :class:`BlockingBarrier` — all but the last process sleep on a
+  condition variable; executed by :mod:`repro.barrier.queueing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.backoff import BackoffPolicy, NoBackoff
+
+
+@dataclass
+class TangYewBarrier:
+    """The two-variable barrier (Tang & Yew) with a backoff policy.
+
+    An arriving process increments the *barrier variable*; unless it is
+    the last it then polls the *barrier flag*, which the last arrival
+    sets.  The variable and flag live in different memory modules.
+    """
+
+    num_processors: int
+    backoff: BackoffPolicy = field(default_factory=NoBackoff)
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ValueError("num_processors must be >= 1")
+
+    @property
+    def separate_modules(self) -> bool:
+        return True
+
+
+@dataclass
+class SingleVariableBarrier:
+    """The one-variable barrier of Section 2.
+
+    Every process increments the shared variable and then repeatedly
+    reads it until it reaches N; incrementers and pollers contend for
+    the *same* memory module, which is the implementation's drawback.
+    """
+
+    num_processors: int
+    backoff: BackoffPolicy = field(default_factory=NoBackoff)
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ValueError("num_processors must be >= 1")
+
+    @property
+    def separate_modules(self) -> bool:
+        return False
+
+
+@dataclass
+class CombiningTreeBarrier:
+    """A software combining tree of Tang–Yew barriers.
+
+    "As long as the degree of the nodes in the combining tree is less
+    than the number of pointers in the cache-directory, then
+    synchronization variables will not result in extra invalidation
+    traffic" — and for non-cache-coherent machines the tree spreads the
+    hot-spot across many modules.  "Our methods can still be used to
+    reduce the spins on the intermediate nodes of the tree."
+
+    Processes are split into groups of ``degree``; each group runs a
+    Tang–Yew barrier in its own pair of memory modules; the last
+    arrival of each group ascends to the parent node.  When the root
+    completes, release flags propagate back down.
+    """
+
+    num_processors: int
+    degree: int = 4
+    backoff: BackoffPolicy = field(default_factory=NoBackoff)
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ValueError("num_processors must be >= 1")
+        if self.degree < 2:
+            raise ValueError("degree must be >= 2")
+
+    def level_sizes(self) -> List[int]:
+        """Number of participants at each tree level, leaves first."""
+        sizes = []
+        n = self.num_processors
+        while n > 1:
+            sizes.append(n)
+            n = -(-n // self.degree)  # ceil division: one winner per group
+        if not sizes:
+            sizes.append(1)
+        return sizes
+
+    @property
+    def depth(self) -> int:
+        return len(self.level_sizes())
+
+
+@dataclass
+class BlockingBarrier:
+    """A barrier that sleeps instead of spinning (Section 1).
+
+    "All but the last processor to arrive at the barrier are put to
+    sleep ... This method avoids the extra network traffic of polling a
+    barrier flag, but incurs the potentially high overhead of enqueuing
+    a process on a condition variable."
+
+    ``enqueue_overhead`` / ``wakeup_overhead`` are the constant
+    per-process costs (in cycles) of the sleep and wake transitions.
+    """
+
+    num_processors: int
+    enqueue_overhead: int = 100
+    wakeup_overhead: int = 100
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ValueError("num_processors must be >= 1")
+        if self.enqueue_overhead < 0 or self.wakeup_overhead < 0:
+            raise ValueError("overheads must be non-negative")

@@ -1,0 +1,73 @@
+"""Spin-lock acquisition strategies for the resource-waiting extension.
+
+Section 8 generalises adaptive backoff from barriers to "processors
+waiting on a resource": the expected wait is directly proportional to
+the number of processors ahead in line times the mean hold time, so the
+state of the lock (its waiter count) is an even better backoff signal
+than barrier state.
+
+A strategy answers: after an unsuccessful acquisition attempt, how long
+should the processor wait before retrying, and does the retry touch the
+network (test-and-set does; the local spin phase of
+test-and-test-and-set does not — but in the paper's uncached setting
+every test is a network access, so both strategies' tests are charged)?
+
+Execution happens in :mod:`repro.barrier.resource`.
+"""
+
+from __future__ import annotations
+
+from repro.core.backoff import ProportionalBackoff
+
+
+class TestAndSetLock:
+    """Spin on atomic test&set: every attempt is a network RMW."""
+
+    name = "test-and-set"
+
+    def retry_wait(self, attempts: int, waiters_ahead: int) -> int:
+        """Cycles to wait after the ``attempts``-th failed acquire."""
+        return 0
+
+
+class TestAndTestAndSetLock:
+    """Read the lock word until free, then try the RMW.
+
+    With uncached synchronization variables the read spin still hits
+    the network every cycle, so in this model TTAS differs from TAS
+    only in that a failed *read* does not occupy the module's RMW slot.
+    The resource simulator models both as per-cycle network accesses.
+    """
+
+    name = "test-and-test-and-set"
+
+    def retry_wait(self, attempts: int, waiters_ahead: int) -> int:
+        return 0
+
+
+class BackoffLock:
+    """Test-and-test-and-set with adaptive proportional backoff.
+
+    After a failed attempt the processor waits
+    ``hold_time * waiters_ahead`` cycles — Section 8's "amount
+    proportional to the number of processors waiting", with the hold
+    time as the constant of proportion.  ``minimum_wait`` keeps the
+    retry from being immediate even with zero visible waiters.
+    """
+
+    name = "backoff"
+
+    def __init__(self, hold_time: int, minimum_wait: int = 1) -> None:
+        if minimum_wait < 0:
+            raise ValueError("minimum_wait must be non-negative")
+        self._policy = ProportionalBackoff(hold_time=hold_time)
+        self.minimum_wait = minimum_wait
+
+    def retry_wait(self, attempts: int, waiters_ahead: int) -> int:
+        return max(self._policy.resource_wait(waiters_ahead), self.minimum_wait)
+
+    def __repr__(self) -> str:
+        return (
+            f"BackoffLock(hold_time={self._policy.hold_time}, "
+            f"minimum_wait={self.minimum_wait})"
+        )

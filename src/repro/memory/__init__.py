@@ -1,0 +1,25 @@
+"""Cache-coherence substrate: caches, directory, trace-driven simulator.
+
+Implements the Section 2 methodology: per-processor direct-mapped
+caches kept coherent by a Dir_i_NB directory (i pointers, no broadcast),
+driven by a multiprocessor reference trace.  Produces the invalidation
+and traffic statistics behind Table 1, Table 2 and Figure 1.
+"""
+
+from repro.memory.cache import DirectMappedCache
+from repro.memory.directory import Directory, DirectoryEntry
+from repro.memory.coherence import CoherenceConfig, CoherenceSimulator
+from repro.memory.snoopy import SnoopyConfig, SnoopySimulator, SnoopyStats
+from repro.memory.stats import CoherenceStats
+
+__all__ = [
+    "DirectMappedCache",
+    "Directory",
+    "DirectoryEntry",
+    "CoherenceConfig",
+    "CoherenceSimulator",
+    "CoherenceStats",
+    "SnoopyConfig",
+    "SnoopySimulator",
+    "SnoopyStats",
+]

@@ -1,0 +1,114 @@
+"""Dir_i_NB directory state (i pointers, no broadcast).
+
+Following Agarwal, Simoni, Hennessy & Horowitz (ISCA '88), which the
+paper builds on: every memory block has a directory entry holding at
+most ``i`` pointers to caches with copies.  "Invalidations are forced to
+limit the cached copies of a block to i, or to gain exclusive ownership
+on a write."  ``Dir_N_NB`` (a full map) is the special case
+``i >= num_cpus``.
+
+This module holds pure directory *state*; the protocol actions (what to
+invalidate, what traffic to charge) live in
+:mod:`repro.memory.coherence` so that the state object stays small and
+independently testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+
+class DirectoryEntry:
+    """Directory state for one memory block.
+
+    Invariants (enforced by the coherence protocol, checked in tests):
+      - ``len(sharers) <= num_pointers``;
+      - ``owner is not None`` implies ``sharers == {owner}``.
+    """
+
+    __slots__ = ("sharers", "owner")
+
+    def __init__(self) -> None:
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None  # holder of a dirty copy
+
+    @property
+    def is_dirty(self) -> bool:
+        return self.owner is not None
+
+    @property
+    def is_cached(self) -> bool:
+        return bool(self.sharers)
+
+    def __repr__(self) -> str:
+        return f"DirectoryEntry(sharers={sorted(self.sharers)}, owner={self.owner})"
+
+
+class Directory:
+    """A table of :class:`DirectoryEntry` with an ``i``-pointer limit."""
+
+    def __init__(self, num_pointers: int, num_cpus: int) -> None:
+        if num_pointers < 1:
+            raise ValueError("num_pointers must be >= 1")
+        if num_cpus < 1:
+            raise ValueError("num_cpus must be >= 1")
+        self.num_pointers = min(num_pointers, num_cpus)
+        self.num_cpus = num_cpus
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    @property
+    def is_full_map(self) -> bool:
+        """True for Dir_N_NB (the pointer limit never binds)."""
+        return self.num_pointers >= self.num_cpus
+
+    def entry(self, block: int) -> DirectoryEntry:
+        """The entry for ``block``, created on first touch."""
+        found = self._entries.get(block)
+        if found is None:
+            found = DirectoryEntry()
+            self._entries[block] = found
+        return found
+
+    def peek(self, block: int) -> Optional[DirectoryEntry]:
+        """The entry for ``block`` if it exists, without creating it."""
+        return self._entries.get(block)
+
+    def pointer_overflow_victims(self, block: int, requester: int) -> List[int]:
+        """Sharers that must be invalidated before ``requester`` is added.
+
+        With ``i`` pointers, adding a new sharer to an entry already
+        holding ``i`` requires evicting pointers until ``i - 1`` remain.
+        Victims are chosen deterministically (lowest cpu id first) so
+        simulations are reproducible.
+        """
+        entry = self.entry(block)
+        if requester in entry.sharers:
+            return []
+        excess = len(entry.sharers) - (self.num_pointers - 1)
+        if excess <= 0:
+            return []
+        return sorted(entry.sharers)[:excess]
+
+    def remove_sharer(self, block: int, cpu: int) -> None:
+        """Drop ``cpu`` from the entry (replacement or invalidation)."""
+        entry = self._entries.get(block)
+        if entry is None:
+            return
+        entry.sharers.discard(cpu)
+        if entry.owner == cpu:
+            entry.owner = None
+        if not entry.sharers:
+            del self._entries[block]
+
+    def tracked_blocks(self) -> List[int]:
+        """All blocks with live directory state (test helper)."""
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"Directory(pointers={self.num_pointers}, cpus={self.num_cpus}, "
+            f"tracked={len(self._entries)})"
+        )

@@ -1,0 +1,96 @@
+"""Statistics collected by the coherence simulator.
+
+These back the paper's Section 2 artifacts:
+
+- Figure 1 — histogram of invalidation messages per write to a
+  previously clean (shared) block;
+- Table 1 — percentage of synchronization vs non-synchronization
+  references that cause at least one invalidation;
+- Table 2 — synchronization traffic to memory as a percentage of total
+  traffic when synchronization variables are not cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.stats import Histogram
+
+
+@dataclass
+class CoherenceStats:
+    """Counters accumulated over one trace-driven coherence run."""
+
+    # Reference counts.
+    refs: int = 0
+    sync_refs: int = 0
+    data_refs: int = 0
+
+    # References that caused at least one invalidation message.
+    sync_refs_invalidating: int = 0
+    data_refs_invalidating: int = 0
+
+    # Invalidation messages, by cause.
+    invalidations_on_write: int = 0
+    invalidations_on_overflow: int = 0
+
+    # Network transactions (the paper's traffic unit: a miss is two
+    # transactions — address out, data back).
+    sync_traffic: int = 0
+    data_traffic: int = 0
+
+    # Cache behaviour.
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    # Figure 1: invalidations per write hit to a previously clean block
+    # that is shared more widely than the writer.
+    write_invalidation_histogram: Histogram = field(default_factory=Histogram)
+
+    @property
+    def total_invalidations(self) -> int:
+        return self.invalidations_on_write + self.invalidations_on_overflow
+
+    @property
+    def total_traffic(self) -> int:
+        return self.sync_traffic + self.data_traffic
+
+    @property
+    def sync_invalidation_pct(self) -> float:
+        """Table 1 column: % of sync references causing invalidations."""
+        if not self.sync_refs:
+            return 0.0
+        return 100.0 * self.sync_refs_invalidating / self.sync_refs
+
+    @property
+    def data_invalidation_pct(self) -> float:
+        """Table 1 column: % of non-sync references causing invalidations."""
+        if not self.data_refs:
+            return 0.0
+        return 100.0 * self.data_refs_invalidating / self.data_refs
+
+    @property
+    def sync_traffic_pct(self) -> float:
+        """Table 2 cell: sync traffic as % of total traffic."""
+        if not self.total_traffic:
+            return 0.0
+        return 100.0 * self.sync_traffic / self.total_traffic
+
+    @property
+    def sync_ref_fraction_pct(self) -> float:
+        """Sync references as % of all references (Table 1 caption)."""
+        if not self.refs:
+            return 0.0
+        return 100.0 * self.sync_refs / self.refs
+
+    @property
+    def miss_rate(self) -> float:
+        probes = self.hits + self.misses
+        if not probes:
+            return 0.0
+        return self.misses / probes
+
+    def invalidation_fraction_at_most(self, k: int) -> float:
+        """Fraction of invalidating writes touching <= k caches (Fig. 1)."""
+        return self.write_invalidation_histogram.cumulative_fraction(k)

@@ -1,0 +1,91 @@
+"""Coupling barrier traffic into an analytic network model (Section 3).
+
+    "The network traffic rates computed using our barrier scheme might
+    also be input into a more complex model of a multistage
+    interconnection network such as that proposed by Patel [17] if
+    network contention results are desired.  Unfortunately Patel's
+    model does not account for hot-spot contention."
+
+This module performs exactly that coupling: take a per-processor
+background request rate and a barrier-traffic rate (e.g. from
+:mod:`repro.barrier.simulator` amortised over the barrier period, or
+from :mod:`repro.barrier.application`), feed the combined rate into the
+Patel recurrence, and report the network's acceptance probability — an
+optimistic (uniform-traffic) estimate of how much the barrier traffic
+degrades everyone's memory bandwidth, and of how much a backoff policy
+relieves it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.patel import patel_acceptance_probability
+
+
+@dataclass(frozen=True)
+class CouplingEstimate:
+    """Patel-model estimate of network behaviour at one traffic level."""
+
+    num_ports: int
+    background_rate: float
+    barrier_rate: float
+
+    @property
+    def offered_rate(self) -> float:
+        """Combined per-processor request rate offered to the network."""
+        return min(self.background_rate + self.barrier_rate, 1.0)
+
+    @property
+    def acceptance_probability(self) -> float:
+        """Probability an offered request is accepted per cycle."""
+        return patel_acceptance_probability(self.offered_rate, self.num_ports)
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Accepted requests per processor per cycle."""
+        return self.offered_rate * self.acceptance_probability
+
+    def slowdown_vs(self, other: "CouplingEstimate") -> float:
+        """Relative loss of acceptance probability vs ``other``.
+
+        Positive values mean *this* estimate's network serves a smaller
+        fraction of offered requests than ``other``'s.
+        """
+        if not other.acceptance_probability:
+            return 0.0
+        return 1.0 - self.acceptance_probability / other.acceptance_probability
+
+
+def couple_barrier_traffic(
+    num_ports: int,
+    background_rate: float,
+    barrier_accesses_per_process: float,
+    barrier_period: float,
+) -> CouplingEstimate:
+    """Build a :class:`CouplingEstimate` from barrier-simulator outputs.
+
+    Args:
+        num_ports: processor/module count (power of two for the Omega
+            geometry Patel assumes).
+        background_rate: non-synchronization requests per processor per
+            cycle (e.g. the Section 7.1 FFT base rate).
+        barrier_accesses_per_process: mean accesses per process per
+            barrier episode (a BarrierAggregate's ``mean_accesses``).
+        barrier_period: cycles between barriers (the paper's A + E).
+    """
+    if background_rate < 0:
+        raise ValueError("background_rate must be non-negative")
+    if barrier_accesses_per_process < 0:
+        raise ValueError("barrier_accesses_per_process must be non-negative")
+    if barrier_period <= 0:
+        raise ValueError("barrier_period must be positive")
+    barrier_rate = barrier_accesses_per_process / barrier_period
+    return CouplingEstimate(
+        num_ports=num_ports,
+        background_rate=background_rate,
+        barrier_rate=barrier_rate,
+    )
+
+
+__all__ = ["CouplingEstimate", "couple_barrier_traffic"]

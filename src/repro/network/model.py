@@ -1,0 +1,53 @@
+"""The two-module network of Section 3.
+
+    "We also assume that the barrier variable and flag are in different
+    memory modules, so simultaneous requests to the two by different
+    processors can be satisfied."
+
+The :class:`NetworkModel` owns one :class:`~repro.network.module.MemoryModule`
+for the barrier variable and one for the barrier flag, and exposes the
+traffic totals the evaluation section reports.  Memory latency is one
+network cycle (the paper's "processors can access any memory over the
+network in one network cycle"); the latency shows up implicitly in the
+grant-time arithmetic, because a granted access occupies exactly one
+cycle of its module.
+"""
+
+from __future__ import annotations
+
+from repro.network.module import MemoryModule
+
+
+class NetworkModel:
+    """Contention model with separate barrier-variable and flag modules."""
+
+    def __init__(self) -> None:
+        self.variable_module = MemoryModule("barrier-variable")
+        self.flag_module = MemoryModule("barrier-flag")
+
+    def reset(self) -> None:
+        self.variable_module.reset()
+        self.flag_module.reset()
+
+    @property
+    def total_accesses(self) -> int:
+        """All network accesses made against both synchronization modules."""
+        return self.variable_module.total_accesses + self.flag_module.total_accesses
+
+    @property
+    def total_grants(self) -> int:
+        return self.variable_module.total_grants + self.flag_module.total_grants
+
+    @property
+    def contention_accesses(self) -> int:
+        """Accesses that were denied and retried (pure contention waste)."""
+        return (
+            self.variable_module.contention_accesses
+            + self.flag_module.contention_accesses
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkModel(variable={self.variable_module!r}, "
+            f"flag={self.flag_module!r})"
+        )

@@ -1,0 +1,216 @@
+"""Circuit-switched multistage (Omega) network simulator.
+
+Supports the Section 8 extension study: what happens when the *network
+controller* backs off after a collision in an unbuffered
+circuit-switched network, instead of resubmitting every cycle.
+
+Topology and routing
+--------------------
+
+An Omega network with ``P = 2**n`` ports has ``n`` stages of 2x2
+switches connected by perfect shuffles.  Destination-tag routing is
+used: starting from position ``source``, at stage ``k`` the message
+moves to line ``((pos << 1) & (P-1)) | bit_{n-1-k}(dest)``; after ``n``
+stages the position equals ``dest``.  Each ``(stage, line)`` pair is a
+link resource; a circuit claims all ``n`` links on its path for
+``hold_time`` cycles (the round trip).  Two circuits that need the same
+link at overlapping times collide; the loser learns the *depth* (number
+of stages traversed) of the collision, consults its backoff policy, and
+retries.
+
+The simulation is event-driven over attempt times, so idle cycles cost
+nothing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.netbackoff import (
+    CollisionInfo,
+    ImmediateRetry,
+    NetworkBackoffPolicy,
+)
+from repro.sim.stats import Histogram, RunningStats
+
+
+@dataclass
+class NetworkMessage:
+    """One memory request traversing the network."""
+
+    source: int
+    dest: int
+    issue_time: int
+    tries: int = 0
+    completed_time: Optional[int] = None
+    attempts: int = 0
+
+    @property
+    def latency(self) -> Optional[int]:
+        if self.completed_time is None:
+            return None
+        return self.completed_time - self.issue_time
+
+
+@dataclass
+class NetworkRunResult:
+    """Aggregate outcome of a multistage-network run."""
+
+    horizon: int
+    completed: int = 0
+    collisions: int = 0
+    attempts: int = 0
+    latency: RunningStats = field(default_factory=RunningStats)
+    attempts_per_message: RunningStats = field(default_factory=RunningStats)
+    collision_depths: Histogram = field(default_factory=Histogram)
+
+    @property
+    def throughput(self) -> float:
+        """Completed messages per cycle."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.completed / self.horizon
+
+    @property
+    def collision_rate(self) -> float:
+        """Collisions per attempt."""
+        if not self.attempts:
+            return 0.0
+        return self.collisions / self.attempts
+
+
+class Workload:
+    """Source of messages for :class:`MultistageNetwork`.
+
+    Subclasses implement :meth:`initial_messages` (open-loop traffic
+    and/or the first request of each closed-loop processor) and
+    optionally :meth:`on_complete` to issue a follow-up request.
+    """
+
+    def initial_messages(self) -> List[NetworkMessage]:
+        raise NotImplementedError
+
+    def on_complete(
+        self, message: NetworkMessage, time: int
+    ) -> Optional[NetworkMessage]:
+        """Called when ``message`` completes; may return a successor."""
+        return None
+
+
+class MultistageNetwork:
+    """A ``P``-port circuit-switched Omega network."""
+
+    def __init__(
+        self,
+        num_ports: int,
+        hold_time: int = 4,
+        backoff: Optional[NetworkBackoffPolicy] = None,
+    ) -> None:
+        if num_ports < 2 or num_ports & (num_ports - 1):
+            raise ValueError(f"num_ports must be a power of two >= 2, got {num_ports}")
+        if hold_time < 1:
+            raise ValueError("hold_time must be >= 1")
+        self.num_ports = num_ports
+        self.num_stages = num_ports.bit_length() - 1
+        self.hold_time = hold_time
+        self.backoff = backoff if backoff is not None else ImmediateRetry()
+        # busy_until[stage][line]: first cycle the link is free again.
+        self._busy_until: List[List[int]] = [
+            [0] * num_ports for _ in range(self.num_stages)
+        ]
+        # Outstanding (issued, not completed) messages per destination:
+        # the queue-length signal for feedback backoff.
+        self._dest_pending: Dict[int, int] = {}
+
+    def route_lines(self, source: int, dest: int) -> List[Tuple[int, int]]:
+        """The (stage, line) resources on the path from source to dest."""
+        if not 0 <= source < self.num_ports:
+            raise ValueError(f"source {source} out of range")
+        if not 0 <= dest < self.num_ports:
+            raise ValueError(f"dest {dest} out of range")
+        mask = self.num_ports - 1
+        pos = source
+        lines = []
+        for stage in range(self.num_stages):
+            dest_bit = (dest >> (self.num_stages - 1 - stage)) & 1
+            pos = ((pos << 1) & mask) | dest_bit
+            lines.append((stage, pos))
+        return lines
+
+    def _attempt(self, message: NetworkMessage, time: int) -> Tuple[bool, int]:
+        """Try to claim the full path at ``time``.
+
+        Returns ``(success, depth)`` where depth is the number of stages
+        traversed before the collision (== num_stages on success).
+        """
+        path = self.route_lines(message.source, message.dest)
+        for depth, (stage, line) in enumerate(path, start=1):
+            if self._busy_until[stage][line] > time:
+                return False, depth
+        release = time + self.hold_time
+        for stage, line in path:
+            self._busy_until[stage][line] = release
+        return True, self.num_stages
+
+    def run(self, workload: Workload, horizon: int) -> NetworkRunResult:
+        """Drive ``workload`` through the network until ``horizon``.
+
+        Messages still in flight at the horizon are abandoned (they count
+        toward attempts/collisions but not completions).
+        """
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        result = NetworkRunResult(horizon=horizon)
+        heap: List[Tuple[int, int, NetworkMessage]] = []
+        seq = 0
+
+        def push(message: NetworkMessage, when: int) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (when, seq, message))
+            seq += 1
+
+        for message in workload.initial_messages():
+            self._dest_pending[message.dest] = (
+                self._dest_pending.get(message.dest, 0) + 1
+            )
+            push(message, message.issue_time)
+
+        while heap:
+            time, __, message = heapq.heappop(heap)
+            if time >= horizon:
+                break
+            message.attempts += 1
+            result.attempts += 1
+            success, depth = self._attempt(message, time)
+            if success:
+                message.completed_time = time + self.hold_time
+                self._dest_pending[message.dest] -= 1
+                result.completed += 1
+                result.latency.add(message.latency)  # type: ignore[arg-type]
+                result.attempts_per_message.add(message.attempts)
+                successor = workload.on_complete(message, message.completed_time)
+                if successor is not None:
+                    self._dest_pending[successor.dest] = (
+                        self._dest_pending.get(successor.dest, 0) + 1
+                    )
+                    push(successor, successor.issue_time)
+            else:
+                message.tries += 1
+                result.collisions += 1
+                result.collision_depths.add(depth)
+                info = CollisionInfo(
+                    depth=depth,
+                    stages=self.num_stages,
+                    tries=message.tries,
+                    round_trip=self.hold_time,
+                    queue_length=self._dest_pending.get(message.dest, 1) - 1,
+                )
+                delay = self.backoff.delay(info)
+                if delay < 0:
+                    raise ValueError(
+                        f"backoff policy {self.backoff!r} returned negative delay"
+                    )
+                push(message, time + 1 + delay)
+        return result

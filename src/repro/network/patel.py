@@ -1,0 +1,85 @@
+"""Patel-style analytic bandwidth model for multistage networks.
+
+The paper notes that its barrier traffic rates "might also be input into
+a more complex model of a multistage interconnection network such as
+that proposed by Patel [17] if network contention results are desired",
+while cautioning that Patel's model ignores hot-spot contention.  We
+implement the classic recurrence for delta networks built from a x b
+crossbar switches (Patel, IEEE ToC 1981):
+
+    m_{i+1} = 1 - (1 - m_i / b) ** a
+
+where ``m_i`` is the probability that a given link *into* stage ``i``
+carries a request in a cycle, ``m_0`` is the per-processor request rate,
+and the network's normalised bandwidth is ``m_n`` (requests accepted per
+output per cycle).  For the 2x2 switches of an Omega network,
+``a = b = 2``.
+
+The model assumes uniformly distributed destinations and no buffering —
+blocked requests are dropped and regenerated, so it is an *upper bound*
+under hot-spot traffic, which is exactly why the simulator in
+:mod:`repro.network.multistage` exists.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+def patel_stage_rates(
+    request_rate: float, num_stages: int, switch_size: int = 2
+) -> List[float]:
+    """Per-stage link utilisation ``[m_0, m_1, ..., m_n]``.
+
+    Args:
+        request_rate: probability a processor issues a request per cycle
+            (``m_0``), in [0, 1].
+        num_stages: number of switching stages (``log_b P``).
+        switch_size: a = b of the a x b crossbar switches.
+    """
+    if not 0.0 <= request_rate <= 1.0:
+        raise ValueError("request_rate must be in [0, 1]")
+    if num_stages < 1:
+        raise ValueError("num_stages must be >= 1")
+    if switch_size < 2:
+        raise ValueError("switch_size must be >= 2")
+    rates = [request_rate]
+    m = request_rate
+    for __ in range(num_stages):
+        m = 1.0 - (1.0 - m / switch_size) ** switch_size
+        rates.append(m)
+    return rates
+
+
+def patel_bandwidth(
+    request_rate: float, num_ports: int, switch_size: int = 2
+) -> float:
+    """Normalised bandwidth (accepted requests/port/cycle) of a P-port net."""
+    if num_ports < 2 or num_ports & (num_ports - 1):
+        raise ValueError(f"num_ports must be a power of two >= 2, got {num_ports}")
+    num_stages = int(math.log2(num_ports))
+    if switch_size != 2:
+        # For b-ary switches the stage count is log_b(P); require exact.
+        num_stages = round(math.log(num_ports, switch_size))
+        if switch_size**num_stages != num_ports:
+            raise ValueError(
+                f"num_ports {num_ports} is not a power of switch_size {switch_size}"
+            )
+    return patel_stage_rates(request_rate, num_stages, switch_size)[-1]
+
+
+def patel_acceptance_probability(
+    request_rate: float, num_ports: int, switch_size: int = 2
+) -> float:
+    """Probability an issued request is accepted by the network."""
+    if request_rate == 0.0:
+        return 1.0
+    return patel_bandwidth(request_rate, num_ports, switch_size) / request_rate
+
+
+__all__ = [
+    "patel_stage_rates",
+    "patel_bandwidth",
+    "patel_acceptance_probability",
+]

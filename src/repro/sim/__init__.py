@@ -1,0 +1,34 @@
+"""Simulation substrate: event kernel, deterministic RNG, statistics.
+
+This subpackage provides the machinery shared by every simulator in the
+repository:
+
+- :mod:`repro.sim.engine` — a minimal deterministic discrete-event kernel.
+- :mod:`repro.sim.rng` — seeded random-stream management so that every
+  experiment is exactly reproducible.
+- :mod:`repro.sim.stats` — running statistics, histograms and series
+  containers used by the experiment harnesses.
+"""
+
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.rng import RandomStreams, spawn_stream
+from repro.sim.stats import (
+    Histogram,
+    RunningStats,
+    Series,
+    confidence_interval,
+    mean,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "RandomStreams",
+    "spawn_stream",
+    "Histogram",
+    "RunningStats",
+    "Series",
+    "confidence_interval",
+    "mean",
+]

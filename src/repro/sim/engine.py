@@ -1,0 +1,145 @@
+"""A minimal deterministic discrete-event simulation kernel.
+
+The kernel is intentionally small: an event is a ``(time, priority, seq,
+callback)`` tuple kept in a binary heap.  Determinism is guaranteed by the
+monotonically increasing sequence number, which breaks ties between events
+scheduled for the same time with the same priority in insertion order.
+
+The barrier simulator in :mod:`repro.barrier.simulator` does *not* use this
+kernel (it uses a specialised FIFO-collapse of the paper's per-cycle retry
+loop); the kernel serves the multistage network simulator, the resource
+simulator and the queueing simulator, which have genuinely event-driven
+structure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable record of a scheduled event.
+
+    Attributes:
+        time: simulation time at which the event fires.
+        priority: lower values fire first among same-time events.
+        seq: insertion sequence number (final tie-break, guarantees
+            determinism).
+        callback: zero-argument callable executed when the event fires.
+    """
+
+    time: int
+    priority: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: int, callback: Callable[[], Any], priority: int = 0) -> Event:
+        """Schedule ``callback`` at ``time``; returns the Event record."""
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(time=time, priority=priority, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.sort_key(), event))
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        __, event = heapq.heappop(self._heap)
+        return event
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest pending event, or None if empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][1].time
+
+
+class Simulator:
+    """Drives an :class:`EventQueue` until exhaustion or a time horizon.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(5, lambda: fired.append(sim.now))
+        >>> sim.run()
+        1
+        >>> fired
+        [5]
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self.now = 0
+        self._running = False
+
+    def schedule(
+        self, time: int, callback: Callable[[], Any], priority: int = 0
+    ) -> Event:
+        """Schedule an event at absolute time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule event at {time}, simulation time is {self.now}"
+            )
+        return self._queue.push(time, callback, priority)
+
+    def schedule_after(
+        self, delay: int, callback: Callable[[], Any], priority: int = 0
+    ) -> Event:
+        """Schedule an event ``delay`` cycles after the current time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self.now + delay, callback, priority)
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events in order.
+
+        Args:
+            until: inclusive time horizon; events scheduled later remain
+                queued.
+            max_events: stop after this many events (a runaway guard).
+
+        Returns:
+            The number of events executed.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while len(self._queue):
+                next_time = self._queue.peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._queue.pop()
+                self.now = event.time
+                event.callback()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until and not len(self._queue):
+            self.now = until
+        return executed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

@@ -1,0 +1,40 @@
+"""Applications and post-mortem trace scheduling (Appendix A methodology).
+
+- :mod:`repro.trace.record` — the multiprocessor trace record format.
+- :mod:`repro.trace.program` — SPMD program skeletons (parallel loops,
+  serial sections, replicate sections) in the Epex/Fortran style.
+- :mod:`repro.trace.apps` — synthetic FFT, SIMPLE and WEATHER models.
+- :mod:`repro.trace.scheduler` — the post-mortem scheduler that replays
+  a program onto P processors with fetch&add self-scheduling, Tang–Yew
+  barriers and round-robin reference issue.
+"""
+
+from repro.trace.record import Op, TraceRecord
+from repro.trace.program import (
+    AddressSpace,
+    ParallelLoop,
+    Program,
+    ReplicateSection,
+    SerialSection,
+)
+from repro.trace.io import load_trace, save_trace
+from repro.trace.scheduler import (
+    BarrierObservation,
+    PostMortemScheduler,
+    ScheduledTrace,
+)
+
+__all__ = [
+    "Op",
+    "TraceRecord",
+    "AddressSpace",
+    "Program",
+    "ParallelLoop",
+    "SerialSection",
+    "ReplicateSection",
+    "PostMortemScheduler",
+    "ScheduledTrace",
+    "BarrierObservation",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,72 @@
+"""Synthetic FFT: the paper's best-balanced application.
+
+    "The Fast Fourier Transform (FFT) application ... is a parallelized
+    version of a Radix-2 FFT computation in two variables on a random
+    array of complex numbers.  Since we used a problem size of 128, the
+    parallel loops working on the 128x128 matrix contained 128-way
+    parallelism. ... We traced two passes of the TF2 routine ... first
+    by rows and then by columns.  FFT is an example of a highly uniform
+    parallel application in which processors execute parallel loop
+    iterations of approximately equal length and arrive at barriers
+    within close intervals."
+
+The model: two parallel loops ("tf2-rows", "tf2-cols") of
+``problem_size`` iterations each.  Every iteration sweeps one row
+(column) of the matrix — read/write per element, plus reads of a shared
+twiddle-factor table — so every iteration has *identical* length.
+With 64 processors and 128 iterations each processor claims exactly two
+iterations per loop: near-perfect balance, tiny A, huge E, and a
+synchronization-reference fraction well under a percent.
+"""
+
+from __future__ import annotations
+
+from repro.trace.apps.base import alloc_matrix, element_address, stride_body
+from repro.trace.program import AddressSpace, ParallelLoop, Program
+from repro.trace.record import Op
+
+
+def build_fft(problem_size: int = 128, block_bytes: int = 16) -> Program:
+    """Build the synthetic FFT program.
+
+    Args:
+        problem_size: matrix dimension (the paper used 128).  The two
+            loops each have ``problem_size`` iterations of identical
+            length, so any processor count dividing ``problem_size``
+            is perfectly balanced.
+        block_bytes: cache-block size of the target memory system.
+    """
+    if problem_size < 2:
+        raise ValueError("problem_size must be >= 2")
+    space = AddressSpace(block_bytes=block_bytes)
+    matrix = alloc_matrix(space, "fft-matrix", problem_size * problem_size)
+    twiddle = alloc_matrix(space, "fft-twiddle", problem_size)
+
+    def row_body(iteration: int):
+        # Butterfly over one row: two read/write passes per element
+        # (complex arithmetic), plus a twiddle-factor read per element.
+        base = iteration * problem_size
+        refs = stride_body(
+            matrix, base, problem_size, reads_per_element=2, writes_per_element=2
+        )
+        for k in range(problem_size):
+            refs.append((Op.READ, element_address(twiddle, k)))
+        return refs
+
+    def col_body(iteration: int):
+        # Column pass: same work, strided through the matrix.
+        refs = []
+        for row in range(problem_size):
+            address = element_address(matrix, row * problem_size + iteration)
+            refs.append((Op.READ, address))
+            refs.append((Op.READ, address))
+            refs.append((Op.WRITE, address))
+            refs.append((Op.WRITE, address))
+        for k in range(problem_size):
+            refs.append((Op.READ, element_address(twiddle, k)))
+        return refs
+
+    program = Program(name="FFT", address_space=space)
+    program.add(ParallelLoop("tf2-rows", problem_size, row_body))
+    program.add(ParallelLoop("tf2-cols", problem_size, col_body))
+    return program

@@ -1,0 +1,153 @@
+"""Synthetic SIMPLE: many mixed loops, serial sections, uneven balance.
+
+    "The SIMPLE code models hydrodynamic and thermal behavior of fluids
+    in two dimensions. ... many of the parallel sections in SIMPLE do
+    not contain fully 128-way parallelism.  The resulting distribution
+    of work among the 64 processors in our simulations is uneven. ...
+    SIMPLE contains a number of small and large parallel loops (20 in
+    all) ... SIMPLE also contains many small serial sections (5) in
+    which one processor executes the serial section while all the rest
+    wait at the bottom. ... Parallel loop iteration lengths in SIMPLE
+    vary occasionally, also contributing to more synchronization
+    accesses due to more processor waiting at the end of parallel loops
+    with uneven loop iterations."
+
+The model: 20 parallel loops whose iteration counts are deliberately
+*not* nice multiples of 64 and whose iteration lengths jitter around a
+per-loop mean, 5 short serial sections, and replicate sections of
+balanced per-processor local computation between loops (the SPMD model
+executes replicate code on every processor with no synchronization).
+Processors that run out of loop work — or wait below a serial section —
+spin on the barrier flag, producing SIMPLE's characteristic
+mid-single-digit synchronization-reference fraction and its A ~ E
+interval structure at 64 processors.
+"""
+
+from __future__ import annotations
+
+from repro.trace.apps.base import alloc_matrix, gather_body, stride_body
+from repro.trace.program import (
+    AddressSpace,
+    ParallelLoop,
+    Program,
+    ReplicateSection,
+    SerialSection,
+)
+from repro.sim.rng import spawn_stream
+
+# (iterations, mean body length) for the 20 parallel loops.  Counts sit
+# near — but not on — multiples of 64, plus a handful of genuinely small
+# loops, mirroring "not all the parallel loops contained a nice multiple
+# of iterations which could be distributed evenly among all processors".
+_LOOP_SHAPES = [
+    (128, 210),
+    (124, 180),
+    (126, 240),
+    (120, 195),
+    (64, 225),
+    (122, 165),
+    (56, 135),
+    (128, 210),
+    (124, 180),
+    (60, 120),
+    (126, 240),
+    (120, 195),
+    (128, 225),
+    (124, 165),
+    (40, 105),
+    (126, 210),
+    (64, 225),
+    (122, 180),
+    (52, 120),
+    (124, 195),
+]
+
+#: Body lengths of the 5 small serial sections.
+_SERIAL_LENGTHS = [30, 40, 25, 45, 35]
+
+#: Per-processor length of the replicate (local-computation) sections.
+_REPLICATE_LENGTH = 240
+
+
+def build_simple(
+    scale: float = 1.0, seed: int = 0, block_bytes: int = 16
+) -> Program:
+    """Build the synthetic SIMPLE program.
+
+    Args:
+        scale: multiplies loop iteration counts and body lengths; tests
+            use ``scale < 1`` for miniature runs with identical
+            structure.
+        seed: seed for the per-iteration length jitter and gather
+            address streams.
+        block_bytes: cache-block size of the target memory system.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    space = AddressSpace(block_bytes=block_bytes)
+    mesh_words = max(int(128 * 128 * min(scale, 1.0)), 256)
+    mesh = alloc_matrix(space, "simple-mesh", mesh_words)
+    coefficients = alloc_matrix(space, "simple-coefficients", 512)
+    # One private scratch region per possible processor (128 is an upper
+    # bound on the processor counts the experiments use).
+    private_words = 256
+    private = alloc_matrix(space, "simple-private", 128 * private_words)
+
+    def replicate_body(section_id: int):
+        length = max(int(_REPLICATE_LENGTH * scale), 4)
+
+        def body_for(cpu: int):
+            base = private + cpu * private_words * 8
+            return stride_body(base, 0, max(length // 2, 1))
+
+        return body_for
+
+    program = Program(name="SIMPLE", address_space=space)
+    serial_cursor = 0
+    for loop_id, (iterations, mean_length) in enumerate(_LOOP_SHAPES):
+        count = max(int(iterations * scale), 2)
+        length = max(int(mean_length * scale), 4)
+
+        def make_body(loop_id=loop_id, length=length, count=count):
+            body_rng = spawn_stream(seed, f"simple-loop-{loop_id}")
+            # Jittered per-iteration lengths, +/- 5% around the mean
+            # ("iteration lengths vary occasionally").
+            low = max(19 * length // 20, 2)
+            high = length + length // 20 + 1
+            jitter = body_rng.integers(low, high, size=count)
+
+            def body(iteration: int):
+                n = int(jitter[iteration % count])
+                start = (loop_id * 977 + iteration * n) % max(mesh_words - n, 1)
+                sweep = stride_body(mesh, start, max(2 * n // 5, 1))
+                lookups = gather_body(
+                    spawn_stream(seed, f"simple-{loop_id}-{iteration}"),
+                    coefficients,
+                    512,
+                    max(n - len(sweep), 1),
+                    write_fraction=0.03,
+                )
+                return sweep + lookups
+
+            return body
+
+        program.add(ParallelLoop(f"simple-loop-{loop_id}", count, make_body()))
+        program.add(
+            ReplicateSection(f"simple-local-{loop_id}", replicate_body(loop_id))
+        )
+
+        # Interleave the 5 serial sections after every 4th loop.
+        if loop_id % 4 == 3 and serial_cursor < len(_SERIAL_LENGTHS):
+            serial_length = max(int(_SERIAL_LENGTHS[serial_cursor] * scale), 4)
+            serial_refs = gather_body(
+                spawn_stream(seed, f"simple-serial-{serial_cursor}"),
+                mesh,
+                mesh_words,
+                serial_length,
+                write_fraction=0.1,
+            )
+            program.add(
+                SerialSection(f"simple-serial-{serial_cursor}", serial_refs)
+            )
+            serial_cursor += 1
+    return program

@@ -1,0 +1,104 @@
+"""Synthetic WEATHER: the paper's worst-balanced application.
+
+    "The WEATHER code forecasts the weather ... the grid was 108 by 72.
+    Parallel sections of the COMP1 routine, which calculates horizontal
+    and vertical advection differences in the atmosphere, were traced.
+    The load-balancing in this application is far worse than in FFT and
+    SIMPLE, given that it was simulated with 64 processors.  Since the
+    parallelism is derived by simultaneously working on rows/columns of
+    the atmosphere grid, and the dimensions of the grid are not
+    multiples of 64, many processors are forced to idle in parallel
+    sections which are followed by barriers."
+
+The model: each COMP1 pass is a row loop (108 iterations — 20 of 64
+processors idle through the straggler round), a replicate section of
+balanced per-processor local work, then a column loop (72 iterations —
+56 processors idle through its straggler round).  The idle processors
+spin on the barrier flag, which is why WEATHER's synchronization
+fraction (~8 %) is the highest of the three applications and why its A
+and E intervals are comparable in size at 64 processors.
+"""
+
+from __future__ import annotations
+
+from repro.trace.apps.base import alloc_matrix, element_address, stride_body
+from repro.trace.program import (
+    AddressSpace,
+    ParallelLoop,
+    Program,
+    ReplicateSection,
+)
+from repro.trace.record import Op
+
+#: Grid extents from the paper.
+GRID_ROWS = 108
+GRID_COLS = 72
+
+#: Per-processor length of the replicate (local-computation) sections.
+_REPLICATE_LENGTH = 560
+
+
+def build_weather(
+    scale: float = 1.0, num_passes: int = 3, block_bytes: int = 16
+) -> Program:
+    """Build the synthetic WEATHER program.
+
+    Args:
+        scale: multiplies grid extents and body lengths (tests shrink it).
+        num_passes: COMP1 advection passes; each pass contributes one
+            row loop, one replicate section and one column loop.
+        block_bytes: cache-block size of the target memory system.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if num_passes < 1:
+        raise ValueError("num_passes must be >= 1")
+    rows = max(int(GRID_ROWS * scale), 3)
+    cols = max(int(GRID_COLS * scale), 2)
+    row_work = max(int(280 * scale), 4)  # refs per row iteration
+    col_work = max(int(48 * scale), 4)  # refs per column iteration
+    replicate_length = max(int(_REPLICATE_LENGTH * scale), 4)
+
+    space = AddressSpace(block_bytes=block_bytes)
+    grid = alloc_matrix(space, "weather-grid", rows * cols)
+    state_vars = alloc_matrix(space, "weather-state", 9 * cols)
+    private_words = 256
+    private = alloc_matrix(space, "weather-private", 128 * private_words)
+
+    def row_body(iteration: int):
+        # Horizontal advection over one row: sweep part of the row with
+        # multiple read/write passes, read the per-altitude state vars.
+        span = min(cols, max(row_work // 4, 1))
+        refs = stride_body(
+            grid,
+            iteration * cols,
+            span,
+            reads_per_element=2,
+            writes_per_element=2,
+        )
+        for layer in range(9):
+            refs.append((Op.READ, element_address(state_vars, layer * cols)))
+        return refs
+
+    def col_body(iteration: int):
+        # Vertical advection over one column: short strided sweep.
+        refs = []
+        for step in range(max(col_work // 2, 1)):
+            row = (step * 7) % rows
+            address = element_address(grid, row * cols + iteration)
+            refs.append((Op.READ, address))
+            refs.append((Op.WRITE, address))
+        return refs
+
+    def replicate_body_for(cpu: int):
+        base = private + cpu * private_words * 8
+        return stride_body(base, 0, max(replicate_length // 2, 1))
+
+    program = Program(name="WEATHER", address_space=space)
+    for pass_id in range(num_passes):
+        program.add(ParallelLoop(f"comp1-rows-{pass_id}", rows, row_body))
+        program.add(
+            ReplicateSection(f"comp1-local-{pass_id}", replicate_body_for)
+        )
+        program.add(ParallelLoop(f"comp1-cols-{pass_id}", cols, col_body))
+    return program

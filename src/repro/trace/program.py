@@ -1,0 +1,144 @@
+"""SPMD program skeletons in the Epex/Fortran style.
+
+The paper's applications are written in the Single-Program-Multiple-Data
+model: all processes execute the same program, and synchronization
+constructs embedded in the code determine which sections each processor
+executes.  The model has
+
+- **parallel sections** (loops whose iterations are handed out by
+  fetch&add self-scheduling),
+- **serial sections** (one processor executes, the rest wait), and
+- **replicate sections** (every processor executes its own copy).
+
+A :class:`Program` is an ordered list of sections over an
+:class:`AddressSpace`.  The post-mortem scheduler
+(:mod:`repro.trace.scheduler`) turns a program into a multiprocessor
+trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple, Union
+
+from repro.trace.record import Op
+
+#: One reference of a section body: (operation, byte address).
+Ref = Tuple[Op, int]
+
+#: Iteration bodies may be a fixed list or a function of the iteration index.
+RefsForIteration = Union[Sequence[Ref], Callable[[int], Sequence[Ref]]]
+
+
+class AddressSpace:
+    """A bump allocator that keeps logical regions block-aligned.
+
+    Synchronization variables are given a block each so that they never
+    false-share with data (the paper treats them as distinct words in
+    distinct modules).
+    """
+
+    def __init__(self, block_bytes: int = 16) -> None:
+        if block_bytes <= 0 or block_bytes & (block_bytes - 1):
+            raise ValueError("block_bytes must be a positive power of two")
+        self.block_bytes = block_bytes
+        self._next = 0
+        self.regions: List[Tuple[str, int, int]] = []  # (name, base, size)
+
+    def alloc(self, name: str, size_bytes: int) -> int:
+        """Reserve ``size_bytes`` (block-aligned); returns the base address."""
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        base = self._next
+        rounded = -(-size_bytes // self.block_bytes) * self.block_bytes
+        self._next += rounded
+        self.regions.append((name, base, rounded))
+        return base
+
+    def alloc_sync(self, name: str) -> int:
+        """Reserve one block for a synchronization variable."""
+        return self.alloc(f"sync:{name}", self.block_bytes)
+
+    @property
+    def size(self) -> int:
+        return self._next
+
+
+@dataclass
+class ParallelLoop:
+    """A self-scheduled parallel loop.
+
+    Attributes:
+        name: label (used in reports).
+        iterations: total iteration count.  The paper stresses that
+            counts which are not nice multiples of the processor count
+            produce load imbalance and hence synchronization waiting.
+        body: the references one iteration issues — either a fixed
+            sequence or a callable of the iteration index (so iteration
+            lengths may vary, as they do in SIMPLE).
+    """
+
+    name: str
+    iterations: int
+    body: RefsForIteration
+
+    def refs_for(self, iteration: int) -> Sequence[Ref]:
+        if callable(self.body):
+            return self.body(iteration)
+        return self.body
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError(f"loop {self.name!r}: iterations must be >= 1")
+
+
+@dataclass
+class SerialSection:
+    """A section executed by exactly one processor while the rest wait."""
+
+    name: str
+    body: Sequence[Ref]
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise ValueError(f"serial section {self.name!r} must have a body")
+
+
+@dataclass
+class ReplicateSection:
+    """A section executed by every processor on private data.
+
+    ``body_for(cpu)`` returns the references processor ``cpu`` issues.
+    Replicate sections do not synchronize.
+    """
+
+    name: str
+    body_for: Callable[[int], Sequence[Ref]]
+
+
+Section = Union[ParallelLoop, SerialSection, ReplicateSection]
+
+
+@dataclass
+class Program:
+    """An ordered SPMD program over an address space."""
+
+    name: str
+    address_space: AddressSpace
+    sections: List[Section] = field(default_factory=list)
+
+    def add(self, section: Section) -> "Program":
+        self.sections.append(section)
+        return self
+
+    @property
+    def num_barriers(self) -> int:
+        """Barriers the scheduler will insert (one per loop/serial section)."""
+        return sum(
+            1
+            for section in self.sections
+            if isinstance(section, (ParallelLoop, SerialSection))
+        )
+
+    def __len__(self) -> int:
+        return len(self.sections)

@@ -1,0 +1,107 @@
+"""Tests for table/series rendering."""
+
+import pytest
+
+from repro.analysis.figures import render_series, savings_column
+from repro.analysis.tables import render_table
+from repro.sim.stats import Series
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            ["App", "Value"], [["FFT", 1.5], ["SIMPLE", 2.25]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("App")
+        assert "FFT" in lines[2]
+        assert "1.50" in lines[2]
+
+    def test_title(self):
+        text = render_table(["A"], [[1]], title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_numeric_right_alignment(self):
+        text = render_table(["Name", "N"], [["a", 5], ["bb", 500]])
+        lines = text.splitlines()
+        assert lines[-1].endswith("500")
+        assert lines[-2].endswith("  5")
+
+    def test_none_renders_dash(self):
+        text = render_table(["A"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_format(self):
+        text = render_table(["A"], [[3.14159]], float_format="%.4f")
+        assert "3.1416" in text
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [[1]])
+
+    def test_empty_headers_raises(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+
+class TestRenderSeries:
+    def make(self):
+        a = Series(label="one")
+        a.add(2, 10.0)
+        a.add(4, 20.0)
+        b = Series(label="two")
+        b.add(2, 1.0)
+        b.add(4, 2.0)
+        return {"one": a, "two": b}
+
+    def test_columns_per_curve(self):
+        text = render_series(self.make())
+        header = text.splitlines()[0]
+        assert "N" in header
+        assert "one" in header
+        assert "two" in header
+
+    def test_rows_per_x(self):
+        text = render_series(self.make())
+        body = text.splitlines()[2:]
+        assert len(body) == 2
+
+    def test_missing_point_dash(self):
+        series = self.make()
+        series["two"] = Series(label="two")
+        series["two"].add(2, 1.0)  # missing x=4
+        text = render_series(series)
+        assert "-" in text.splitlines()[-1]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            render_series({})
+
+
+class TestSavingsColumn:
+    def test_percent_reduction(self):
+        baseline = Series(label="base")
+        baseline.add(1, 100.0)
+        baseline.add(2, 200.0)
+        improved = Series(label="better")
+        improved.add(1, 50.0)
+        improved.add(2, 20.0)
+        savings = savings_column(baseline, improved)
+        assert savings.y_at(1) == pytest.approx(50.0)
+        assert savings.y_at(2) == pytest.approx(90.0)
+
+    def test_skips_missing_points(self):
+        baseline = Series(label="base")
+        baseline.add(1, 100.0)
+        baseline.add(2, 200.0)
+        improved = Series(label="better")
+        improved.add(1, 50.0)
+        savings = savings_column(baseline, improved)
+        assert len(savings) == 1
+
+    def test_zero_baseline_skipped(self):
+        baseline = Series(label="base")
+        baseline.add(1, 0.0)
+        improved = Series(label="better")
+        improved.add(1, 5.0)
+        assert len(savings_column(baseline, improved)) == 0

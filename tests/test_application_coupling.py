@@ -1,0 +1,138 @@
+"""Tests for the application model and the Patel coupling."""
+
+import numpy as np
+import pytest
+
+from repro.barrier.application import (
+    ApplicationSimulator,
+    simulate_application,
+)
+from repro.core.backoff import (
+    ExponentialFlagBackoff,
+    NoBackoff,
+    VariableBackoff,
+)
+from repro.network.coupling import CouplingEstimate, couple_barrier_traffic
+
+
+class TestApplicationSimulator:
+    def test_single_round_single_processor(self):
+        simulator = ApplicationSimulator(1, work_interval=50, rounds=1, jitter=0.0)
+        result = simulator.run_once(np.random.default_rng(0))
+        # Work 50 cycles, then variable F&A + flag write.
+        assert result.completion_time >= 50
+        assert result.accesses_per_process == [2]
+
+    def test_all_rounds_complete(self):
+        simulator = ApplicationSimulator(8, work_interval=100, rounds=5)
+        result = simulator.run_once(np.random.default_rng(1))
+        assert result.completion_time > 5 * 80  # 5 rounds of >= 80 cycles
+        assert len(result.arrival_spans) == 5
+        assert all(span >= 0 for span in result.arrival_spans)
+
+    def test_no_jitter_deterministic_work(self):
+        simulator = ApplicationSimulator(
+            4, work_interval=100, rounds=3, jitter=0.0
+        )
+        a = simulator.run_once(np.random.default_rng(0))
+        b = simulator.run_once(np.random.default_rng(99))
+        # With zero jitter the rng never affects the outcome.
+        assert a.completion_time == b.completion_time
+
+    def test_completion_at_least_ideal(self):
+        aggregate = simulate_application(
+            16, 200, policy=NoBackoff(), rounds=4, repetitions=3
+        )
+        result_ideal = 4 * 200
+        assert aggregate.completion.mean >= result_ideal * 0.8
+
+    def test_overhead_fraction(self):
+        aggregate = simulate_application(
+            32, 500, policy=NoBackoff(), rounds=4, repetitions=3
+        )
+        assert aggregate.overhead.mean > 0.0
+
+    def test_variable_backoff_free_end_to_end(self):
+        none = simulate_application(
+            32, 500, policy=NoBackoff(), rounds=5, repetitions=5
+        )
+        var = simulate_application(
+            32, 500, policy=VariableBackoff(), rounds=5, repetitions=5
+        )
+        assert var.completion.mean <= none.completion.mean * 1.02
+        assert var.accesses.mean < none.accesses.mean
+
+    def test_binary_backoff_cuts_traffic(self):
+        none = simulate_application(
+            32, 1000, policy=NoBackoff(), rounds=5, repetitions=5
+        )
+        b2 = simulate_application(
+            32, 1000, policy=ExponentialFlagBackoff(2), rounds=5, repetitions=5
+        )
+        assert b2.traffic_rate.mean < none.traffic_rate.mean / 5
+
+    def test_aggressive_base_compounds_overshoot(self):
+        b2 = simulate_application(
+            32, 1000, policy=ExponentialFlagBackoff(2), rounds=8, repetitions=3
+        )
+        b8 = simulate_application(
+            32, 1000, policy=ExponentialFlagBackoff(8), rounds=8, repetitions=3
+        )
+        assert b8.completion.mean > b2.completion.mean
+        assert b8.arrival_span.mean > b2.arrival_span.mean
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ApplicationSimulator(0, 100)
+        with pytest.raises(ValueError):
+            ApplicationSimulator(4, 0)
+        with pytest.raises(ValueError):
+            ApplicationSimulator(4, 100, rounds=0)
+        with pytest.raises(ValueError):
+            ApplicationSimulator(4, 100, jitter=1.0)
+
+    def test_reproducible(self):
+        a = simulate_application(8, 200, rounds=3, repetitions=3, seed=7)
+        b = simulate_application(8, 200, rounds=3, repetitions=3, seed=7)
+        assert a.completion.mean == b.completion.mean
+
+
+class TestCoupling:
+    def test_offered_rate_clamped(self):
+        estimate = CouplingEstimate(
+            num_ports=64, background_rate=0.9, barrier_rate=0.5
+        )
+        assert estimate.offered_rate == 1.0
+
+    def test_acceptance_decreases_with_traffic(self):
+        light = CouplingEstimate(64, background_rate=0.1, barrier_rate=0.0)
+        heavy = CouplingEstimate(64, background_rate=0.1, barrier_rate=0.4)
+        assert heavy.acceptance_probability < light.acceptance_probability
+
+    def test_slowdown_sign(self):
+        light = CouplingEstimate(64, 0.1, 0.0)
+        heavy = CouplingEstimate(64, 0.1, 0.4)
+        assert heavy.slowdown_vs(light) > 0
+        assert light.slowdown_vs(heavy) < 0
+
+    def test_couple_barrier_traffic(self):
+        estimate = couple_barrier_traffic(
+            num_ports=64,
+            background_rate=0.2,
+            barrier_accesses_per_process=150.0,
+            barrier_period=1000.0,
+        )
+        assert estimate.barrier_rate == pytest.approx(0.15)
+        assert 0.0 < estimate.acceptance_probability < 1.0
+
+    def test_couple_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            couple_barrier_traffic(64, -0.1, 10, 100)
+        with pytest.raises(ValueError):
+            couple_barrier_traffic(64, 0.1, -1, 100)
+        with pytest.raises(ValueError):
+            couple_barrier_traffic(64, 0.1, 10, 0)
+
+    def test_effective_bandwidth_bounded(self):
+        estimate = CouplingEstimate(64, 0.5, 0.3)
+        assert estimate.effective_bandwidth <= estimate.offered_rate

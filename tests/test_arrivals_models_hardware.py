@@ -1,0 +1,166 @@
+"""Tests for arrival processes, analytic models and hardware baselines."""
+
+import numpy as np
+import pytest
+
+from repro.barrier.arrivals import EmpiricalArrivals, FixedArrivals, UniformArrivals
+from repro.barrier.hardware import (
+    full_map_directory_accesses,
+    hardware_baselines,
+    hoshino_accesses,
+    invalidating_bus_accesses,
+    updating_bus_accesses,
+)
+from repro.barrier.models import (
+    expected_span,
+    exponential_savings_bound,
+    model1_accesses,
+    model2_accesses,
+    model_prediction,
+    variable_backoff_accesses,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestUniformArrivals:
+    def test_zero_interval_all_simultaneous(self):
+        assert UniformArrivals(0).draw(5, rng()) == [0, 0, 0, 0, 0]
+
+    def test_sorted_within_interval(self):
+        times = UniformArrivals(100).draw(50, rng())
+        assert times == sorted(times)
+        assert all(0 <= t <= 100 for t in times)
+
+    def test_interval_property(self):
+        assert UniformArrivals(250).interval == 250
+
+    def test_mean_span_matches_formula(self):
+        # E[last - first] for N uniform arrivals in A is A(N-1)/(N+1).
+        process = UniformArrivals(1000)
+        generator = rng()
+        n = 16
+        spans = []
+        for __ in range(2000):
+            times = process.draw(n, generator)
+            spans.append(times[-1] - times[0])
+        measured = sum(spans) / len(spans)
+        predicted = expected_span(1000, n)
+        assert measured == pytest.approx(predicted, rel=0.03)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            UniformArrivals(-1)
+        with pytest.raises(ValueError):
+            UniformArrivals(10).draw(0, rng())
+
+
+class TestFixedArrivals:
+    def test_returns_given_times_sorted(self):
+        process = FixedArrivals([9, 2, 5])
+        assert process.draw(3, rng()) == [2, 5, 9]
+        assert process.interval == 7
+
+    def test_wrong_n_raises(self):
+        with pytest.raises(ValueError):
+            FixedArrivals([1, 2]).draw(3, rng())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FixedArrivals([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedArrivals([-1, 2])
+
+
+class TestEmpiricalArrivals:
+    def test_draws_anchor_at_zero(self):
+        process = EmpiricalArrivals([0, 10, 20, 30, 500])
+        times = process.draw(8, rng())
+        assert times[0] == 0
+        assert times == sorted(times)
+
+    def test_interval_is_max_offset(self):
+        assert EmpiricalArrivals([0, 10, 500]).interval == 500
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalArrivals([])
+
+
+class TestModels:
+    def test_model1_is_5n_over_2(self):
+        assert model1_accesses(64) == 160.0
+        assert model1_accesses(2) == 5.0
+
+    def test_expected_span_limits(self):
+        assert expected_span(1000, 1) == 0.0
+        # r -> A as N grows.
+        assert expected_span(1000, 10_000) == pytest.approx(1000, rel=0.001)
+
+    def test_model2_formula(self):
+        # r/2 + 3N/2 at N=16, A=1000: r = 1000*15/17.
+        expected = (1000 * 15 / 17) / 2 + 24
+        assert model2_accesses(16, 1000) == pytest.approx(expected)
+
+    def test_prediction_takes_maximum(self):
+        # Small A: Model 1 dominates; large A: Model 2 dominates.
+        assert model_prediction(64, 0) == model1_accesses(64)
+        assert model_prediction(4, 10_000) == model2_accesses(4, 10_000)
+
+    def test_savings_bound_grows_with_span(self):
+        small = exponential_savings_bound(16, 100, 2)
+        large = exponential_savings_bound(16, 10_000, 2)
+        assert large > small
+
+    def test_savings_bound_shrinks_with_base(self):
+        b2 = exponential_savings_bound(16, 10_000, 2)
+        b8 = exponential_savings_bound(16, 10_000, 8)
+        assert b8 < b2
+
+    def test_savings_bound_floor(self):
+        assert exponential_savings_bound(2, 0, 2) == 1.0
+
+    def test_variable_backoff_saves_half_n(self):
+        n = 64
+        assert model_prediction(n, 0) - variable_backoff_accesses(n, 0) == 32.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            model1_accesses(0)
+        with pytest.raises(ValueError):
+            expected_span(-1, 4)
+        with pytest.raises(ValueError):
+            exponential_savings_bound(4, 100, 1)
+
+
+class TestHardwareBaselines:
+    def test_asymptotic_constants(self):
+        assert invalidating_bus_accesses(10**6) == pytest.approx(3.0, abs=1e-5)
+        assert updating_bus_accesses(10**6) == pytest.approx(2.0, abs=1e-5)
+        assert full_map_directory_accesses(7) == 4.0
+        assert hoshino_accesses(10**6) == pytest.approx(1.0, abs=1e-5)
+
+    def test_exact_small_n(self):
+        # 3n+1 accesses over n processors.
+        assert invalidating_bus_accesses(4) == pytest.approx(13 / 4)
+        assert hoshino_accesses(4) == pytest.approx(5 / 4)
+
+    def test_baselines_dict(self):
+        values = hardware_baselines(64)
+        assert set(values) == {
+            "invalidating bus",
+            "updating bus",
+            "full-map directory",
+            "Hoshino gate",
+        }
+        assert values["Hoshino gate"] < values["updating bus"]
+        assert values["updating bus"] < values["invalidating bus"]
+        assert values["invalidating bus"] < values["full-map directory"]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            hoshino_accesses(0)

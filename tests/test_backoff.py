@@ -1,0 +1,187 @@
+"""Tests for the backoff policy hierarchy."""
+
+import pytest
+
+from repro.core.backoff import (
+    AdaptiveBackoff,
+    ExponentialFlagBackoff,
+    LinearFlagBackoff,
+    NoBackoff,
+    ProportionalBackoff,
+    ThresholdQueueBackoff,
+    VariableBackoff,
+    paper_policies,
+)
+
+
+class TestNoBackoff:
+    def test_all_waits_zero(self):
+        policy = NoBackoff()
+        assert policy.variable_wait(1, 64) == 0
+        assert policy.flag_wait(5) == 0
+        assert not policy.should_queue(100)
+
+
+class TestVariableBackoff:
+    def test_waits_remaining_processors(self):
+        policy = VariableBackoff()
+        # i of N arrived: wait N - i.
+        assert policy.variable_wait(1, 64) == 63
+        assert policy.variable_wait(63, 64) == 1
+
+    def test_last_processor_waits_zero(self):
+        assert VariableBackoff().variable_wait(64, 64) == 0
+
+    def test_multiplier_variant(self):
+        # The paper's (N - i) * C.
+        policy = VariableBackoff(multiplier=3)
+        assert policy.variable_wait(60, 64) == 12
+
+    def test_offset_variant(self):
+        # The paper's (N - i) + C.
+        policy = VariableBackoff(offset=5)
+        assert policy.variable_wait(60, 64) == 9
+
+    def test_no_flag_backoff(self):
+        assert VariableBackoff().flag_wait(10) == 0
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            VariableBackoff(multiplier=-1)
+
+
+class TestLinearFlagBackoff:
+    def test_linear_growth(self):
+        policy = LinearFlagBackoff(step=3)
+        assert policy.flag_wait(1) == 3
+        assert policy.flag_wait(4) == 12
+
+    def test_includes_variable_backoff(self):
+        policy = LinearFlagBackoff(step=2)
+        assert policy.variable_wait(1, 64) == 63
+
+    def test_polls_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LinearFlagBackoff().flag_wait(0)
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            LinearFlagBackoff(step=0)
+
+
+class TestExponentialFlagBackoff:
+    @pytest.mark.parametrize("base", [2, 4, 8])
+    def test_powers_of_base(self, base):
+        policy = ExponentialFlagBackoff(base=base)
+        assert policy.flag_wait(1) == base
+        assert policy.flag_wait(2) == base * base
+        assert policy.flag_wait(3) == base**3
+
+    def test_cap(self):
+        policy = ExponentialFlagBackoff(base=2, cap=100)
+        assert policy.flag_wait(20) == 100
+
+    def test_no_overflow_with_many_polls(self):
+        policy = ExponentialFlagBackoff(base=8, cap=1 << 20)
+        assert policy.flag_wait(10_000) == 1 << 20
+
+    def test_includes_variable_backoff(self):
+        assert ExponentialFlagBackoff(base=2).variable_wait(32, 64) == 32
+
+    def test_variable_part_can_be_disabled(self):
+        policy = ExponentialFlagBackoff(base=2, multiplier=0)
+        assert policy.variable_wait(1, 64) == 0
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            ExponentialFlagBackoff(base=1)
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            ExponentialFlagBackoff(base=2, cap=0)
+
+
+class TestThresholdQueueBackoff:
+    def test_delegates_waits(self):
+        inner = ExponentialFlagBackoff(base=2)
+        policy = ThresholdQueueBackoff(inner, threshold=1000)
+        assert policy.flag_wait(3) == 8
+        assert policy.variable_wait(1, 8) == 7
+
+    def test_queues_when_wait_crosses_threshold(self):
+        inner = ExponentialFlagBackoff(base=2)
+        policy = ThresholdQueueBackoff(inner, threshold=16)
+        assert not policy.should_queue(3)  # wait 8
+        assert policy.should_queue(4)  # wait 16
+
+    def test_never_queues_with_no_backoff_inner(self):
+        policy = ThresholdQueueBackoff(NoBackoff(), threshold=1)
+        assert not policy.should_queue(1_000_000)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ThresholdQueueBackoff(NoBackoff(), threshold=0)
+
+
+class TestProportionalBackoff:
+    def test_proportional_to_waiters(self):
+        policy = ProportionalBackoff(hold_time=10)
+        assert policy.resource_wait(0) == 0
+        assert policy.resource_wait(5) == 50
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ProportionalBackoff(hold_time=0)
+        with pytest.raises(ValueError):
+            ProportionalBackoff(hold_time=2).resource_wait(-1)
+
+
+class TestAdaptiveBackoff:
+    def test_exponential_configuration(self):
+        policy = AdaptiveBackoff(flag_base=4)
+        assert policy.flag_wait(2) == 16
+        assert policy.variable_wait(1, 8) == 7
+
+    def test_linear_configuration(self):
+        policy = AdaptiveBackoff(flag_step=5)
+        assert policy.flag_wait(3) == 15
+
+    def test_plain_configuration(self):
+        policy = AdaptiveBackoff()
+        assert policy.flag_wait(9) == 0
+
+    def test_queue_threshold(self):
+        policy = AdaptiveBackoff(flag_base=2, queue_threshold=8)
+        assert not policy.should_queue(2)
+        assert policy.should_queue(3)
+
+    def test_no_threshold_never_queues(self):
+        policy = AdaptiveBackoff(flag_base=2)
+        assert not policy.should_queue(50)
+
+    def test_exponential_and_linear_exclusive(self):
+        with pytest.raises(ValueError):
+            AdaptiveBackoff(flag_base=2, flag_step=3)
+
+    def test_invalid_flag_base(self):
+        with pytest.raises(ValueError):
+            AdaptiveBackoff(flag_base=1)
+
+
+class TestPaperPolicies:
+    def test_five_curves(self):
+        policies = paper_policies()
+        assert len(policies) == 5
+        assert "Without Backoff" in policies
+
+    def test_flag_bases(self):
+        policies = paper_policies()
+        assert policies["Base 2 Backoff on Barrier Flag"].base == 2
+        assert policies["Base 4 Backoff on Barrier Flag"].base == 4
+        assert policies["Base 8 Backoff on Barrier Flag"].base == 8
+
+    def test_fresh_instances_each_call(self):
+        assert (
+            paper_policies()["Without Backoff"]
+            is not paper_policies()["Without Backoff"]
+        )

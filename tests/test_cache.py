@@ -1,0 +1,118 @@
+"""Tests for the direct-mapped cache."""
+
+import pytest
+
+from repro.memory.cache import DirectMappedCache
+
+
+def small_cache(sets=4):
+    return DirectMappedCache(size_bytes=sets * 16, block_bytes=16)
+
+
+class TestConstruction:
+    def test_paper_defaults(self):
+        cache = DirectMappedCache()
+        assert cache.size_bytes == 256 * 1024
+        assert cache.block_bytes == 16
+        assert cache.num_sets == 16 * 1024
+
+    def test_size_must_be_multiple_of_block(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(size_bytes=100, block_bytes=16)
+
+    def test_sizes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(size_bytes=0)
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.probe(5)
+        cache.fill(5)
+        assert cache.probe(5)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_contains_does_not_count(self):
+        cache = small_cache()
+        cache.fill(5)
+        cache.contains(5)
+        assert cache.hits == 0
+
+    def test_conflict_mapping(self):
+        cache = small_cache(sets=4)
+        cache.fill(1)
+        # Block 5 maps to the same set (5 % 4 == 1).
+        evicted = cache.fill(5)
+        assert evicted == (1, False)
+        assert not cache.contains(1)
+        assert cache.contains(5)
+
+    def test_refill_same_block_no_eviction(self):
+        cache = small_cache()
+        cache.fill(3)
+        assert cache.fill(3) is None
+
+
+class TestDirtyState:
+    def test_fill_dirty(self):
+        cache = small_cache()
+        cache.fill(2, dirty=True)
+        assert cache.is_dirty(2)
+
+    def test_mark_dirty_then_clean(self):
+        cache = small_cache()
+        cache.fill(2)
+        assert not cache.is_dirty(2)
+        cache.mark_dirty(2)
+        assert cache.is_dirty(2)
+        cache.mark_clean(2)
+        assert not cache.is_dirty(2)
+
+    def test_mark_dirty_missing_raises(self):
+        cache = small_cache()
+        with pytest.raises(KeyError):
+            cache.mark_dirty(9)
+
+    def test_eviction_reports_dirtiness(self):
+        cache = small_cache(sets=4)
+        cache.fill(1, dirty=True)
+        evicted = cache.fill(5)
+        assert evicted == (1, True)
+
+    def test_is_dirty_for_absent_block(self):
+        assert not small_cache().is_dirty(7)
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        cache = small_cache()
+        cache.fill(3, dirty=True)
+        assert cache.invalidate(3)
+        assert not cache.contains(3)
+
+    def test_invalidate_absent_returns_false(self):
+        assert not small_cache().invalidate(3)
+
+    def test_invalidate_clears_dirty_bit(self):
+        cache = small_cache()
+        cache.fill(3, dirty=True)
+        cache.invalidate(3)
+        cache.fill(3)
+        assert not cache.is_dirty(3)
+
+    def test_invalidate_wrong_block_same_set(self):
+        cache = small_cache(sets=4)
+        cache.fill(1)
+        assert not cache.invalidate(5)  # same set, different block
+        assert cache.contains(1)
+
+
+class TestOccupancy:
+    def test_occupancy_counts(self):
+        cache = small_cache(sets=4)
+        cache.fill(0)
+        cache.fill(1)
+        assert cache.occupancy == 2
+        assert sorted(cache.resident_blocks()) == [0, 1]

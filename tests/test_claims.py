@@ -1,0 +1,45 @@
+"""Tests for the headline-claims verifier."""
+
+import pytest
+
+from repro.analysis.claims import (
+    CLAIM_CHECKS,
+    ClaimResult,
+    verify_claims,
+    verify_report,
+)
+
+
+class TestClaimChecks:
+    def test_registry_nonempty(self):
+        assert len(CLAIM_CHECKS) >= 9
+
+    @pytest.mark.parametrize("claim_id", sorted(CLAIM_CHECKS))
+    def test_each_claim_passes_at_modest_fidelity(self, claim_id):
+        result = CLAIM_CHECKS[claim_id](15, 0)
+        assert isinstance(result, ClaimResult)
+        assert result.claim_id == claim_id
+        assert result.provenance
+        assert result.evidence
+        assert result.passed, f"{claim_id} failed: {result.evidence}"
+
+    def test_verify_claims_runs_all(self):
+        results = verify_claims(repetitions=5)
+        assert len(results) == len(CLAIM_CHECKS)
+
+    def test_report_counts(self):
+        report = verify_report(repetitions=5)
+        assert "headline claims verified" in report
+        assert "[PASS]" in report
+
+    def test_str_format(self):
+        result = ClaimResult(
+            claim_id="x",
+            statement="s",
+            provenance="p",
+            passed=False,
+            evidence="e",
+        )
+        text = str(result)
+        assert text.startswith("[FAIL] x")
+        assert "evidence: e" in text

@@ -1,0 +1,83 @@
+"""Tests for the remaining CLI surface (report command, parser, errors)."""
+
+import os
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        actions = [
+            action for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        ]
+        commands = set(actions[0].choices)
+        assert commands == {
+            "list", "experiment", "barrier", "trace", "report", "advise",
+            "verify",
+        }
+
+    def test_barrier_defaults(self):
+        args = build_parser().parse_args(["barrier"])
+        assert args.n == 64
+        assert args.interval_a == 1000
+        assert args.policy == "exponential"
+
+
+class TestReportCommand:
+    def test_report_writes_files(self, tmp_path, monkeypatch):
+        # Patch the registry to two fast experiments so the test stays
+        # quick while exercising the real command path.
+        import repro.__main__ as cli
+        from repro.analysis.experiments import ExperimentResult
+
+        calls = []
+
+        def fake_run(experiment_id, **kwargs):
+            calls.append(experiment_id)
+            return ExperimentResult(experiment_id, "t", "body", {"x": 1})
+
+        monkeypatch.setattr(cli, "EXPERIMENTS", {"alpha": None, "beta": None})
+        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        out = tmp_path / "reports"
+        code = main(["report", "--output", str(out)])
+        assert code == 0
+        assert calls == ["alpha", "beta"]
+        assert sorted(os.listdir(out)) == ["alpha.txt", "beta.txt"]
+        assert "body" in (out / "alpha.txt").read_text()
+
+    def test_report_counts_failures(self, tmp_path, monkeypatch):
+        import repro.__main__ as cli
+
+        def exploding_run(experiment_id, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(cli, "EXPERIMENTS", {"alpha": None})
+        monkeypatch.setattr(cli, "run_experiment", exploding_run)
+        code = main(["report", "--output", str(tmp_path / "r")])
+        assert code == 1
+
+
+class TestPolicyBuilder:
+    def test_unknown_policy(self):
+        from repro.__main__ import _build_policy
+
+        with pytest.raises(ValueError):
+            _build_policy("quadratic", 2, 1)
+
+    def test_linear_policy(self):
+        from repro.__main__ import _build_policy
+
+        policy = _build_policy("linear", 2, 5)
+        assert policy.flag_wait(2) == 10

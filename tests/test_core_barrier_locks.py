@@ -1,0 +1,95 @@
+"""Tests for barrier algorithm descriptions and lock strategies."""
+
+import pytest
+
+from repro.core.backoff import ExponentialFlagBackoff, NoBackoff
+from repro.core.barrier import (
+    BlockingBarrier,
+    CombiningTreeBarrier,
+    SingleVariableBarrier,
+    TangYewBarrier,
+)
+from repro.core.locks import BackoffLock, TestAndSetLock, TestAndTestAndSetLock
+
+
+class TestTangYewBarrier:
+    def test_defaults(self):
+        barrier = TangYewBarrier(8)
+        assert barrier.num_processors == 8
+        assert isinstance(barrier.backoff, NoBackoff)
+        assert barrier.separate_modules
+
+    def test_custom_policy(self):
+        barrier = TangYewBarrier(8, backoff=ExponentialFlagBackoff(2))
+        assert barrier.backoff.base == 2
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            TangYewBarrier(0)
+
+
+class TestSingleVariableBarrier:
+    def test_shares_module(self):
+        assert not SingleVariableBarrier(8).separate_modules
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            SingleVariableBarrier(0)
+
+
+class TestCombiningTreeBarrier:
+    def test_level_sizes_power_of_degree(self):
+        barrier = CombiningTreeBarrier(64, degree=4)
+        assert barrier.level_sizes() == [64, 16, 4]
+        assert barrier.depth == 3
+
+    def test_level_sizes_ragged(self):
+        barrier = CombiningTreeBarrier(10, degree=4)
+        # 10 -> ceil(10/4)=3 -> ceil(3/4)=1.
+        assert barrier.level_sizes() == [10, 3]
+
+    def test_single_processor(self):
+        assert CombiningTreeBarrier(1, degree=4).level_sizes() == [1]
+
+    def test_degree_two_depth(self):
+        assert CombiningTreeBarrier(64, degree=2).depth == 6
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            CombiningTreeBarrier(8, degree=1)
+
+
+class TestBlockingBarrier:
+    def test_defaults(self):
+        barrier = BlockingBarrier(16)
+        assert barrier.enqueue_overhead == 100
+        assert barrier.wakeup_overhead == 100
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            BlockingBarrier(16, enqueue_overhead=-1)
+
+
+class TestLockStrategies:
+    def test_tas_retries_immediately(self):
+        assert TestAndSetLock().retry_wait(5, 10) == 0
+
+    def test_ttas_retries_immediately(self):
+        assert TestAndTestAndSetLock().retry_wait(5, 10) == 0
+
+    def test_backoff_lock_proportional(self):
+        lock = BackoffLock(hold_time=8)
+        assert lock.retry_wait(1, 4) == 32
+
+    def test_backoff_lock_minimum_wait(self):
+        lock = BackoffLock(hold_time=8, minimum_wait=3)
+        assert lock.retry_wait(1, 0) == 3
+
+    def test_backoff_lock_invalid_minimum(self):
+        with pytest.raises(ValueError):
+            BackoffLock(hold_time=8, minimum_wait=-1)
+
+    def test_strategy_names(self):
+        assert TestAndSetLock().name == "test-and-set"
+        assert TestAndTestAndSetLock().name == "test-and-test-and-set"
+        assert BackoffLock(hold_time=1).name == "backoff"

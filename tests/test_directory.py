@@ -1,0 +1,108 @@
+"""Tests for Dir_i_NB directory state."""
+
+import pytest
+
+from repro.memory.directory import Directory, DirectoryEntry
+
+
+class TestDirectoryEntry:
+    def test_fresh_entry(self):
+        entry = DirectoryEntry()
+        assert not entry.is_cached
+        assert not entry.is_dirty
+
+    def test_dirty_owner(self):
+        entry = DirectoryEntry()
+        entry.sharers.add(3)
+        entry.owner = 3
+        assert entry.is_dirty
+        assert entry.is_cached
+
+
+class TestDirectory:
+    def test_pointer_limit_clamped_to_cpus(self):
+        directory = Directory(num_pointers=64, num_cpus=16)
+        assert directory.num_pointers == 16
+        assert directory.is_full_map
+
+    def test_full_map_detection(self):
+        assert Directory(64, 64).is_full_map
+        assert not Directory(4, 64).is_full_map
+
+    def test_entry_created_on_first_touch(self):
+        directory = Directory(4, 16)
+        assert directory.peek(10) is None
+        entry = directory.entry(10)
+        assert directory.peek(10) is entry
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Directory(0, 4)
+        with pytest.raises(ValueError):
+            Directory(4, 0)
+
+
+class TestPointerOverflow:
+    def test_no_victims_below_limit(self):
+        directory = Directory(3, 16)
+        entry = directory.entry(1)
+        entry.sharers.update({0, 1})
+        assert directory.pointer_overflow_victims(1, 5) == []
+
+    def test_victim_when_full(self):
+        directory = Directory(3, 16)
+        entry = directory.entry(1)
+        entry.sharers.update({4, 7, 9})
+        victims = directory.pointer_overflow_victims(1, 5)
+        assert victims == [4]  # deterministic: lowest id first
+
+    def test_existing_sharer_needs_no_victims(self):
+        directory = Directory(2, 16)
+        entry = directory.entry(1)
+        entry.sharers.update({4, 7})
+        assert directory.pointer_overflow_victims(1, 4) == []
+
+    def test_multiple_victims_if_overfull(self):
+        # If the limit were lowered dynamically, several victims appear.
+        directory = Directory(2, 16)
+        entry = directory.entry(1)
+        entry.sharers.update({1, 2, 3})
+        victims = directory.pointer_overflow_victims(1, 9)
+        assert victims == [1, 2]
+
+    def test_full_map_never_evicts(self):
+        directory = Directory(16, 16)
+        entry = directory.entry(1)
+        entry.sharers.update(range(15))
+        assert directory.pointer_overflow_victims(1, 15) == []
+
+
+class TestRemoveSharer:
+    def test_removes_and_deletes_empty_entry(self):
+        directory = Directory(4, 16)
+        entry = directory.entry(1)
+        entry.sharers.add(3)
+        directory.remove_sharer(1, 3)
+        assert directory.peek(1) is None
+
+    def test_clears_owner(self):
+        directory = Directory(4, 16)
+        entry = directory.entry(1)
+        entry.sharers.update({3, 5})
+        entry.owner = 3
+        directory.remove_sharer(1, 3)
+        remaining = directory.peek(1)
+        assert remaining is not None
+        assert remaining.owner is None
+        assert remaining.sharers == {5}
+
+    def test_remove_from_missing_block_is_noop(self):
+        directory = Directory(4, 16)
+        directory.remove_sharer(99, 0)  # must not raise
+
+    def test_tracked_blocks(self):
+        directory = Directory(4, 16)
+        directory.entry(5).sharers.add(0)
+        directory.entry(2).sharers.add(0)
+        assert directory.tracked_blocks() == [2, 5]
+        assert len(directory) == 2

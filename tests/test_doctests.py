@@ -1,0 +1,19 @@
+"""Run the doctests embedded in module and class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.sim.engine
+import repro.sim.rng
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.sim.engine, repro.sim.rng],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert results.failed == 0

@@ -1,0 +1,90 @@
+"""End-to-end workflows that cross subsystem boundaries.
+
+These exercise the paths a downstream user actually takes: trace →
+persist → reload → coherence; profile → advise → simulate under the
+recommendation; application model vs single-episode model consistency.
+"""
+
+import pytest
+
+from repro import (
+    CoherenceConfig,
+    CoherenceSimulator,
+    PolicyAdvisor,
+    PostMortemScheduler,
+    SynchronizationProfile,
+    build_app,
+    load_trace,
+    save_trace,
+    simulate_application,
+    simulate_barrier,
+)
+from repro.core.backoff import NoBackoff
+
+
+class TestTracePersistWorkflow:
+    def test_persisted_trace_yields_identical_table1_row(self, tmp_path):
+        trace = PostMortemScheduler(build_app("SIMPLE", scale=0.12), 8).run()
+        path = tmp_path / "simple.npz"
+        save_trace(trace, path)
+        reloaded = load_trace(path)
+
+        def row(t):
+            sim = CoherenceSimulator(
+                CoherenceConfig(num_cpus=8, num_pointers=2)
+            )
+            stats = sim.run(t)
+            return (
+                stats.sync_invalidation_pct,
+                stats.data_invalidation_pct,
+                stats.total_traffic,
+            )
+
+        assert row(trace) == row(reloaded)
+
+
+class TestAdviseThenSimulateWorkflow:
+    def test_recommended_policy_beats_no_backoff(self):
+        trace = PostMortemScheduler(build_app("WEATHER", scale=0.2), 16).run()
+        profile = SynchronizationProfile.from_trace(trace)
+        recommendation = PolicyAdvisor().recommend(profile)
+        n = profile.num_processors
+        interval = max(int(round(profile.interval_a)), 1)
+        base = simulate_barrier(n, interval, NoBackoff(), repetitions=10)
+        advised = simulate_barrier(
+            n, interval, recommendation.policy, repetitions=10
+        )
+        assert advised.mean_accesses <= base.mean_accesses
+
+    def test_empirical_winner_beats_no_backoff_on_profile(self):
+        trace = PostMortemScheduler(build_app("SIMPLE", scale=0.12), 8).run()
+        profile = SynchronizationProfile.from_trace(trace)
+        advisor = PolicyAdvisor()
+        ranking = advisor.rank(profile, repetitions=10)
+        labels = [label for label, __ in ranking]
+        assert labels[-1] == "Without Backoff" or labels[0] != "Without Backoff"
+
+
+class TestApplicationVsEpisodeConsistency:
+    def test_first_round_matches_single_episode_scale(self):
+        # The application model's per-barrier cost should be in the same
+        # regime as a single-episode simulation at the emergent A.
+        app = simulate_application(
+            16, 500, policy=NoBackoff(), rounds=6, jitter=0.2, repetitions=5
+        )
+        emergent_a = max(int(round(app.arrival_span.mean)), 1)
+        episode = simulate_barrier(
+            16, emergent_a, NoBackoff(), repetitions=20
+        )
+        per_round = app.accesses.mean / 6
+        assert per_round == pytest.approx(episode.mean_accesses, rel=0.5)
+
+    def test_traffic_rate_consistent_with_period(self):
+        # traffic rate = total accesses / (completion * P); since the
+        # aggregate stores mean accesses *per process*, the rate must
+        # equal mean_accesses / completion within run-to-run noise.
+        app = simulate_application(
+            16, 1000, policy=NoBackoff(), rounds=5, jitter=0.1, repetitions=5
+        )
+        implied_rate = app.accesses.mean / app.completion.mean
+        assert app.traffic_rate.mean == pytest.approx(implied_rate, rel=0.05)

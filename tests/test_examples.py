@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Each example is executed in a subprocess at a reduced scale where the
+script accepts one, so the whole file stays under a minute.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+#: (script, argv) — args shrink the workload where supported.
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("trace_driven_coherence.py", ["0.15"]),
+    ("spin_vs_block.py", []),
+    ("combining_tree.py", []),
+    ("network_hotspot.py", []),
+    ("adaptive_selection.py", ["0.15"]),
+    ("tree_saturation.py", []),
+    ("model_vs_simulation.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES, ids=[s for s, _ in EXAMPLES])
+def test_example_runs(script, args):
+    path = os.path.join(EXAMPLES_DIR, script)
+    completed = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "example produced no output"
+    assert (
+        "Reading" in completed.stdout
+        or "Dir_i_NB" in completed.stdout
+        or "Model" in completed.stdout
+    )
+
+
+def test_examples_list_is_complete():
+    on_disk = {
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    }
+    covered = {script for script, __ in EXAMPLES}
+    assert covered == on_disk, (
+        "examples on disk and the smoke-test list have drifted apart"
+    )

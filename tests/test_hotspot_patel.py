@@ -1,0 +1,114 @@
+"""Tests for the hot-spot workload and the Patel analytic model."""
+
+import pytest
+
+from repro.network.hotspot import (
+    HotspotWorkload,
+    hotspot_sweep,
+    uniform_baseline_throughput,
+)
+from repro.network.netbackoff import ExponentialRetryBackoff, ImmediateRetry
+from repro.network.patel import (
+    patel_acceptance_probability,
+    patel_bandwidth,
+    patel_stage_rates,
+)
+
+
+class TestHotspotWorkload:
+    def test_initial_messages_one_per_port(self):
+        workload = HotspotWorkload(num_ports=16, hot_fraction=0.1, seed=1)
+        messages = workload.initial_messages()
+        assert len(messages) == 16
+        assert sorted(m.source for m in messages) == list(range(16))
+
+    def test_hot_fraction_one_targets_hot_dest(self):
+        workload = HotspotWorkload(
+            num_ports=16, hot_fraction=1.0, hot_dest=3, seed=1
+        )
+        for message in workload.initial_messages():
+            assert message.dest == 3
+
+    def test_closed_loop_reissues(self):
+        workload = HotspotWorkload(num_ports=8, hot_fraction=0.0, think_time=5)
+        first = workload.initial_messages()[0]
+        first.completed_time = 20
+        successor = workload.on_complete(first, 20)
+        assert successor is not None
+        assert successor.source == first.source
+        assert successor.issue_time == 25
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            HotspotWorkload(num_ports=8, hot_fraction=1.5)
+
+    def test_invalid_hot_dest(self):
+        with pytest.raises(ValueError):
+            HotspotWorkload(num_ports=8, hot_fraction=0.1, hot_dest=8)
+
+
+class TestHotspotSweep:
+    def test_hot_traffic_degrades_throughput(self):
+        results = hotspot_sweep(
+            num_ports=16,
+            hot_fractions=(0.0, 0.5),
+            policies=[ImmediateRetry()],
+            horizon=5_000,
+        )
+        per = results["immediate"]
+        assert per[0.5].throughput < per[0.0].throughput
+
+    def test_backoff_reduces_attempts_under_hotspot(self):
+        results = hotspot_sweep(
+            num_ports=16,
+            hot_fractions=(0.3,),
+            policies=[ImmediateRetry(), ExponentialRetryBackoff(base=2)],
+            horizon=5_000,
+        )
+        eager = results["immediate"][0.3]
+        patient = results["exponential"][0.3]
+        assert patient.attempts_per_message.mean < eager.attempts_per_message.mean
+
+    def test_uniform_baseline_positive(self):
+        assert uniform_baseline_throughput(16, horizon=3_000) > 0
+
+
+class TestPatelModel:
+    def test_stage_rates_monotone_nonincreasing(self):
+        rates = patel_stage_rates(0.9, num_stages=6)
+        assert len(rates) == 7
+        for earlier, later in zip(rates, rates[1:]):
+            assert later <= earlier + 1e-12
+
+    def test_zero_rate_stays_zero(self):
+        assert patel_bandwidth(0.0, 64) == 0.0
+
+    def test_bandwidth_below_request_rate(self):
+        assert patel_bandwidth(1.0, 64) < 1.0
+
+    def test_bandwidth_increases_with_request_rate(self):
+        low = patel_bandwidth(0.2, 64)
+        high = patel_bandwidth(0.8, 64)
+        assert high > low
+
+    def test_bandwidth_decreases_with_network_size(self):
+        small = patel_bandwidth(1.0, 16)
+        large = patel_bandwidth(1.0, 256)
+        assert large < small
+
+    def test_known_value_one_stage(self):
+        # One 2x2 stage at full load: 1 - (1 - 1/2)^2 = 0.75.
+        assert patel_bandwidth(1.0, 2) == pytest.approx(0.75)
+
+    def test_acceptance_probability(self):
+        assert patel_acceptance_probability(0.0, 64) == 1.0
+        p = patel_acceptance_probability(1.0, 64)
+        assert 0.0 < p < 1.0
+
+    def test_invalid_request_rate(self):
+        with pytest.raises(ValueError):
+            patel_stage_rates(1.5, 3)
+
+    def test_invalid_ports(self):
+        with pytest.raises(ValueError):
+            patel_bandwidth(0.5, 48)

@@ -1,0 +1,77 @@
+"""Tests of the paper's simulation methodology itself.
+
+Section 5.2: "The simulation for each set of parameters is repeated 100
+times and the numbers are averaged over all the runs to compensate for
+the random variations due to the assumption of a uniform probability of
+arrival.  We verified that for each of the numbers we present the
+standard deviation was less than about 7% over the hundred runs."
+"""
+
+import pytest
+
+from repro.barrier.simulator import simulate_barrier
+from repro.core.backoff import ExponentialFlagBackoff, NoBackoff, VariableBackoff
+
+
+class TestSigmaBound:
+    """The <7% relative-sigma claim across a representative grid."""
+
+    @pytest.mark.parametrize("n", [64, 256])
+    @pytest.mark.parametrize("interval_a", [100, 1000])
+    def test_no_backoff_sigma_under_7pct_large_n(self, n, interval_a):
+        aggregate = simulate_barrier(
+            n, interval_a, NoBackoff(), repetitions=100
+        )
+        assert aggregate.relative_stddev_accesses < 0.07
+
+    def test_small_n_sigma_is_arrival_span_variance(self):
+        # At N=16 the first-to-last arrival span of 16 uniform draws
+        # itself varies ~15% relative, and the accesses inherit it; the
+        # paper's <7% figure matches the larger-N points it features.
+        aggregate = simulate_barrier(16, 1000, NoBackoff(), repetitions=100)
+        assert 0.05 < aggregate.relative_stddev_accesses < 0.25
+
+    @pytest.mark.parametrize("n", [64, 128])
+    def test_variable_backoff_sigma(self, n):
+        aggregate = simulate_barrier(
+            n, 1000, VariableBackoff(), repetitions=100
+        )
+        assert aggregate.relative_stddev_accesses < 0.10
+
+    def test_a0_is_deterministic(self):
+        aggregate = simulate_barrier(64, 0, NoBackoff(), repetitions=20)
+        assert aggregate.relative_stddev_accesses == 0.0
+
+    def test_backoff_sigma_larger_but_bounded(self):
+        # Backoff runs have few accesses, so the relative sigma is
+        # larger; it must still be bounded enough for 100-rep means.
+        aggregate = simulate_barrier(
+            64, 1000, ExponentialFlagBackoff(2), repetitions=100
+        )
+        assert aggregate.relative_stddev_accesses < 0.30
+
+
+class TestAveragingConverges:
+    def test_more_repetitions_tighter_seed_spread(self):
+        # The spread of the 100-rep mean across seeds must be far
+        # tighter than single-episode variability.
+        means = [
+            simulate_barrier(
+                32, 1000, NoBackoff(), repetitions=100, seed=seed
+            ).mean_accesses
+            for seed in range(3)
+        ]
+        spread = (max(means) - min(means)) / (sum(means) / len(means))
+        assert spread < 0.02
+
+    def test_mean_unbiased_across_seeds(self):
+        from repro.barrier.models import model2_accesses
+
+        means = [
+            simulate_barrier(
+                16, 1000, NoBackoff(), repetitions=50, seed=seed
+            ).mean_accesses
+            for seed in range(4)
+        ]
+        average = sum(means) / len(means)
+        assert average == pytest.approx(model2_accesses(16, 1000), rel=0.05)

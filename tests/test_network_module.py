@@ -1,0 +1,120 @@
+"""Tests for the memory-module contention model.
+
+These pin down the paper's counting convention: a request presented at
+``t`` and granted at ``g`` made ``g - t + 1`` network accesses (every
+denied cycle counts).
+"""
+
+import pytest
+
+from repro.network.model import NetworkModel
+from repro.network.module import MemoryModule
+
+
+class TestMemoryModule:
+    def test_uncontended_access_costs_one(self):
+        module = MemoryModule()
+        grant, accesses = module.request(5)
+        assert grant == 5
+        assert accesses == 1
+
+    def test_one_grant_per_cycle(self):
+        module = MemoryModule()
+        g0, __ = module.request(0)
+        g1, __ = module.request(0)
+        g2, __ = module.request(0)
+        assert (g0, g1, g2) == (0, 1, 2)
+
+    def test_denied_cycles_count_as_accesses(self):
+        module = MemoryModule()
+        module.request(0)
+        module.request(0)
+        __, accesses = module.request(0)  # granted at 2, denied at 0 and 1
+        assert accesses == 3
+
+    def test_simultaneous_burst_average_cost(self):
+        # N simultaneous requests cost 1..N accesses: average (N+1)/2,
+        # the paper's "N/2 references to get at the barrier variable".
+        module = MemoryModule()
+        n = 32
+        costs = [module.request(0)[1] for __ in range(n)]
+        assert costs == list(range(1, n + 1))
+
+    def test_idle_gap_resets_contention(self):
+        module = MemoryModule()
+        module.request(0)
+        grant, accesses = module.request(10)
+        assert grant == 10
+        assert accesses == 1
+
+    def test_requests_must_be_time_ordered(self):
+        module = MemoryModule()
+        module.request(5)
+        with pytest.raises(ValueError):
+            module.request(4)
+
+    def test_equal_ready_times_allowed(self):
+        module = MemoryModule()
+        module.request(5)
+        grant, __ = module.request(5)
+        assert grant == 6
+
+    def test_negative_ready_time_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModule().request(-1)
+
+    def test_counters(self):
+        module = MemoryModule()
+        module.request(0)
+        module.request(0)
+        assert module.total_grants == 2
+        assert module.total_accesses == 3  # 1 + 2
+        assert module.contention_accesses == 1
+
+    def test_peek_does_not_mutate(self):
+        module = MemoryModule()
+        module.request(0)
+        assert module.peek_grant_time(0) == 1
+        assert module.peek_grant_time(0) == 1
+        grant, __ = module.request(0)
+        assert grant == 1
+
+    def test_reset(self):
+        module = MemoryModule()
+        module.request(3)
+        module.reset()
+        assert module.total_accesses == 0
+        grant, __ = module.request(0)
+        assert grant == 0
+
+    def test_utilisation(self):
+        module = MemoryModule()
+        for __ in range(5):
+            module.request(0)
+        assert module.utilisation(10) == pytest.approx(0.5)
+        assert module.utilisation(0) == 0.0
+
+
+class TestNetworkModel:
+    def test_separate_modules(self):
+        network = NetworkModel()
+        g_var, __ = network.variable_module.request(0)
+        g_flag, __ = network.flag_module.request(0)
+        # Different modules: both granted in the same cycle.
+        assert g_var == 0
+        assert g_flag == 0
+
+    def test_totals_combine_both_modules(self):
+        network = NetworkModel()
+        network.variable_module.request(0)
+        network.variable_module.request(0)
+        network.flag_module.request(0)
+        assert network.total_grants == 3
+        assert network.total_accesses == 4
+        assert network.contention_accesses == 1
+
+    def test_reset(self):
+        network = NetworkModel()
+        network.variable_module.request(0)
+        network.reset()
+        assert network.total_accesses == 0

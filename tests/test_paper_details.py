@@ -1,0 +1,156 @@
+"""Tests for fine-grained paper claims not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.barrier.arrivals import FixedArrivals
+from repro.barrier.simulator import BarrierSimulator
+from repro.core.backoff import ExponentialFlagBackoff, NoBackoff, VariableBackoff
+from repro.core.barrier import TangYewBarrier
+from repro.memory.coherence import CoherenceConfig, CoherenceSimulator
+from repro.trace.apps import build_app
+from repro.trace.io import load_trace, save_trace
+from repro.trace.program import AddressSpace, ParallelLoop, Program, SerialSection
+from repro.trace.record import Op
+from repro.trace.scheduler import PostMortemScheduler
+
+
+class TestFinalWriteInterference:
+    """Section 4.2: backoff 'can also help prevent interference with
+    the final processor write request that will release the processes
+    waiting on the flag.'"""
+
+    def _writer_cost(self, policy, n=32, spread=5):
+        # Arrivals close together: pollers camp on the flag module and
+        # the last arrival's write must fight through them.
+        arrivals = FixedArrivals([i * spread for i in range(n)])
+        simulator = BarrierSimulator(TangYewBarrier(n, backoff=policy), arrivals)
+        result = simulator.run_once(np.random.default_rng(0))
+        # The last processor's accesses are its F&A (cheap, arrivals are
+        # spread) plus the flag-write attempts.
+        return result.accesses_per_process[n - 1]
+
+    def test_backoff_unblocks_the_release_write(self):
+        contended = self._writer_cost(NoBackoff())
+        relieved = self._writer_cost(ExponentialFlagBackoff(2))
+        assert relieved < contended * 0.7
+
+    def test_flag_set_earlier_with_backoff(self):
+        arrivals = FixedArrivals([i * 5 for i in range(32)])
+        plain = BarrierSimulator(
+            TangYewBarrier(32, backoff=NoBackoff()), arrivals
+        ).run_once(np.random.default_rng(0))
+        backoff = BarrierSimulator(
+            TangYewBarrier(32, backoff=ExponentialFlagBackoff(2)), arrivals
+        ).run_once(np.random.default_rng(0))
+        assert backoff.flag_set_time <= plain.flag_set_time
+
+
+class TestUniformSpreadContentionRelief:
+    """Section 6.1: 'when the arrivals are spread out slightly, there
+    is less contention in accessing the barrier' — A=100 beats A=0 for
+    large N."""
+
+    def test_spread_relieves_variable_contention(self):
+        from repro.barrier.simulator import simulate_barrier
+
+        tight = simulate_barrier(256, 0, NoBackoff(), repetitions=10)
+        spread = simulate_barrier(256, 100, NoBackoff(), repetitions=10)
+        assert spread.mean_accesses < tight.mean_accesses
+
+
+class TestSchedulerMixedPrograms:
+    def test_serial_then_loop_under_tree_barriers(self):
+        program = Program(
+            "mixed",
+            AddressSpace(),
+            [
+                SerialSection("s", [(Op.READ, 0x100)] * 10),
+                ParallelLoop("l", 12, [(Op.WRITE, 0x200)]),
+            ],
+        )
+        trace = PostMortemScheduler(
+            program, 9, barrier_style="tree", tree_degree=3
+        ).run()
+        assert len(trace.barriers) == 2
+        for barrier in trace.barriers:
+            assert barrier.flag_set_cycle is not None
+            assert len(barrier.arrivals) == 9
+
+    def test_tree_trace_round_trips_through_io(self, tmp_path):
+        program = build_app("FFT", scale=0.1)
+        trace = PostMortemScheduler(
+            program, 8, barrier_style="tree", tree_degree=2
+        ).run()
+        path = tmp_path / "tree.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert list(loaded) == list(trace)
+        assert loaded.mean_interval_a() == trace.mean_interval_a()
+
+    def test_tree_and_flat_same_barrier_count(self):
+        flat = PostMortemScheduler(build_app("FFT", scale=0.1), 8).run()
+        tree = PostMortemScheduler(
+            build_app("FFT", scale=0.1), 8, barrier_style="tree", tree_degree=2
+        ).run()
+        assert len(flat.barriers) == len(tree.barriers)
+
+
+class TestVariableBackoffVariants:
+    """Section 4.2's (N-i)+C and (N-i)*C generalisations."""
+
+    def test_multiplied_backoff_saves_more_at_nonzero_a(self):
+        from repro.barrier.simulator import simulate_barrier
+
+        base = simulate_barrier(64, 200, NoBackoff(), repetitions=10)
+        unit = simulate_barrier(64, 200, VariableBackoff(), repetitions=10)
+        scaled = simulate_barrier(
+            64, 200, VariableBackoff(multiplier=4), repetitions=10
+        )
+        assert scaled.mean_accesses < unit.mean_accesses < base.mean_accesses
+
+    def test_multiplied_backoff_can_cost_waiting(self):
+        from repro.barrier.simulator import simulate_barrier
+
+        unit = simulate_barrier(64, 200, VariableBackoff(), repetitions=10)
+        scaled = simulate_barrier(
+            64, 200, VariableBackoff(multiplier=16), repetitions=10
+        )
+        # "it also adds the potential of increasing cpu idle time".
+        assert scaled.mean_waiting_time >= unit.mean_waiting_time
+
+
+class TestBlockSizeEffects:
+    def test_sync_words_never_false_share(self):
+        # Every sync variable is block-aligned in its own block, so two
+        # different sync addresses never invalidate each other.
+        program = build_app("FFT", scale=0.1)
+        trace = PostMortemScheduler(program, 8).run()
+        sync_blocks = {
+            record.address // 16 for record in trace if record.is_sync
+        }
+        sync_addresses = {record.address for record in trace if record.is_sync}
+        assert len(sync_blocks) == len(sync_addresses)
+
+    def test_larger_blocks_false_share_the_column_pass(self):
+        # FFT's column pass strides through the matrix, so bigger
+        # blocks put different processors' elements in one block:
+        # misses and invalidations *rise* with block size — the classic
+        # false-sharing effect multiword blocks bring, and one reason
+        # the paper keeps synchronization words in blocks of their own.
+        trace = PostMortemScheduler(build_app("FFT", scale=0.1), 8).run()
+
+        def stats(block_bytes):
+            sim = CoherenceSimulator(
+                CoherenceConfig(
+                    num_cpus=8,
+                    num_pointers=8,
+                    block_bytes=block_bytes,
+                    cache_bytes=256 * 1024,
+                )
+            )
+            return sim.run(trace)
+
+        small, large = stats(16), stats(64)
+        assert large.misses > small.misses
+        assert large.total_invalidations > small.total_invalidations

@@ -1,0 +1,136 @@
+"""Tests for the queueing (spin vs block) and resource simulators."""
+
+import pytest
+
+from repro.barrier.queueing import (
+    simulate_blocking_barrier,
+    simulate_threshold_barrier,
+)
+from repro.barrier.resource import ResourceSimulator, simulate_resource
+from repro.barrier.simulator import simulate_barrier
+from repro.core.backoff import ExponentialFlagBackoff, NoBackoff
+from repro.core.locks import BackoffLock, TestAndSetLock, TestAndTestAndSetLock
+
+
+class TestBlockingBarrier:
+    def test_blocking_accesses_independent_of_a_once_spread(self):
+        # Sleepers never poll: once arrivals are spread enough that the
+        # barrier-variable F&As stop contending, accesses are flat in A.
+        medium = simulate_blocking_barrier(32, 1000, repetitions=5)
+        large = simulate_blocking_barrier(32, 10_000, repetitions=5)
+        assert medium.mean_accesses == pytest.approx(large.mean_accesses, rel=0.05)
+
+    def test_blocking_cheaper_accesses_than_spinning(self):
+        spin = simulate_barrier(64, 1000, NoBackoff(), repetitions=5)
+        block = simulate_blocking_barrier(64, 1000, repetitions=5)
+        assert block.mean_accesses < spin.mean_accesses / 10
+
+    def test_blocking_pays_overhead_at_small_a(self):
+        spin = simulate_barrier(64, 0, ExponentialFlagBackoff(2), repetitions=5)
+        block = simulate_blocking_barrier(
+            64, 0, enqueue_overhead=500, wakeup_overhead=500, repetitions=5
+        )
+        assert block.mean_waiting_time > spin.mean_waiting_time
+
+    def test_blocking_wins_waiting_at_large_a(self):
+        spin = simulate_barrier(64, 50_000, ExponentialFlagBackoff(8), repetitions=5)
+        block = simulate_blocking_barrier(64, 50_000, repetitions=5)
+        assert block.mean_waiting_time < spin.mean_waiting_time
+
+    def test_all_but_last_queue(self):
+        aggregate = simulate_blocking_barrier(16, 100, repetitions=5)
+        assert aggregate.queued.mean == pytest.approx(15.0)
+
+
+class TestThresholdHybrid:
+    def test_never_queues_at_a0(self):
+        # Arrivals are simultaneous: the backoff never crosses the
+        # threshold before the flag is set.
+        aggregate = simulate_threshold_barrier(
+            32, 0, ExponentialFlagBackoff(2), threshold=512, repetitions=5
+        )
+        assert aggregate.queued.mean == 0.0
+
+    def test_queues_at_huge_a(self):
+        aggregate = simulate_threshold_barrier(
+            32, 50_000, ExponentialFlagBackoff(2), threshold=256, repetitions=5
+        )
+        assert aggregate.queued.mean > 16
+
+    def test_tracks_best_waiting_time(self):
+        # The hybrid should be within 25% of the better of spin/block
+        # at both extremes.
+        for interval_a in (0, 20_000):
+            spin = simulate_barrier(
+                32, interval_a, ExponentialFlagBackoff(2), repetitions=5
+            )
+            block = simulate_blocking_barrier(32, interval_a, repetitions=5)
+            hybrid = simulate_threshold_barrier(
+                32,
+                interval_a,
+                ExponentialFlagBackoff(2),
+                threshold=256,
+                repetitions=5,
+            )
+            best = min(spin.mean_waiting_time, block.mean_waiting_time)
+            assert hybrid.mean_waiting_time <= best * 1.25
+
+    def test_reproducible(self):
+        a = simulate_threshold_barrier(
+            16, 1000, ExponentialFlagBackoff(2), threshold=64, repetitions=3, seed=4
+        )
+        b = simulate_threshold_barrier(
+            16, 1000, ExponentialFlagBackoff(2), threshold=64, repetitions=3, seed=4
+        )
+        assert a.mean_accesses == b.mean_accesses
+
+
+class TestResourceSimulator:
+    def test_every_processor_acquires(self):
+        import numpy as np
+
+        simulator = ResourceSimulator(8, TestAndSetLock(), hold_time=4)
+        result = simulator.run_once(np.random.default_rng(0))
+        assert len(result.finish_times) == 8
+        assert all(t > 0 for t in result.finish_times)
+
+    def test_makespan_at_least_serial_hold_time(self):
+        # 8 processors x hold 4 cycles: the resource alone needs 32.
+        aggregate = simulate_resource(8, TestAndSetLock(), hold_time=4, repetitions=3)
+        assert aggregate.mean_makespan >= 32
+
+    def test_backoff_lock_fewer_accesses_than_tas(self):
+        tas = simulate_resource(32, TestAndSetLock(), hold_time=8, repetitions=5)
+        backoff = simulate_resource(
+            32, BackoffLock(hold_time=8), hold_time=8, repetitions=5
+        )
+        assert backoff.mean_accesses < tas.mean_accesses / 3
+
+    def test_backoff_lock_does_not_hurt_makespan_much(self):
+        tas = simulate_resource(32, TestAndSetLock(), hold_time=8, repetitions=5)
+        backoff = simulate_resource(
+            32, BackoffLock(hold_time=8), hold_time=8, repetitions=5
+        )
+        assert backoff.mean_makespan <= tas.mean_makespan * 1.25
+
+    def test_multiple_acquisitions(self):
+        aggregate = simulate_resource(
+            4, TestAndSetLock(), hold_time=4, acquisitions=3, repetitions=3
+        )
+        # 4 procs x 3 acquisitions x 4 hold cycles = 48 serial floor.
+        assert aggregate.mean_makespan >= 48
+
+    def test_ttas_behaves_like_tas_in_uncached_model(self):
+        tas = simulate_resource(16, TestAndSetLock(), hold_time=8, repetitions=3)
+        ttas = simulate_resource(
+            16, TestAndTestAndSetLock(), hold_time=8, repetitions=3
+        )
+        assert ttas.mean_accesses == pytest.approx(tas.mean_accesses, rel=0.01)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ResourceSimulator(0, TestAndSetLock())
+        with pytest.raises(ValueError):
+            ResourceSimulator(4, TestAndSetLock(), hold_time=0)
+        with pytest.raises(ValueError):
+            ResourceSimulator(4, TestAndSetLock(), acquisitions=0)

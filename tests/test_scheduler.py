@@ -1,0 +1,189 @@
+"""Tests for the post-mortem scheduler."""
+
+import pytest
+
+from repro.trace.program import (
+    AddressSpace,
+    ParallelLoop,
+    Program,
+    ReplicateSection,
+    SerialSection,
+)
+from repro.trace.record import Op
+from repro.trace.scheduler import PostMortemScheduler
+
+
+def make_program(sections):
+    return Program("test", AddressSpace(), list(sections))
+
+
+def schedule(sections, num_cpus):
+    return PostMortemScheduler(make_program(sections), num_cpus).run()
+
+
+BODY = [(Op.READ, 0x1000), (Op.WRITE, 0x1010)]
+
+
+class TestSingleLoop:
+    def test_every_iteration_executes_exactly_once(self):
+        trace = schedule([ParallelLoop("l", 10, BODY)], num_cpus=3)
+        body_reads = sum(
+            1 for r in trace if not r.is_sync and r.op is Op.READ
+        )
+        assert body_reads == 10  # one per iteration
+
+    def test_barrier_present(self):
+        trace = schedule([ParallelLoop("l", 4, BODY)], num_cpus=2)
+        assert len(trace.barriers) == 1
+        barrier = trace.barriers[0]
+        assert len(barrier.arrivals) == 2
+        assert barrier.flag_set_cycle is not None
+
+    def test_all_cpus_arrive_once_per_barrier(self):
+        trace = schedule([ParallelLoop("l", 7, BODY)], num_cpus=4)
+        cpus = sorted(cpu for cpu, __ in trace.barriers[0].arrivals)
+        assert cpus == [0, 1, 2, 3]
+
+    def test_flag_set_after_last_arrival(self):
+        trace = schedule([ParallelLoop("l", 7, BODY)], num_cpus=4)
+        barrier = trace.barriers[0]
+        assert barrier.flag_set_cycle > barrier.last_arrival
+
+    def test_sync_refs_flagged(self):
+        trace = schedule([ParallelLoop("l", 4, BODY)], num_cpus=2)
+        sync_ops = {r.op for r in trace if r.is_sync}
+        # Index F&A, barrier F&A (RMW), flag polls (READ), flag set (WRITE).
+        assert sync_ops == {Op.RMW, Op.READ, Op.WRITE}
+
+    def test_single_cpu_no_polling(self):
+        trace = schedule([ParallelLoop("l", 3, BODY)], num_cpus=1)
+        barrier = trace.barriers[0]
+        assert barrier.first_poll_cycle is None
+        assert barrier.interval_a == 0
+
+
+class TestProgramOrder:
+    def test_per_cpu_references_in_program_order(self):
+        # Within one cpu, body refs of one iteration appear contiguously.
+        trace = schedule(
+            [ParallelLoop("l", 6, [(Op.READ, 0x100), (Op.WRITE, 0x110),
+                                   (Op.READ, 0x120)])],
+            num_cpus=2,
+        )
+        per_cpu = {0: [], 1: []}
+        for r in trace:
+            if not r.is_sync:
+                per_cpu[r.cpu].append(r.address)
+        for addresses in per_cpu.values():
+            for i in range(0, len(addresses), 3):
+                assert addresses[i : i + 3] == [0x100, 0x110, 0x120]
+
+    def test_two_loops_ordered_by_barrier(self):
+        first = ParallelLoop("a", 4, [(Op.READ, 0x100)])
+        second = ParallelLoop("b", 4, [(Op.READ, 0x200)])
+        trace = schedule([first, second], num_cpus=2)
+        assert len(trace.barriers) == 2
+        # No 0x200 reference may appear before the first flag is set.
+        first_flag_set = trace.barriers[0].flag_set_cycle
+        position_of_first_b = None
+        for index, r in enumerate(trace):
+            if not r.is_sync and r.address == 0x200:
+                position_of_first_b = index
+                break
+        assert position_of_first_b is not None
+        # Index in trace is not a cycle, but barrier 2 arrivals must all
+        # be later than barrier 1's flag set.
+        assert trace.barriers[1].first_arrival > first_flag_set
+
+
+class TestSerialSection:
+    def test_exactly_one_cpu_executes(self):
+        trace = schedule(
+            [SerialSection("s", [(Op.READ, 0x500)] * 5)], num_cpus=4
+        )
+        executors = {r.cpu for r in trace if not r.is_sync}
+        assert len(executors) == 1
+
+    def test_others_wait_at_barrier(self):
+        trace = schedule(
+            [SerialSection("s", [(Op.READ, 0x500)] * 20)], num_cpus=4
+        )
+        barrier = trace.barriers[0]
+        assert len(barrier.arrivals) == 4
+        # Waiters arrive long before the executor.
+        assert barrier.arrival_span >= 19
+
+
+class TestReplicateSection:
+    def test_every_cpu_executes_own_body(self):
+        section = ReplicateSection("r", lambda cpu: [(Op.READ, 0x1000 + 16 * cpu)])
+        trace = schedule([section], num_cpus=3)
+        addresses = sorted(r.address for r in trace if not r.is_sync)
+        assert addresses == [0x1000, 0x1010, 0x1020]
+
+    def test_no_barrier_inserted(self):
+        section = ReplicateSection("r", lambda cpu: [(Op.READ, 0x1000)])
+        trace = schedule([section], num_cpus=3)
+        assert len(trace.barriers) == 0
+
+    def test_empty_replicate_body_skipped(self):
+        section = ReplicateSection("r", lambda cpu: [])
+        trace = schedule([section, ParallelLoop("l", 2, BODY)], num_cpus=2)
+        assert len(trace.barriers) == 1
+
+
+class TestFetchAddSerialization:
+    def test_loop_start_staggers_arrivals(self):
+        # With identical bodies, the index F&A serializes processors:
+        # one grant per cycle, so body starts are staggered.
+        trace = schedule(
+            [ParallelLoop("l", 8, [(Op.READ, 0x100)] * 50)], num_cpus=8
+        )
+        barrier = trace.barriers[0]
+        assert barrier.arrival_span >= 7
+
+    def test_rmw_grants_unique_per_cycle(self):
+        # Granted F&As on one variable occupy distinct cycles, which we
+        # observe through strictly increasing arrival cycles.
+        trace = schedule([ParallelLoop("l", 4, BODY)], num_cpus=4)
+        cycles = sorted(c for __, c in trace.barriers[0].arrivals)
+        assert len(set(cycles)) == len(cycles)
+
+
+class TestIntervalMeasurement:
+    def test_interval_e_between_barriers(self):
+        loops = [
+            ParallelLoop("a", 4, [(Op.READ, 0x100)] * 30),
+            ParallelLoop("b", 4, [(Op.READ, 0x200)] * 30),
+        ]
+        trace = schedule(loops, num_cpus=2)
+        values = trace.interval_e_values()
+        assert len(values) == 1
+        assert values[0] > 0
+
+    def test_arrival_offsets_start_at_zero(self):
+        trace = schedule([ParallelLoop("l", 9, BODY)], num_cpus=4)
+        offsets = trace.barriers[0].arrival_offsets()
+        assert offsets[0] == 0
+        assert offsets == sorted(offsets)
+
+    def test_mean_intervals_empty_safe(self):
+        trace = schedule([ReplicateSection("r", lambda cpu: [(Op.READ, 0)])], 2)
+        assert trace.mean_interval_a() == 0.0
+        assert trace.mean_interval_e() == 0.0
+
+
+class TestSafety:
+    def test_max_cycles_guard(self):
+        program = make_program([ParallelLoop("l", 64, [(Op.READ, 0)] * 64)])
+        scheduler = PostMortemScheduler(program, 8)
+        with pytest.raises(RuntimeError):
+            scheduler.run(max_cycles=10)
+
+    def test_invalid_cpu_count(self):
+        with pytest.raises(ValueError):
+            PostMortemScheduler(make_program([]), 0)
+
+    def test_sync_fraction_bounds(self):
+        trace = schedule([ParallelLoop("l", 4, BODY)], num_cpus=2)
+        assert 0.0 < trace.sync_fraction < 1.0

@@ -1,0 +1,115 @@
+"""Tests for profile-driven policy selection (Section 8 pipeline)."""
+
+import pytest
+
+from repro.core.backoff import (
+    ExponentialFlagBackoff,
+    NoBackoff,
+    ThresholdQueueBackoff,
+    VariableBackoff,
+)
+from repro.core.selection import (
+    PolicyAdvisor,
+    Recommendation,
+    SynchronizationProfile,
+)
+from repro.trace.apps import build_app
+from repro.trace.scheduler import PostMortemScheduler
+
+
+class TestSynchronizationProfile:
+    def test_spread_ratio(self):
+        profile = SynchronizationProfile(num_processors=64, interval_a=1000)
+        assert profile.spread_ratio == pytest.approx(15.625)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            SynchronizationProfile(num_processors=0, interval_a=10)
+        with pytest.raises(ValueError):
+            SynchronizationProfile(num_processors=4, interval_a=-1)
+
+    def test_from_trace(self):
+        trace = PostMortemScheduler(build_app("FFT", scale=0.2), 8).run()
+        profile = SynchronizationProfile.from_trace(trace)
+        assert profile.num_processors == 8
+        assert profile.label == "FFT"
+        assert profile.arrival_offsets
+        assert profile.interval_e is not None
+
+
+class TestAnalyticRecommendation:
+    def test_single_process_no_backoff(self):
+        profile = SynchronizationProfile(num_processors=1, interval_a=0)
+        recommendation = PolicyAdvisor().recommend(profile)
+        assert isinstance(recommendation.policy, NoBackoff)
+
+    def test_tight_arrivals_variable_backoff(self):
+        profile = SynchronizationProfile(num_processors=256, interval_a=100)
+        recommendation = PolicyAdvisor().recommend(profile)
+        assert type(recommendation.policy) is VariableBackoff
+        assert "tight" in recommendation.rationale
+
+    def test_spread_arrivals_binary_exponential(self):
+        profile = SynchronizationProfile(num_processors=16, interval_a=300)
+        recommendation = PolicyAdvisor().recommend(profile)
+        assert isinstance(recommendation.policy, ExponentialFlagBackoff)
+        assert recommendation.policy.base == 2
+
+    def test_cheap_waiting_aggressive_base(self):
+        profile = SynchronizationProfile(num_processors=16, interval_a=300)
+        advisor = PolicyAdvisor(waiting_weight=0.0)
+        recommendation = advisor.recommend(profile)
+        assert recommendation.policy.base == 8
+
+    def test_huge_spread_queues(self):
+        profile = SynchronizationProfile(num_processors=16, interval_a=50_000)
+        recommendation = PolicyAdvisor(queue_overhead=100).recommend(profile)
+        assert isinstance(recommendation.policy, ThresholdQueueBackoff)
+
+    def test_recommendation_str(self):
+        profile = SynchronizationProfile(num_processors=4, interval_a=100)
+        text = str(PolicyAdvisor().recommend(profile))
+        assert "—" in text
+
+    def test_invalid_advisor_parameters(self):
+        with pytest.raises(ValueError):
+            PolicyAdvisor(waiting_weight=-1)
+        with pytest.raises(ValueError):
+            PolicyAdvisor(queue_overhead=0)
+
+
+class TestEmpiricalSelection:
+    def test_rank_sorted_best_first(self):
+        profile = SynchronizationProfile(num_processors=16, interval_a=1000)
+        ranking = PolicyAdvisor().rank(profile, repetitions=5)
+        costs = [cost for __, cost in ranking]
+        assert costs == sorted(costs)
+        assert len(ranking) == 5  # the paper's five policies
+
+    def test_backoff_wins_at_large_a(self):
+        profile = SynchronizationProfile(num_processors=16, interval_a=1000)
+        recommendation = PolicyAdvisor().select(profile, repetitions=5)
+        assert isinstance(recommendation, Recommendation)
+        assert not isinstance(recommendation.policy, (NoBackoff,))
+        assert "empirically best" in recommendation.rationale
+
+    def test_custom_candidates(self):
+        profile = SynchronizationProfile(num_processors=8, interval_a=500)
+        candidates = {
+            "none": NoBackoff(),
+            "b2": ExponentialFlagBackoff(2),
+        }
+        ranking = PolicyAdvisor().rank(profile, candidates, repetitions=5)
+        assert ranking[0][0] == "b2"
+
+    def test_uses_measured_offsets_when_present(self):
+        trace = PostMortemScheduler(build_app("SIMPLE", scale=0.15), 8).run()
+        profile = SynchronizationProfile.from_trace(trace)
+        ranking = PolicyAdvisor().rank(profile, repetitions=5)
+        assert ranking  # runs end-to-end on empirical arrivals
+
+    def test_reproducible(self):
+        profile = SynchronizationProfile(num_processors=8, interval_a=500)
+        a = PolicyAdvisor().rank(profile, repetitions=5, seed=3)
+        b = PolicyAdvisor().rank(profile, repetitions=5, seed=3)
+        assert a == b

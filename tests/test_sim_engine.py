@@ -1,0 +1,127 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import Event, EventQueue, Simulator
+
+
+class TestEventQueue:
+    def test_starts_empty(self):
+        assert len(EventQueue()) == 0
+
+    def test_push_returns_event(self):
+        queue = EventQueue()
+        event = queue.push(5, lambda: None)
+        assert isinstance(event, Event)
+        assert event.time == 5
+
+    def test_pop_returns_earliest(self):
+        queue = EventQueue()
+        queue.push(10, lambda: "late")
+        queue.push(3, lambda: "early")
+        assert queue.pop().time == 3
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1, lambda: None)
+
+    def test_same_time_fifo_by_insertion(self):
+        queue = EventQueue()
+        order = []
+        queue.push(7, lambda: order.append("first"))
+        queue.push(7, lambda: order.append("second"))
+        queue.pop().callback()
+        queue.pop().callback()
+        assert order == ["first", "second"]
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        queue.push(7, lambda: None, priority=5)
+        low = queue.push(7, lambda: None, priority=1)
+        assert queue.pop().seq == low.seq
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(4, lambda: None)
+        assert queue.peek_time() == 4
+
+
+class TestSimulator:
+    def test_runs_events_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5, lambda: fired.append(5))
+        sim.schedule(2, lambda: fired.append(2))
+        sim.schedule(9, lambda: fired.append(9))
+        executed = sim.run()
+        assert fired == [2, 5, 9]
+        assert executed == 3
+
+    def test_now_tracks_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(4, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [4]
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(5, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule(3, lambda: None)
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: sim.schedule_after(5, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [15]
+
+    def test_schedule_after_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_after(-1, lambda: None)
+
+    def test_until_horizon_stops(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3, lambda: fired.append(3))
+        sim.schedule(8, lambda: fired.append(8))
+        sim.run(until=5)
+        assert fired == [3]
+        assert sim.pending == 1
+
+    def test_until_advances_clock_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.run(until=100)
+        assert sim.now == 100
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule_after(1, reschedule)
+
+        sim.schedule(0, reschedule)
+        executed = sim.run(max_events=50)
+        assert executed == 50
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, lambda: sim.schedule(2, lambda: fired.append("chained")))
+        sim.run()
+        assert fired == ["chained"]
+
+    def test_pending_counts_queued_events(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        assert sim.pending == 2

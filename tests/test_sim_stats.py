@@ -1,0 +1,159 @@
+"""Tests for the statistics containers."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import (
+    Histogram,
+    RunningStats,
+    Series,
+    confidence_interval,
+    mean,
+)
+
+
+class TestMean:
+    def test_empty_is_zero(self):
+        assert mean([]) == 0.0
+
+    def test_simple(self):
+        assert mean([1, 2, 3]) == 2.0
+
+
+class TestConfidenceInterval:
+    def test_single_value_zero_width(self):
+        center, half = confidence_interval([5.0])
+        assert center == 5.0
+        assert half == 0.0
+
+    def test_known_values(self):
+        center, half = confidence_interval([1.0, 2.0, 3.0], z=1.0)
+        assert center == 2.0
+        assert half == pytest.approx(math.sqrt(1.0 / 3.0))
+
+
+class TestRunningStats:
+    def test_mean_and_variance(self):
+        stats = RunningStats()
+        stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.variance == pytest.approx(32.0 / 7.0)
+
+    def test_min_max(self):
+        stats = RunningStats()
+        stats.extend([3.0, -1.0, 8.0])
+        assert stats.minimum == -1.0
+        assert stats.maximum == 8.0
+
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert stats.stddev == 0.0
+
+    def test_single_value_zero_variance(self):
+        stats = RunningStats()
+        stats.add(4.2)
+        assert stats.variance == 0.0
+
+    def test_relative_stddev(self):
+        stats = RunningStats()
+        stats.extend([10.0, 10.0, 10.0])
+        assert stats.relative_stddev == 0.0
+
+    def test_merge_matches_sequential(self):
+        values = [1.5, 2.5, 8.0, -3.0, 4.0, 4.0, 11.0]
+        sequential = RunningStats()
+        sequential.extend(values)
+        left, right = RunningStats(), RunningStats()
+        left.extend(values[:3])
+        right.extend(values[3:])
+        left.merge(right)
+        assert left.count == sequential.count
+        assert left.mean == pytest.approx(sequential.mean)
+        assert left.variance == pytest.approx(sequential.variance)
+        assert left.minimum == sequential.minimum
+        assert left.maximum == sequential.maximum
+
+    def test_merge_empty_noop(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0])
+        stats.merge(RunningStats())
+        assert stats.count == 2
+
+    def test_merge_into_empty(self):
+        stats = RunningStats()
+        other = RunningStats()
+        other.extend([1.0, 3.0])
+        stats.merge(other)
+        assert stats.mean == 2.0
+
+
+class TestHistogram:
+    def test_counts_and_total(self):
+        histogram = Histogram()
+        histogram.add(1)
+        histogram.add(1)
+        histogram.add(3, count=4)
+        assert histogram.count(1) == 2
+        assert histogram.count(3) == 4
+        assert histogram.total == 6
+
+    def test_fraction(self):
+        histogram = Histogram()
+        histogram.add(0, 3)
+        histogram.add(5, 1)
+        assert histogram.fraction(0) == pytest.approx(0.75)
+        assert histogram.fraction(99) == 0.0
+
+    def test_cumulative_fraction(self):
+        histogram = Histogram()
+        histogram.add(1, 5)
+        histogram.add(2, 3)
+        histogram.add(10, 2)
+        assert histogram.cumulative_fraction(2) == pytest.approx(0.8)
+
+    def test_empty_fractions_zero(self):
+        histogram = Histogram()
+        assert histogram.fraction(0) == 0.0
+        assert histogram.cumulative_fraction(5) == 0.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().add(0, count=-1)
+
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        a.add(1, 2)
+        b.add(1, 3)
+        b.add(2, 1)
+        a.merge(b)
+        assert a.count(1) == 5
+        assert a.count(2) == 1
+
+    def test_keys_sorted(self):
+        histogram = Histogram()
+        for key in (5, 1, 3):
+            histogram.add(key)
+        assert histogram.keys() == [1, 3, 5]
+
+
+class TestSeries:
+    def test_add_and_lookup(self):
+        series = Series(label="curve")
+        series.add(2, 10.0)
+        series.add(4, 20.0)
+        assert series.y_at(4) == 20.0
+        assert len(series) == 2
+
+    def test_missing_x_raises(self):
+        series = Series(label="curve")
+        series.add(2, 10.0)
+        with pytest.raises(KeyError):
+            series.y_at(3)
+
+    def test_points(self):
+        series = Series(label="curve")
+        series.add(1, 2.0)
+        assert series.points() == [(1, 2.0)]

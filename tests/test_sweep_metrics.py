@@ -1,0 +1,176 @@
+"""Tests for sweeps and metric aggregation."""
+
+import pytest
+
+from repro.barrier.metrics import BarrierAggregate, BarrierRunResult
+from repro.barrier.sweep import (
+    PAPER_A_VALUES,
+    PAPER_N_VALUES,
+    sweep,
+    sweep_accesses,
+    sweep_both,
+    sweep_waiting_time,
+)
+from repro.core.backoff import ExponentialFlagBackoff, NoBackoff
+
+
+class TestBarrierRunResult:
+    def test_means(self):
+        result = BarrierRunResult(
+            num_processors=3,
+            interval_a=0,
+            policy_name="x",
+            accesses_per_process=[2, 4, 6],
+            waiting_times=[10, 20, 30],
+        )
+        assert result.mean_accesses == 4.0
+        assert result.mean_waiting_time == 20.0
+        assert result.total_accesses == 12
+        assert result.max_waiting_time == 30
+
+    def test_empty_safe(self):
+        result = BarrierRunResult(num_processors=0, interval_a=0, policy_name="x")
+        assert result.mean_accesses == 0.0
+        assert result.mean_waiting_time == 0.0
+        assert result.max_waiting_time == 0
+
+
+class TestBarrierAggregate:
+    def _run(self, accesses, waits):
+        return BarrierRunResult(
+            num_processors=2,
+            interval_a=0,
+            policy_name="x",
+            accesses_per_process=accesses,
+            waiting_times=waits,
+        )
+
+    def test_add_and_average(self):
+        aggregate = BarrierAggregate(2, 0, "x")
+        aggregate.add_run(self._run([2, 4], [10, 10]))
+        aggregate.add_run(self._run([4, 6], [20, 20]))
+        assert aggregate.repetitions == 2
+        assert aggregate.mean_accesses == 4.0
+        assert aggregate.mean_waiting_time == 15.0
+
+    def test_mismatched_processor_count_rejected(self):
+        aggregate = BarrierAggregate(4, 0, "x")
+        with pytest.raises(ValueError):
+            aggregate.add_run(self._run([1, 1], [1, 1]))
+
+    def test_savings_vs(self):
+        baseline = BarrierAggregate(2, 0, "none")
+        baseline.add_run(self._run([10, 10], [5, 5]))
+        improved = BarrierAggregate(2, 0, "b2")
+        improved.add_run(self._run([1, 1], [10, 10]))
+        assert improved.savings_vs(baseline) == pytest.approx(0.9)
+        assert improved.waiting_increase_vs(baseline) == pytest.approx(1.0)
+
+    def test_savings_vs_zero_baseline(self):
+        baseline = BarrierAggregate(2, 0, "none")
+        improved = BarrierAggregate(2, 0, "b2")
+        assert improved.savings_vs(baseline) == 0.0
+        assert improved.waiting_increase_vs(baseline) == 0.0
+
+
+class TestSweep:
+    POLICIES = {"none": NoBackoff(), "b2": ExponentialFlagBackoff(2)}
+    NS = (2, 8, 32)
+
+    def test_sweep_shape(self):
+        results = sweep(self.NS, 100, self.POLICIES, repetitions=3)
+        assert set(results) == {"none", "b2"}
+        assert [p.num_processors for p in results["none"]] == list(self.NS)
+
+    def test_sweep_accesses_series(self):
+        series = sweep_accesses(self.NS, 100, self.POLICIES, repetitions=3)
+        curve = series["none"]
+        assert curve.xs == list(self.NS)
+        assert all(y > 0 for y in curve.ys)
+
+    def test_accesses_monotone_in_n_without_backoff(self):
+        series = sweep_accesses(self.NS, 0, {"none": NoBackoff()}, repetitions=3)
+        ys = series["none"].ys
+        assert ys == sorted(ys)
+
+    def test_sweep_waiting_series(self):
+        series = sweep_waiting_time(self.NS, 100, self.POLICIES, repetitions=3)
+        assert set(series) == {"none", "b2"}
+
+    def test_sweep_both_single_pass(self):
+        both = sweep_both(self.NS, 100, self.POLICIES, repetitions=3)
+        assert set(both) == {"accesses", "waiting"}
+        assert both["accesses"]["none"].xs == list(self.NS)
+
+    def test_default_policies_are_paper_five(self):
+        series = sweep_accesses((2,), 0, repetitions=1)
+        assert len(series) == 5
+
+    def test_paper_constants(self):
+        assert PAPER_N_VALUES == (2, 4, 8, 16, 32, 64, 128, 256, 512)
+        assert PAPER_A_VALUES == (0, 100, 1000)
+
+
+class TestWaitingPercentiles:
+    def _run(self, waits):
+        return BarrierRunResult(
+            num_processors=len(waits),
+            interval_a=0,
+            policy_name="x",
+            accesses_per_process=[1] * len(waits),
+            waiting_times=list(waits),
+        )
+
+    def test_percentile_extremes(self):
+        run = self._run([10, 20, 30, 40])
+        assert run.waiting_percentile(0) == 10.0
+        assert run.waiting_percentile(100) == 40.0
+
+    def test_median(self):
+        run = self._run([1, 2, 3, 4, 5])
+        assert run.waiting_percentile(50) == 3.0
+
+    def test_empty(self):
+        run = BarrierRunResult(num_processors=0, interval_a=0, policy_name="x")
+        assert run.waiting_percentile(95) == 0.0
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            self._run([1]).waiting_percentile(120)
+
+    def test_aggregate_tracks_p95(self):
+        aggregate = BarrierAggregate(4, 0, "x")
+        aggregate.add_run(self._run([1, 2, 3, 100]))
+        assert aggregate.mean_waiting_p95 == pytest.approx(100.0)
+
+    def test_overshoot_shows_in_tail(self):
+        from repro.barrier.simulator import simulate_barrier
+        from repro.core.backoff import ExponentialFlagBackoff, NoBackoff
+
+        base = simulate_barrier(32, 1000, NoBackoff(), repetitions=10)
+        b8 = simulate_barrier(
+            32, 1000, ExponentialFlagBackoff(8), repetitions=10
+        )
+        assert b8.mean_waiting_p95 > base.mean_waiting_p95
+
+
+class TestSweepInterval:
+    def test_savings_switch_on_as_a_grows(self):
+        from repro.barrier.sweep import sweep_interval
+
+        series = sweep_interval(
+            16,
+            (0, 100, 1000),
+            {"none": NoBackoff(), "b2": ExponentialFlagBackoff(2)},
+            repetitions=5,
+        )
+        none, b2 = series["none"], series["b2"]
+        # At A=0 the policies are close; at A=1000 b2 wins by >10x.
+        assert b2.y_at(0) > none.y_at(0) * 0.5
+        assert b2.y_at(1000) < none.y_at(1000) / 10
+
+    def test_x_axis_is_interval(self):
+        from repro.barrier.sweep import sweep_interval
+
+        series = sweep_interval(8, (0, 50), {"none": NoBackoff()}, repetitions=2)
+        assert series["none"].xs == [0, 50]

@@ -1,0 +1,108 @@
+"""Tests for the trace record format and SPMD program skeletons."""
+
+import pytest
+
+from repro.trace.program import (
+    AddressSpace,
+    ParallelLoop,
+    Program,
+    ReplicateSection,
+    SerialSection,
+)
+from repro.trace.record import Op, TraceRecord
+
+
+class TestTraceRecord:
+    def test_fields(self):
+        record = TraceRecord(cpu=3, op=Op.READ, address=0x40, is_sync=True)
+        assert record.cpu == 3
+        assert record.op is Op.READ
+        assert record.is_sync
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(cpu=-1, op=Op.READ, address=0, is_sync=False)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(cpu=0, op=Op.READ, address=-4, is_sync=False)
+
+    def test_write_like(self):
+        assert Op.WRITE.is_write_like
+        assert Op.RMW.is_write_like
+        assert not Op.READ.is_write_like
+
+    def test_frozen(self):
+        record = TraceRecord(cpu=0, op=Op.READ, address=0, is_sync=False)
+        with pytest.raises(AttributeError):
+            record.cpu = 1
+
+
+class TestAddressSpace:
+    def test_block_alignment(self):
+        space = AddressSpace(block_bytes=16)
+        a = space.alloc("a", 10)
+        b = space.alloc("b", 1)
+        assert a == 0
+        assert b == 16  # rounded up to the next block
+
+    def test_sync_alloc_one_block(self):
+        space = AddressSpace(block_bytes=16)
+        space.alloc("data", 64)
+        sync = space.alloc_sync("flag")
+        assert sync % 16 == 0
+        assert space.size == 80
+
+    def test_regions_recorded(self):
+        space = AddressSpace()
+        space.alloc("data", 32)
+        names = [name for name, __, __ in space.regions]
+        assert names == ["data"]
+
+    def test_invalid_block_bytes(self):
+        with pytest.raises(ValueError):
+            AddressSpace(block_bytes=12)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            AddressSpace().alloc("x", 0)
+
+
+class TestSections:
+    def test_parallel_loop_fixed_body(self):
+        loop = ParallelLoop("l", 4, [(Op.READ, 0)])
+        assert loop.refs_for(0) == [(Op.READ, 0)]
+        assert loop.refs_for(3) == [(Op.READ, 0)]
+
+    def test_parallel_loop_callable_body(self):
+        loop = ParallelLoop("l", 4, lambda i: [(Op.WRITE, 16 * i)])
+        assert loop.refs_for(2) == [(Op.WRITE, 32)]
+
+    def test_loop_needs_iterations(self):
+        with pytest.raises(ValueError):
+            ParallelLoop("l", 0, [])
+
+    def test_serial_section_needs_body(self):
+        with pytest.raises(ValueError):
+            SerialSection("s", [])
+
+    def test_replicate_section_per_cpu(self):
+        section = ReplicateSection("r", lambda cpu: [(Op.READ, cpu * 16)])
+        assert section.body_for(3) == [(Op.READ, 48)]
+
+
+class TestProgram:
+    def test_num_barriers_counts_loops_and_serials(self):
+        space = AddressSpace()
+        program = Program("p", space)
+        program.add(ParallelLoop("l", 2, [(Op.READ, 0)]))
+        program.add(ReplicateSection("r", lambda cpu: []))
+        program.add(SerialSection("s", [(Op.READ, 0)]))
+        assert program.num_barriers == 2
+        assert len(program) == 3
+
+    def test_add_chains(self):
+        space = AddressSpace()
+        program = Program("p", space)
+        result = program.add(ParallelLoop("l", 1, [(Op.READ, 0)]))
+        assert result is program

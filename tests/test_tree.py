@@ -1,0 +1,107 @@
+"""Tests for the combining-tree barrier simulator."""
+
+import numpy as np
+import pytest
+
+from repro.barrier.arrivals import UniformArrivals
+from repro.barrier.simulator import simulate_barrier
+from repro.barrier.tree import (
+    TreeBarrierSimulator,
+    _build_nodes,
+    simulate_tree_barrier,
+)
+from repro.core.backoff import ExponentialFlagBackoff, NoBackoff
+from repro.core.barrier import CombiningTreeBarrier
+
+
+def run_once(n, degree=4, interval_a=0, policy=None, seed=0):
+    barrier = CombiningTreeBarrier(
+        n, degree=degree, backoff=policy if policy else NoBackoff()
+    )
+    simulator = TreeBarrierSimulator(barrier, UniformArrivals(interval_a), seed=seed)
+    return simulator.run_once(np.random.default_rng(seed))
+
+
+class TestTreeConstruction:
+    def test_node_count_64_deg4(self):
+        nodes, leaf_of = _build_nodes(64, 4)
+        # 16 leaves + 4 mid + 1 root.
+        assert len(nodes) == 21
+        assert len(set(leaf_of)) == 16
+
+    def test_single_root_when_n_small(self):
+        nodes, leaf_of = _build_nodes(3, 4)
+        assert len(nodes) == 1
+        assert nodes[0].parent is None
+        assert nodes[0].expected == 3
+
+    def test_ragged_tree(self):
+        nodes, __ = _build_nodes(10, 4)
+        # Leaves: groups of 4, 4, 2; one root of 3.
+        leaf_expected = sorted(n.expected for n in nodes if n.parent is not None)
+        assert leaf_expected == [2, 4, 4]
+        root = [n for n in nodes if n.parent is None]
+        assert len(root) == 1
+        assert root[0].expected == 3
+
+    def test_every_leaf_parent_chain_reaches_root(self):
+        nodes, leaf_of = _build_nodes(64, 4)
+        for leaf in set(leaf_of):
+            current = leaf
+            depth = 0
+            while nodes[current].parent is not None:
+                current = nodes[current].parent
+                depth += 1
+                assert depth < 10
+            assert nodes[current].parent is None
+
+
+class TestTreeExecution:
+    @pytest.mark.parametrize("n", [1, 2, 4, 5, 16, 33, 64])
+    def test_all_processors_released(self, n):
+        result = run_once(n)
+        assert len(result.waiting_times) == n
+        assert all(w >= 0 for w in result.waiting_times)
+        assert result.completion_time > 0
+
+    def test_no_processor_departs_before_root_set(self):
+        result = run_once(16, degree=4, interval_a=50, seed=2)
+        assert result.flag_set_time is not None
+        # Departure = observing a leaf flag, which is written only
+        # after the root flag: all departures strictly after root set.
+        departures = [
+            w + a
+            for w, a in zip(
+                result.waiting_times, [0] * len(result.waiting_times)
+            )
+        ]
+        assert max(departures) >= result.flag_set_time
+
+    def test_accesses_positive_for_all(self):
+        result = run_once(16)
+        assert all(a >= 2 for a in result.accesses_per_process)
+
+    def test_tree_beats_flat_barrier_at_scale(self):
+        flat = simulate_barrier(256, 100, NoBackoff(), repetitions=5)
+        tree = simulate_tree_barrier(256, 100, degree=4, repetitions=5)
+        assert tree.mean_accesses < flat.mean_accesses / 3
+
+    def test_backoff_at_nodes_reduces_accesses(self):
+        plain = simulate_tree_barrier(64, 100, degree=4, repetitions=5)
+        backoff = simulate_tree_barrier(
+            64, 100, degree=4, policy=ExponentialFlagBackoff(2), repetitions=5
+        )
+        assert backoff.mean_accesses < plain.mean_accesses
+
+    def test_degree_two_deeper_but_works(self):
+        result = run_once(32, degree=2)
+        assert len(result.waiting_times) == 32
+
+    def test_reproducible(self):
+        a = simulate_tree_barrier(32, 100, degree=4, repetitions=3, seed=5)
+        b = simulate_tree_barrier(32, 100, degree=4, repetitions=3, seed=5)
+        assert a.mean_accesses == b.mean_accesses
+
+    def test_aggregate_policy_label(self):
+        aggregate = simulate_tree_barrier(8, 0, degree=2, repetitions=2)
+        assert aggregate.policy_name.startswith("tree-2/")
