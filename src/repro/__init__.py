@@ -26,6 +26,8 @@ Packages:
   trace scheduler.
 - :mod:`repro.analysis` — experiment registry regenerating every paper
   table and figure.
+- :mod:`repro.obs` — observability: structured tracing, counters,
+  per-run manifests and the ``python -m repro profile`` pipeline.
 """
 
 from repro.analysis.experiments import EXPERIMENTS, ExperimentResult, run
@@ -83,6 +85,14 @@ from repro.core.barrier import (
 )
 from repro.core.locks import BackoffLock, TestAndSetLock, TestAndTestAndSetLock
 from repro.memory.coherence import CoherenceConfig, CoherenceSimulator
+from repro.obs import (
+    NullTracer,
+    Tracer,
+    get_tracer,
+    profile_experiment,
+    set_tracer,
+    tracing,
+)
 from repro.trace.apps import build_app
 from repro.trace.io import load_trace, save_trace
 from repro.trace.scheduler import PostMortemScheduler
@@ -156,5 +166,12 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
     "run",
+    # Observability.
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "profile_experiment",
     "__version__",
 ]

@@ -14,6 +14,9 @@ Commands:
                               saving the trace to .npz).
 - ``advise``                — profile an application and recommend a
                               backoff policy (Section 8's pipeline).
+- ``profile``               — run one experiment with tracing enabled;
+                              writes manifest.json + events.jsonl + a
+                              counter summary (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -52,20 +55,49 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _experiment_kwargs(experiment_id: str, repetitions, scale) -> dict:
+    """CLI overrides that apply to this experiment's runner signature."""
+    kwargs = {}
+    if repetitions is not None and experiment_id.startswith(
+        ("figure4", "figure5", "figure6", "figure7", "figure8", "figure9",
+         "figure10", "hardware")
+    ):
+        kwargs["repetitions"] = repetitions
+    if scale is not None and experiment_id in (
+        "table1", "table2", "table3", "figure1", "figure3", "fft_traffic"
+    ):
+        kwargs["scale"] = scale
+    return kwargs
+
+
 def _cmd_experiment(args) -> int:
     for experiment_id in args.ids:
-        kwargs = {}
-        if args.repetitions is not None and experiment_id.startswith(
-            ("figure4", "figure5", "figure6", "figure7", "figure8", "figure9",
-             "figure10", "hardware")
-        ):
-            kwargs["repetitions"] = args.repetitions
-        if args.scale is not None and experiment_id in (
-            "table1", "table2", "table3", "figure1", "figure3", "fft_traffic"
-        ):
-            kwargs["scale"] = args.scale
+        kwargs = _experiment_kwargs(experiment_id, args.repetitions, args.scale)
         print(run_experiment(experiment_id, **kwargs))
         print()
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs import profile_experiment
+
+    kwargs = _experiment_kwargs(args.id, args.repetitions, args.scale)
+    profile = profile_experiment(
+        args.id,
+        output_dir=args.output,
+        ring_size=args.ring_size,
+        **kwargs,
+    )
+    if args.show_result:
+        print(profile.result)
+        print()
+    print(profile.summary)
+    print()
+    print(f"manifest : {profile.manifest_path}")
+    print(f"events   : {profile.events_path} "
+          f"({profile.manifest.events_emitted:,} events)")
+    print(f"summary  : {profile.summary_path}")
+    print(f"digest   : {profile.manifest.deterministic_digest()}")
     return 0
 
 
@@ -209,6 +241,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repetitions", type=int, default=30)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "profile",
+        help="run one experiment with tracing on; write manifest + events",
+    )
+    p.add_argument("id", choices=sorted(EXPERIMENTS))
+    p.add_argument(
+        "--output", default=None,
+        help="output directory (default: profiles/<experiment-id>)",
+    )
+    p.add_argument("--repetitions", type=int, default=None)
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument(
+        "--ring-size", type=int, default=4096,
+        help="in-memory event buffer size (the JSONL file gets everything)",
+    )
+    p.add_argument(
+        "--show-result", action="store_true",
+        help="also print the experiment's report text",
+    )
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("advise", help="recommend a backoff policy from a profile")
     p.add_argument("--app", choices=("FFT", "SIMPLE", "WEATHER"), default="SIMPLE")

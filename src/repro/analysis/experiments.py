@@ -60,6 +60,7 @@ from repro.network.netbackoff import (
     InverseDepthBackoff,
     QueueFeedbackBackoff,
 )
+from repro.obs.tracer import get_tracer
 from repro.sim.stats import Series
 from repro.trace.apps import build_app
 from repro.trace.scheduler import PostMortemScheduler, ScheduledTrace
@@ -1428,7 +1429,15 @@ def run(experiment_id: str, **kwargs) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
-    return runner(**kwargs)
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return runner(**kwargs)
+    tracer.emit("experiment.start", experiment=experiment_id, config=kwargs)
+    with tracer.timer(f"experiment.{experiment_id}"):
+        result = runner(**kwargs)
+    tracer.count("experiment.runs")
+    tracer.emit("experiment.end", experiment=experiment_id, title=result.title)
+    return result
 
 
 def main(argv: Sequence[str]) -> int:

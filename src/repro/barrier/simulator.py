@@ -45,6 +45,7 @@ from repro.core.backoff import BackoffPolicy
 from repro.core.barrier import SingleVariableBarrier, TangYewBarrier
 from repro.network.model import NetworkModel
 from repro.network.module import MemoryModule
+from repro.obs.tracer import get_tracer
 from repro.sim.rng import spawn_stream
 
 # Event kinds.
@@ -106,6 +107,8 @@ class BarrierSimulator:
 
         barrier_count = 0
         flag_set_time: Optional[int] = None
+        tracer = get_tracer()
+        trace_on = tracer.enabled
 
         while heap:
             ready, __, cpu, kind = heapq.heappop(heap)
@@ -115,6 +118,15 @@ class BarrierSimulator:
                 accesses[cpu] += cost
                 barrier_count += 1
                 value = barrier_count
+                if trace_on:
+                    tracer.emit(
+                        "barrier.variable",
+                        cpu=cpu,
+                        ready=ready,
+                        grant=grant,
+                        cost=cost,
+                        value=value,
+                    )
                 if value == n:
                     if self.barrier.separate_modules:
                         # Travel to the flag module takes one cycle.
@@ -126,6 +138,8 @@ class BarrierSimulator:
                         depart[cpu] = grant
                 else:
                     wait = max(policy.variable_wait(value, n), 1)
+                    if trace_on:
+                        tracer.count("barrier.backoff_wait_cycles", wait)
                     push(grant + wait, cpu, _REQ_FLAG_READ)
                 continue
 
@@ -134,16 +148,36 @@ class BarrierSimulator:
                 accesses[cpu] += cost
                 flag_set_time = grant
                 depart[cpu] = grant
+                if trace_on:
+                    tracer.emit(
+                        "barrier.flag_write",
+                        cpu=cpu,
+                        ready=ready,
+                        grant=grant,
+                        cost=cost,
+                    )
                 continue
 
             # _REQ_FLAG_READ
             grant, cost = flag_module.request(ready)
             accesses[cpu] += cost
-            if flag_set_time is not None and grant > flag_set_time:
+            released = flag_set_time is not None and grant > flag_set_time
+            if trace_on:
+                tracer.emit(
+                    "barrier.flag_poll",
+                    cpu=cpu,
+                    ready=ready,
+                    grant=grant,
+                    cost=cost,
+                    released=released,
+                )
+            if released:
                 depart[cpu] = grant
             else:
                 polls[cpu] += 1
                 wait = max(policy.flag_wait(polls[cpu]), 1)
+                if trace_on:
+                    tracer.count("barrier.backoff_wait_cycles", wait)
                 push(grant + wait, cpu, _REQ_FLAG_READ)
 
         result.accesses_per_process = accesses
@@ -157,6 +191,24 @@ class BarrierSimulator:
             result.flag_accesses = flag_module.total_accesses
         else:
             result.flag_accesses = 0
+        if trace_on:
+            tracer.count("barrier.episodes")
+            tracer.count("barrier.accesses", network.total_accesses)
+            tracer.count("barrier.denied_accesses", network.contention_accesses)
+            tracer.count("barrier.flag_polls", sum(polls))
+            tracer.observe("barrier.completion_cycles", result.completion_time)
+            network.publish(tracer)
+            tracer.emit(
+                "barrier.episode",
+                n=n,
+                interval_a=self.arrivals.interval,
+                policy=policy.name,
+                completion=result.completion_time,
+                flag_set=flag_set_time,
+                variable_accesses=result.variable_accesses,
+                flag_accesses=result.flag_accesses,
+                denied=network.contention_accesses,
+            )
         return result
 
     def run(self, repetitions: int = 100) -> BarrierAggregate:

@@ -33,6 +33,7 @@ from typing import Iterable
 from repro.memory.cache import DirectMappedCache
 from repro.memory.directory import Directory
 from repro.memory.stats import CoherenceStats
+from repro.obs.tracer import get_tracer
 from repro.trace.record import Op, TraceRecord
 
 
@@ -85,6 +86,7 @@ class CoherenceSimulator:
             return self.run_columns(*raw())
         for record in trace:
             self.process(record)
+        self._publish()
         return self.stats
 
     def run_columns(self, cpus, op_codes, addresses, sync_flags) -> CoherenceStats:
@@ -98,7 +100,39 @@ class CoherenceSimulator:
             cpus, op_codes, addresses, sync_flags
         ):
             process(cpu, code == 0, address, is_sync)
+        self._publish()
         return self.stats
+
+    def _publish(self) -> None:
+        """Emit a snapshot of this simulator's statistics to the tracer.
+
+        Stats are cumulative per simulator instance, so the snapshot
+        event carries totals; counters are charged with the deltas
+        since the previous publish.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        stats = self.stats
+        invalidations = (
+            stats.invalidations_on_write + stats.invalidations_on_overflow
+        )
+        published = getattr(self, "_published_invalidations", 0)
+        tracer.count("coherence.invalidations", invalidations - published)
+        self._published_invalidations = invalidations
+        tracer.emit(
+            "coherence.run",
+            refs=stats.refs,
+            sync_refs=stats.sync_refs,
+            hits=stats.hits,
+            misses=stats.misses,
+            invalidations_on_write=stats.invalidations_on_write,
+            invalidations_on_overflow=stats.invalidations_on_overflow,
+            writebacks=stats.writebacks,
+            sync_traffic=stats.sync_traffic,
+            data_traffic=stats.data_traffic,
+            pointers=self.directory.num_pointers,
+        )
 
     def process(self, record: TraceRecord) -> None:
         """Apply one reference to the memory system."""

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from repro.obs.tracer import get_tracer
+
 
 class DirectoryEntry:
     """Directory state for one memory block.
@@ -87,7 +89,18 @@ class Directory:
         excess = len(entry.sharers) - (self.num_pointers - 1)
         if excess <= 0:
             return []
-        return sorted(entry.sharers)[:excess]
+        victims = sorted(entry.sharers)[:excess]
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("directory.overflow_invalidations", len(victims))
+            tracer.emit(
+                "directory.overflow",
+                block=block,
+                requester=requester,
+                victims=len(victims),
+                sharers=len(entry.sharers),
+            )
+        return victims
 
     def remove_sharer(self, block: int, cpu: int) -> None:
         """Drop ``cpu`` from the entry (replacement or invalidation)."""

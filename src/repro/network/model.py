@@ -46,6 +46,26 @@ class NetworkModel:
             + self.flag_module.contention_accesses
         )
 
+    def publish(self, tracer) -> None:
+        """Report this network's traffic totals to an obs tracer.
+
+        Emits one ``network.totals`` event and adds the per-module
+        access/denied totals to the ``network.*`` counters.  Call once
+        per episode, after the simulation that owns the network ends.
+        """
+        if not tracer.enabled:
+            return
+        for module in (self.variable_module, self.flag_module):
+            tracer.count(f"network.{module.name}.accesses", module.total_accesses)
+            tracer.count(f"network.{module.name}.denied", module.contention_accesses)
+        tracer.emit(
+            "network.totals",
+            variable_accesses=self.variable_module.total_accesses,
+            flag_accesses=self.flag_module.total_accesses,
+            grants=self.total_grants,
+            denied=self.contention_accesses,
+        )
+
     def __repr__(self) -> str:
         return (
             f"NetworkModel(variable={self.variable_module!r}, "

@@ -33,6 +33,7 @@ from repro.network.netbackoff import (
     ImmediateRetry,
     NetworkBackoffPolicy,
 )
+from repro.obs.tracer import get_tracer
 from repro.sim.stats import Histogram, RunningStats
 
 
@@ -165,6 +166,8 @@ class MultistageNetwork:
         result = NetworkRunResult(horizon=horizon)
         heap: List[Tuple[int, int, NetworkMessage]] = []
         seq = 0
+        tracer = get_tracer()
+        trace_on = tracer.enabled
 
         def push(message: NetworkMessage, when: int) -> None:
             nonlocal seq
@@ -212,5 +215,21 @@ class MultistageNetwork:
                     raise ValueError(
                         f"backoff policy {self.backoff!r} returned negative delay"
                     )
+                if trace_on:
+                    tracer.count("network.collisions")
+                    tracer.observe("network.hotspot_queue_length", info.queue_length)
+                    tracer.observe("network.collision_depth", depth)
                 push(message, time + 1 + delay)
+        if trace_on:
+            tracer.count("network.attempts", result.attempts)
+            tracer.count("network.completions", result.completed)
+            tracer.emit(
+                "network.run",
+                ports=self.num_ports,
+                policy=self.backoff.name,
+                horizon=horizon,
+                completed=result.completed,
+                collisions=result.collisions,
+                attempts=result.attempts,
+            )
         return result

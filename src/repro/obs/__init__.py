@@ -1,0 +1,70 @@
+"""repro.obs — observability: tracing, counters, manifests, profiling.
+
+The instrumentation layer behind ``python -m repro profile``.  Every
+simulator in the repository carries hooks that report to the active
+tracer; by default the active tracer is a no-op
+(:data:`~repro.obs.tracer.NULL_TRACER`), so instrumentation costs one
+boolean check when disabled.
+
+Typical programmatic use::
+
+    from repro import simulate_barrier, NoBackoff
+    from repro.obs import Tracer, tracing
+
+    tracer = Tracer(run_id="adhoc")
+    with tracing(tracer):
+        simulate_barrier(64, 1000, NoBackoff(), repetitions=10)
+    print(tracer.counters["barrier.denied_accesses"])
+
+Modules:
+
+- :mod:`repro.obs.tracer` — Tracer / NullTracer, counters,
+  observations, timers, ring buffer, JSONL sink, active-tracer registry.
+- :mod:`repro.obs.manifest` — per-run manifests with a deterministic
+  digest.
+- :mod:`repro.obs.summary` — human-readable counter summaries.
+- :mod:`repro.obs.io` — read events.jsonl / manifest.json back.
+- :mod:`repro.obs.profile` — run a registered experiment traced and
+  persist manifest + events + summary.
+"""
+
+from repro.obs.io import events_to_columns, read_events, read_manifest
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    RunManifest,
+    build_manifest,
+    git_revision,
+)
+from repro.obs.profile import ProfileRun, profile_experiment
+from repro.obs.summary import render_summary
+from repro.obs.tracer import (
+    NULL_TRACER,
+    JsonlSink,
+    NullTracer,
+    Tracer,
+    ValueStats,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "JsonlSink",
+    "ValueStats",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "RunManifest",
+    "build_manifest",
+    "git_revision",
+    "MANIFEST_VERSION",
+    "render_summary",
+    "read_events",
+    "read_manifest",
+    "events_to_columns",
+    "ProfileRun",
+    "profile_experiment",
+]

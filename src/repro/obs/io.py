@@ -1,0 +1,58 @@
+"""Read traced runs back: events.jsonl, manifest.json, column views.
+
+The writers live in :mod:`repro.obs.tracer` (events) and
+:mod:`repro.obs.manifest` (manifests); this module is the matching
+read side, used by tests, notebooks and the worked example in
+docs/observability.md.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def read_events(path: str, kind: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Load an ``events.jsonl`` file, optionally filtered by event kind.
+
+    Blank lines are skipped; malformed lines raise ValueError with the
+    offending line number.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed event line: {error}"
+                ) from None
+            if kind is None or event.get("kind") == kind:
+                events.append(event)
+    return events
+
+
+def read_manifest(path: str) -> Dict[str, Any]:
+    """Load a ``manifest.json`` file as a plain dict."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def events_to_columns(
+    events: Sequence[Dict[str, Any]],
+    fields: Sequence[str],
+    default: Any = None,
+) -> Dict[str, list]:
+    """Pivot a list of event dicts into per-field columns.
+
+    Handy for feeding numpy: ``np.array(columns["cost"])``.  Events
+    missing a field contribute ``default``.
+    """
+    columns: Dict[str, list] = {name: [] for name in fields}
+    for event in events:
+        for name in fields:
+            columns[name].append(event.get(name, default))
+    return columns

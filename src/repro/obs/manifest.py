@@ -1,0 +1,141 @@
+"""Per-run manifests: config, seed, git revision, wall time, totals.
+
+A manifest is the durable record of one traced run: enough to say
+*what* ran (experiment id, config, seed, code revision, environment)
+and *what happened* (event totals, counters, observation summaries,
+wall time).  The deterministic portion — everything except wall-clock
+measurements and environment strings — is hashed into
+``deterministic_digest``, so two runs of the same experiment with the
+same seed can be compared with a single string equality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.obs.tracer import Tracer
+
+#: Manifest schema version; bump when fields change incompatibly.
+MANIFEST_VERSION = 1
+
+
+def git_revision(cwd: Optional[str] = None) -> str:
+    """The current git commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+def _jsonable(value: Any) -> Any:
+    """Round-trip ``value`` through JSON so tuples/lists etc. normalise."""
+    return json.loads(json.dumps(value, sort_keys=True, default=str))
+
+
+@dataclass
+class RunManifest:
+    """The durable record of one traced run."""
+
+    run_id: str
+    experiment_id: str
+    seed: Optional[int]
+    config: Dict[str, Any]
+    git_rev: str
+    created_at: str
+    wall_time_seconds: float
+    events_emitted: int
+    event_totals: Dict[str, int]
+    counters: Dict[str, float]
+    observations: Dict[str, Dict[str, Any]]
+    timers: Dict[str, Dict[str, Any]]
+    python_version: str = field(default_factory=lambda: sys.version.split()[0])
+    platform: str = field(default_factory=platform.platform)
+    version: int = MANIFEST_VERSION
+
+    def deterministic_digest(self) -> str:
+        """SHA-256 over the seed-determined portion of the manifest.
+
+        Excludes wall time, timers, timestamps and environment strings,
+        so it is stable across machines and repeated runs with the same
+        seed and config.
+        """
+        payload = {
+            "experiment_id": self.experiment_id,
+            "seed": self.seed,
+            "config": _jsonable(self.config),
+            "events_emitted": self.events_emitted,
+            "event_totals": _jsonable(self.event_totals),
+            "counters": _jsonable(self.counters),
+            "observations": _jsonable(self.observations),
+        }
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "run_id": self.run_id,
+            "experiment_id": self.experiment_id,
+            "seed": self.seed,
+            "config": _jsonable(self.config),
+            "git_rev": self.git_rev,
+            "created_at": self.created_at,
+            "wall_time_seconds": self.wall_time_seconds,
+            "python_version": self.python_version,
+            "platform": self.platform,
+            "events_emitted": self.events_emitted,
+            "event_totals": _jsonable(self.event_totals),
+            "counters": _jsonable(self.counters),
+            "observations": _jsonable(self.observations),
+            "timers": _jsonable(self.timers),
+            "deterministic_digest": self.deterministic_digest(),
+        }
+
+    def write(self, path: str) -> str:
+        """Write the manifest as pretty-printed JSON; returns ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return str(path)
+
+
+def build_manifest(
+    tracer: Tracer,
+    experiment_id: str = "",
+    config: Optional[Dict[str, Any]] = None,
+    seed: Optional[int] = None,
+    wall_time_seconds: float = 0.0,
+    run_id: Optional[str] = None,
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` from a finished tracer."""
+    snapshot = tracer.snapshot()
+    return RunManifest(
+        run_id=run_id if run_id is not None else tracer.run_id,
+        experiment_id=experiment_id,
+        seed=seed,
+        config=_jsonable(config or {}),
+        git_rev=git_revision(),
+        created_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        wall_time_seconds=wall_time_seconds,
+        events_emitted=snapshot["events_emitted"],
+        event_totals=snapshot["event_totals"],
+        counters=snapshot["counters"],
+        observations=snapshot["observations"],
+        timers=snapshot["timers"],
+    )

@@ -1,0 +1,81 @@
+"""Human-readable summaries of a traced run.
+
+Renders a tracer's counters, event totals, observations and timers as
+aligned text, in the same spirit as the experiment reports in
+:mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.tracer import Tracer
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.3f}"
+    return f"{int(value):,}"
+
+
+def _section(title: str) -> str:
+    return f"{title}\n{'-' * len(title)}"
+
+
+def render_summary(tracer: Tracer, title: Optional[str] = None) -> str:
+    """A printable report of everything the tracer collected."""
+    snapshot = tracer.snapshot()
+    header = title if title is not None else f"obs summary: {snapshot['run_id']}"
+    lines = [f"== {header} =="]
+
+    totals: Dict[str, int] = snapshot["event_totals"]
+    lines.append(_section(f"events ({snapshot['events_emitted']:,} emitted)"))
+    if totals:
+        width = max(len(kind) for kind in totals)
+        for kind, count in totals.items():
+            lines.append(f"  {kind:<{width}}  {count:>12,}")
+    else:
+        lines.append("  (none)")
+
+    counters: Dict[str, float] = snapshot["counters"]
+    lines.append("")
+    lines.append(_section("counters"))
+    if counters:
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {_format_value(value):>14}")
+    else:
+        lines.append("  (none)")
+
+    observations: Dict[str, Dict[str, Any]] = snapshot["observations"]
+    lines.append("")
+    lines.append(_section("observations"))
+    if observations:
+        width = max(len(name) for name in observations)
+        lines.append(
+            f"  {'name':<{width}}  {'count':>10}  {'mean':>12}  "
+            f"{'min':>10}  {'max':>10}"
+        )
+        for name, stats in observations.items():
+            lines.append(
+                f"  {name:<{width}}  {stats['count']:>10,}  "
+                f"{stats['mean']:>12,.2f}  {stats['min']:>10,.0f}  "
+                f"{stats['max']:>10,.0f}"
+            )
+    else:
+        lines.append("  (none)")
+
+    timers: Dict[str, Dict[str, Any]] = snapshot["timers"]
+    lines.append("")
+    lines.append(_section("timers (seconds)"))
+    if timers:
+        width = max(len(name) for name in timers)
+        for name, stats in timers.items():
+            lines.append(
+                f"  {name:<{width}}  total {stats['total']:.3f}  "
+                f"calls {stats['count']:,}  mean {stats['mean']:.4f}"
+            )
+    else:
+        lines.append("  (none)")
+
+    return "\n".join(lines)

@@ -1,0 +1,331 @@
+"""Structured run tracing: events, counters, observations and timers.
+
+The paper's evidence is entirely quantitative — per-cycle network
+accesses, hot-spot contention, invalidation counts — so the simulators
+carry lightweight hooks that report *where* cycles and traffic go
+inside a run.  This module is the substrate for those hooks:
+
+- :class:`Tracer` — collects structured events (dicts with a ``kind``),
+  named monotonic **counters**, value **observations** (count / total /
+  min / max plus power-of-two buckets) and wall-clock **timers**.
+  Events go to a bounded in-memory ring buffer and, optionally, to a
+  :class:`JsonlSink` (one JSON object per line).
+- :class:`NullTracer` — the default: every method is a no-op and
+  ``enabled`` is False, so instrumented code pays one boolean check
+  when tracing is off.
+- :func:`get_tracer` / :func:`set_tracer` / :func:`tracing` — the
+  process-wide active tracer.  Simulators call ``get_tracer()`` once
+  per run, hoist ``tracer.enabled`` into a local, and skip all
+  instrumentation when it is False.
+
+The module is deliberately zero-dependency (stdlib only) so every layer
+of the repository can import it without cost or cycles.
+
+Naming convention (see docs/observability.md): dotted lowercase
+``layer.metric`` names, e.g. ``barrier.denied_accesses``,
+``sched.rmw_stalls``, ``directory.overflow_invalidations``.  Counters
+are monotonic totals; observations are per-sample distributions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class JsonlSink:
+    """Append-only JSON-lines event sink (one event object per line)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._handle: Optional[Any] = open(self.path, "w", encoding="utf-8")
+        self.lines_written = 0
+
+    def write(self, event: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise ValueError(f"sink {self.path!r} is closed")
+        self._handle.write(
+            json.dumps(event, separators=(",", ":"), sort_keys=True, default=str)
+        )
+        self._handle.write("\n")
+        self.lines_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"JsonlSink({self.path!r}, lines={self.lines_written})"
+
+
+class ValueStats:
+    """Distribution summary of observed values.
+
+    Tracks count / total / min / max exactly, plus a coarse histogram in
+    power-of-two buckets (bucket ``b`` holds values with
+    ``bit_length() == b``; zero and negatives land in bucket 0).
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        bucket = int(value).bit_length() if value > 0 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ValueStats(count={self.count}, mean={self.mean:.3g}, "
+            f"min={self.minimum}, max={self.maximum})"
+        )
+
+
+class Tracer:
+    """Collects events, counters, observations and timers for one run."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        run_id: str = "run",
+        sink: Optional[JsonlSink] = None,
+        ring_size: int = 4096,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+        self.run_id = run_id
+        self.sink = sink
+        self.ring: deque = deque(maxlen=ring_size)
+        self.event_totals: Dict[str, int] = {}
+        self.counters: Dict[str, float] = {}
+        self.observations: Dict[str, ValueStats] = {}
+        self.timers: Dict[str, ValueStats] = {}
+        self._seq = 0
+        self._clock = clock
+
+    # -- events --------------------------------------------------------
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Record one structured event; returns the event dict."""
+        event: Dict[str, Any] = {"seq": self._seq, "kind": kind}
+        event.update(fields)
+        self._seq += 1
+        self.event_totals[kind] = self.event_totals.get(kind, 0) + 1
+        self.ring.append(event)
+        if self.sink is not None:
+            self.sink.write(event)
+        return event
+
+    @property
+    def events_emitted(self) -> int:
+        """Total events emitted (the ring buffer may hold fewer)."""
+        return self._seq
+
+    def recent(self, n: Optional[int] = None, kind: Optional[str] = None) -> List[dict]:
+        """The last ``n`` buffered events (all of them if ``n`` is None)."""
+        events: Iterator[dict] = iter(self.ring)
+        if kind is not None:
+            events = (event for event in events if event["kind"] == kind)
+        selected = list(events)
+        if n is not None:
+            selected = selected[-n:]
+        return selected
+
+    # -- counters / observations / timers ------------------------------
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to the monotonic counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of the value distribution ``name``."""
+        stats = self.observations.get(name)
+        if stats is None:
+            stats = self.observations[name] = ValueStats()
+        stats.add(value)
+
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager recording wall-clock seconds under ``name``."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - start
+            stats = self.timers.get(name)
+            if stats is None:
+                stats = self.timers[name] = ValueStats()
+            stats.add(elapsed)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All collected state as one JSON-serialisable dict."""
+        return {
+            "run_id": self.run_id,
+            "events_emitted": self.events_emitted,
+            "event_totals": dict(sorted(self.event_totals.items())),
+            "counters": dict(sorted(self.counters.items())),
+            "observations": {
+                name: stats.as_dict()
+                for name, stats in sorted(self.observations.items())
+            },
+            "timers": {
+                name: stats.as_dict()
+                for name, stats in sorted(self.timers.items())
+            },
+        }
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({self.run_id!r}, events={self.events_emitted}, "
+            f"counters={len(self.counters)})"
+        )
+
+
+class _NullTimer:
+    """Reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class NullTracer:
+    """The default tracer: does nothing, as cheaply as possible."""
+
+    enabled = False
+    run_id = "null"
+
+    __slots__ = ()
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        return None
+
+    def count(self, name: str, amount: float = 1) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def timer(self, name: str) -> _NullTimer:
+        return _NULL_TIMER
+
+    def recent(self, n: Optional[int] = None, kind: Optional[str] = None) -> List[dict]:
+        return []
+
+    @property
+    def events_emitted(self) -> int:
+        return 0
+
+    @property
+    def event_totals(self) -> Dict[str, int]:
+        return {}
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        return {}
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "events_emitted": 0,
+            "event_totals": {},
+            "counters": {},
+            "observations": {},
+            "timers": {},
+        }
+
+    def close(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: The shared no-op tracer installed by default.
+NULL_TRACER = NullTracer()
+
+_active = NULL_TRACER
+
+
+def get_tracer():
+    """The process-wide active tracer (:data:`NULL_TRACER` by default)."""
+    return _active
+
+
+def set_tracer(tracer) -> Any:
+    """Install ``tracer`` as the active tracer; returns the previous one.
+
+    Passing None restores the no-op default.
+    """
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer):
+    """Context manager: install ``tracer`` for the duration of the block.
+
+    Example::
+
+        tracer = Tracer(run_id="adhoc")
+        with tracing(tracer):
+            simulate_barrier(64, 1000, NoBackoff(), repetitions=10)
+        print(tracer.counters["barrier.accesses"])
+    """
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

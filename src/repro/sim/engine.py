@@ -18,6 +18,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
+from repro.obs.tracer import get_tracer
+
 
 @dataclass(frozen=True)
 class Event:
@@ -99,7 +101,12 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule event at {time}, simulation time is {self.now}"
             )
-        return self._queue.push(time, callback, priority)
+        event = self._queue.push(time, callback, priority)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("sim.events_scheduled")
+            tracer.observe("sim.heap_depth", len(self._queue))
+        return event
 
     def schedule_after(
         self, delay: int, callback: Callable[[], Any], priority: int = 0
@@ -121,6 +128,8 @@ class Simulator:
             The number of events executed.
         """
         executed = 0
+        tracer = get_tracer()
+        trace_on = tracer.enabled
         self._running = True
         try:
             while len(self._queue):
@@ -133,8 +142,17 @@ class Simulator:
                 self.now = event.time
                 event.callback()
                 executed += 1
+                if trace_on:
+                    tracer.emit(
+                        "sim.event",
+                        time=event.time,
+                        priority=event.priority,
+                        heap=len(self._queue),
+                    )
         finally:
             self._running = False
+        if trace_on:
+            tracer.count("sim.events_fired", executed)
         if until is not None and self.now < until and not len(self._queue):
             self.now = until
         return executed

@@ -50,6 +50,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.obs.tracer import get_tracer
 from repro.trace.program import (
     ParallelLoop,
     Program,
@@ -302,6 +303,12 @@ class PostMortemScheduler:
         # Per-section synchronization words, allocated on first entry.
         self._section_sync_addr: Dict[int, int] = {}
         self._rmw_last_grant: Dict[int, int] = {}
+        # Observability state, armed by run() when a tracer is active.
+        self._trace_on = False
+        self._rmw_stalls = 0
+
+    #: Cycles between ``sched.progress`` events while tracing.
+    PROGRESS_INTERVAL = 4096
 
     # ------------------------------------------------------------------
     # Address management.
@@ -431,6 +438,11 @@ class PostMortemScheduler:
         for cpu in range(num_cpus):
             enter_section(cpu, 0)
 
+        tracer = get_tracer()
+        trace_on = tracer.enabled
+        self._trace_on = trace_on
+        self._rmw_stalls = 0
+
         cycle = 0
         while active:
             if cycle >= max_cycles:
@@ -455,8 +467,58 @@ class PostMortemScheduler:
                     enter_section,
                 )
             cycle += 1
+            if trace_on and cycle % self.PROGRESS_INTERVAL == 0:
+                tracer.emit(
+                    "sched.progress",
+                    cycle=cycle,
+                    active=active,
+                    refs=len(trace),
+                    barriers=len(trace.barriers),
+                )
         trace.cycles = cycle
+        if trace_on:
+            self._publish(tracer, trace)
+        self._trace_on = False
         return trace
+
+    def _publish(self, tracer, trace: ScheduledTrace) -> None:
+        """Report the finished schedule to the active tracer."""
+        tracer.count("sched.runs")
+        tracer.count("sched.cycles", trace.cycles)
+        tracer.count("sched.refs", len(trace))
+        tracer.count("sched.sync_refs", trace.sync_refs)
+        tracer.count("sched.rmw_stalls", self._rmw_stalls)
+        tracer.count("sched.barriers", len(trace.barriers))
+        issued: Dict[int, int] = {}
+        for cpu in trace.raw_columns()[0]:
+            issued[cpu] = issued.get(cpu, 0) + 1
+        for cpu in range(self.num_cpus):
+            tracer.observe("sched.refs_per_cpu", issued.get(cpu, 0))
+        for observation in trace.barriers:
+            if observation.flag_set_cycle is None or not observation.arrivals:
+                continue
+            tracer.observe("sched.barrier_interval_a", observation.interval_a)
+            tracer.observe("sched.barrier_arrival_span", observation.arrival_span)
+            tracer.emit(
+                "sched.barrier",
+                section=observation.section_name,
+                arrivals=len(observation.arrivals),
+                first_arrival=observation.first_arrival,
+                last_arrival=observation.last_arrival,
+                flag_set=observation.flag_set_cycle,
+                interval_a=observation.interval_a,
+            )
+        tracer.emit(
+            "sched.run",
+            program=trace.program_name,
+            cpus=self.num_cpus,
+            barrier_style=self.barrier_style,
+            cycles=trace.cycles,
+            refs=len(trace),
+            sync_refs=trace.sync_refs,
+            rmw_stalls=self._rmw_stalls,
+            barriers=len(trace.barriers),
+        )
 
     def _enter_barrier(self, cpu: int, runtime: _SectionRuntime, state, bar_node):
         tree = runtime.tree
@@ -586,6 +648,8 @@ class PostMortemScheduler:
         the unspecified arbitration of the paper's network model.
         """
         if self._rmw_last_grant.get(address) == cycle:
+            if self._trace_on:
+                self._rmw_stalls += 1
             return False
         self._rmw_last_grant[address] = cycle
         return True

@@ -25,7 +25,7 @@ class TestParser:
         commands = set(actions[0].choices)
         assert commands == {
             "list", "experiment", "barrier", "trace", "report", "advise",
-            "verify",
+            "verify", "profile",
         }
 
     def test_barrier_defaults(self):
@@ -67,6 +67,37 @@ class TestReportCommand:
         monkeypatch.setattr(cli, "run_experiment", exploding_run)
         code = main(["report", "--output", str(tmp_path / "r")])
         assert code == 1
+
+
+class TestProfileCommand:
+    def test_profile_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "prof"
+        code = main([
+            "profile", "figure4", "--output", str(out), "--repetitions", "1",
+        ])
+        assert code == 0
+        assert (out / "manifest.json").is_file()
+        assert (out / "events.jsonl").is_file()
+        assert (out / "summary.txt").is_file()
+        printed = capsys.readouterr().out
+        assert "barrier.accesses" in printed
+        assert "manifest" in printed
+
+    def test_profile_manifest_records_config(self, tmp_path):
+        import json
+
+        out = tmp_path / "prof"
+        main(["profile", "figure5", "--output", str(out), "--repetitions", "1"])
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["experiment_id"] == "figure5"
+        assert manifest["config"] == {"repetitions": 1}
+        assert manifest["events_emitted"] > 0
+        assert manifest["counters"]["barrier.episodes"] > 0
+        assert "deterministic_digest" in manifest
+
+    def test_profile_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "figure99"])
 
 
 class TestPolicyBuilder:

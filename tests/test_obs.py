@@ -1,0 +1,365 @@
+"""Tests for the observability layer (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.core.backoff import ExponentialFlagBackoff, NoBackoff
+from repro.barrier.simulator import simulate_barrier
+from repro.obs import (
+    NULL_TRACER,
+    JsonlSink,
+    NullTracer,
+    RunManifest,
+    Tracer,
+    ValueStats,
+    build_manifest,
+    events_to_columns,
+    get_tracer,
+    profile_experiment,
+    read_events,
+    read_manifest,
+    render_summary,
+    set_tracer,
+    tracing,
+)
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        tracer = Tracer()
+        tracer.count("x")
+        tracer.count("x", 4)
+        assert tracer.counters == {"x": 5}
+
+    def test_observe_tracks_distribution(self):
+        tracer = Tracer()
+        for value in (1, 5, 3):
+            tracer.observe("lat", value)
+        stats = tracer.observations["lat"]
+        assert stats.count == 3
+        assert stats.total == 9
+        assert stats.minimum == 1
+        assert stats.maximum == 5
+        assert stats.mean == 3
+
+    def test_value_stats_buckets_power_of_two(self):
+        stats = ValueStats()
+        for value in (0, 1, 2, 3, 4, 1000):
+            stats.add(value)
+        # bit_length: 0->0, 1->1, 2..3->2, 4->3, 1000->10.
+        assert stats.buckets == {0: 1, 1: 1, 2: 2, 3: 1, 10: 1}
+
+    def test_timer_records_seconds(self):
+        ticks = iter([0.0, 2.5])
+        tracer = Tracer(clock=lambda: next(ticks))
+        with tracer.timer("phase"):
+            pass
+        assert tracer.timers["phase"].total == 2.5
+
+
+class TestEvents:
+    def test_emit_assigns_sequence_and_totals(self):
+        tracer = Tracer()
+        tracer.emit("a", x=1)
+        tracer.emit("b")
+        tracer.emit("a", x=2)
+        assert tracer.events_emitted == 3
+        assert tracer.event_totals == {"a": 2, "b": 1}
+        assert [e["seq"] for e in tracer.recent()] == [0, 1, 2]
+        assert [e["x"] for e in tracer.recent(kind="a")] == [1, 2]
+
+    def test_ring_buffer_bounds_memory(self):
+        tracer = Tracer(ring_size=4)
+        for i in range(10):
+            tracer.emit("tick", i=i)
+        assert tracer.events_emitted == 10
+        assert [e["i"] for e in tracer.recent()] == [6, 7, 8, 9]
+
+    def test_ring_size_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(ring_size=0)
+
+
+class TestJsonlRoundTrip:
+    def test_events_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tracer = Tracer(sink=JsonlSink(str(path)))
+        tracer.emit("alpha", cpu=3, cost=7)
+        tracer.emit("beta", note="hi")
+        tracer.close()
+        events = read_events(str(path))
+        assert events == [
+            {"seq": 0, "kind": "alpha", "cpu": 3, "cost": 7},
+            {"seq": 1, "kind": "beta", "note": "hi"},
+        ]
+        assert read_events(str(path), kind="beta") == [events[1]]
+
+    def test_events_to_columns(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tracer = Tracer(sink=JsonlSink(str(path)))
+        tracer.emit("poll", cost=2)
+        tracer.emit("poll", cost=5)
+        tracer.close()
+        columns = events_to_columns(read_events(str(path)), ["cost", "missing"])
+        assert columns == {"cost": [2, 5], "missing": [None, None]}
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"seq": 0, "kind": "ok"}\nnot json\n')
+        with pytest.raises(ValueError, match="events.jsonl:2"):
+            read_events(str(path))
+
+    def test_closed_sink_rejects_writes(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "e.jsonl"))
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.write({"kind": "late"})
+
+
+class TestNoOpDefault:
+    def test_default_tracer_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert not NULL_TRACER.enabled
+
+    def test_null_tracer_collects_nothing(self):
+        null = NullTracer()
+        null.emit("kind", x=1)
+        null.count("c", 5)
+        null.observe("o", 2)
+        with null.timer("t"):
+            pass
+        assert null.events_emitted == 0
+        assert null.counters == {}
+        assert null.recent() == []
+
+    def test_tracing_context_restores_previous(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            assert get_tracer() is tracer
+            inner = Tracer()
+            with tracing(inner):
+                assert get_tracer() is inner
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_restores_null(self):
+        previous = set_tracer(Tracer())
+        assert previous is NULL_TRACER
+        set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+    def test_tracing_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with tracing(Tracer()):
+                raise RuntimeError("boom")
+        assert get_tracer() is NULL_TRACER
+
+    def test_disabled_tracing_does_not_change_results(self):
+        # The hooks must be invisible when tracing is off *and* must not
+        # perturb simulation results when it is on (observability only
+        # reads simulator state, never touches the RNG streams).
+        plain = simulate_barrier(8, 100, NoBackoff(), repetitions=3)
+        with tracing(Tracer()):
+            traced = simulate_barrier(8, 100, NoBackoff(), repetitions=3)
+        assert traced.mean_accesses == plain.mean_accesses
+        assert traced.mean_waiting_time == plain.mean_waiting_time
+
+
+class TestInstrumentation:
+    def test_barrier_simulator_counts_traffic(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            aggregate = simulate_barrier(
+                8, 100, ExponentialFlagBackoff(base=2), repetitions=2
+            )
+        assert tracer.counters["barrier.episodes"] == 2
+        # Counter totals must agree with the simulator's own accounting.
+        expected = round(aggregate.mean_accesses * 8 * 2)
+        assert tracer.counters["barrier.accesses"] == pytest.approx(expected)
+        assert tracer.event_totals["barrier.episode"] == 2
+        assert tracer.counters["barrier.backoff_wait_cycles"] > 0
+        assert "barrier.completion_cycles" in tracer.observations
+
+    def test_scheduler_reports_progress(self):
+        from repro.trace.apps import build_app
+        from repro.trace.scheduler import PostMortemScheduler
+
+        tracer = Tracer()
+        with tracing(tracer):
+            trace = PostMortemScheduler(build_app("SIMPLE", scale=0.1), 4).run()
+        assert tracer.counters["sched.refs"] == len(trace)
+        assert tracer.counters["sched.cycles"] == trace.cycles
+        assert tracer.counters["sched.barriers"] == len(trace.barriers)
+        assert tracer.observations["sched.refs_per_cpu"].count == 4
+        assert tracer.event_totals["sched.run"] == 1
+        assert tracer.event_totals["sched.barrier"] == len(trace.barriers)
+
+    def test_coherence_and_directory_report_invalidations(self):
+        from repro.memory.coherence import CoherenceConfig, CoherenceSimulator
+        from repro.trace.apps import build_app
+        from repro.trace.scheduler import PostMortemScheduler
+
+        trace = PostMortemScheduler(build_app("SIMPLE", scale=0.1), 8).run()
+        tracer = Tracer()
+        with tracing(tracer):
+            stats = CoherenceSimulator(
+                CoherenceConfig(num_cpus=8, num_pointers=2)
+            ).run(trace)
+        assert tracer.counters["coherence.invalidations"] == (
+            stats.invalidations_on_write + stats.invalidations_on_overflow
+        )
+        assert tracer.counters["directory.overflow_invalidations"] == (
+            stats.invalidations_on_overflow
+        )
+        run_events = tracer.recent(kind="coherence.run")
+        assert len(run_events) == 1
+        assert run_events[0]["refs"] == stats.refs
+
+    def test_sim_engine_counts_events(self):
+        from repro.sim.engine import Simulator
+
+        tracer = Tracer()
+        with tracing(tracer):
+            sim = Simulator()
+            for t in (5, 1, 9):
+                sim.schedule(t, lambda: None)
+            fired = sim.run()
+        assert fired == 3
+        assert tracer.counters["sim.events_scheduled"] == 3
+        assert tracer.counters["sim.events_fired"] == 3
+        assert tracer.event_totals["sim.event"] == 3
+        assert tracer.observations["sim.heap_depth"].maximum == 3
+
+    def test_multistage_network_observes_queue_lengths(self):
+        from repro.network.hotspot import HotspotWorkload
+        from repro.network.multistage import MultistageNetwork
+
+        tracer = Tracer()
+        with tracing(tracer):
+            network = MultistageNetwork(num_ports=8)
+            result = network.run(
+                HotspotWorkload(num_ports=8, hot_fraction=0.5, seed=1), 2000
+            )
+        assert tracer.counters["network.completions"] == result.completed
+        assert tracer.counters["network.collisions"] == result.collisions
+        if result.collisions:
+            assert "network.hotspot_queue_length" in tracer.observations
+
+
+class TestManifest:
+    def _tiny_profile(self, tmp_path, name):
+        return profile_experiment(
+            "figure4",
+            output_dir=str(tmp_path / name),
+            repetitions=2,
+            n_values=(4, 8),
+            a_values=(0,),
+            seed=0,
+        )
+
+    def test_profile_writes_all_artifacts(self, tmp_path):
+        run = self._tiny_profile(tmp_path, "a")
+        manifest = read_manifest(run.manifest_path)
+        assert manifest["experiment_id"] == "figure4"
+        assert manifest["config"]["n_values"] == [4, 8]
+        assert manifest["events_emitted"] == len(read_events(run.events_path))
+        assert manifest["counters"]["barrier.episodes"] == 4
+        assert manifest["event_totals"]["barrier.episode"] == 4
+        assert "experiment.figure4" in manifest["timers"]
+        summary = (tmp_path / "a" / "summary.txt").read_text()
+        assert "barrier.accesses" in summary
+
+    def test_manifest_deterministic_given_seed(self, tmp_path):
+        first = self._tiny_profile(tmp_path, "a")
+        second = self._tiny_profile(tmp_path, "b")
+        assert (
+            first.manifest.deterministic_digest()
+            == second.manifest.deterministic_digest()
+        )
+        # The full manifests differ only in wall-clock / environment
+        # fields; the digest stored on disk matches the recomputed one.
+        on_disk = read_manifest(first.manifest_path)
+        assert on_disk["deterministic_digest"] == (
+            first.manifest.deterministic_digest()
+        )
+
+    def test_manifest_digest_sensitive_to_seed(self, tmp_path):
+        first = self._tiny_profile(tmp_path, "a")
+        different = profile_experiment(
+            "figure4",
+            output_dir=str(tmp_path / "c"),
+            repetitions=2,
+            n_values=(4, 8),
+            a_values=(0,),
+            seed=1,
+        )
+        assert (
+            first.manifest.deterministic_digest()
+            != different.manifest.deterministic_digest()
+        )
+
+    def test_build_manifest_excludes_timers_from_digest(self):
+        tracer = Tracer()
+        tracer.count("c", 3)
+        manifest_a = build_manifest(tracer, experiment_id="x", seed=0)
+        with tracer.timer("slow"):
+            pass
+        manifest_b = build_manifest(tracer, experiment_id="x", seed=0)
+        assert (
+            manifest_a.deterministic_digest()
+            == manifest_b.deterministic_digest()
+        )
+
+    def test_manifest_json_is_valid(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit("k")
+        manifest = build_manifest(
+            tracer, experiment_id="x", config={"n_values": (2, 4)}, seed=0
+        )
+        path = str(tmp_path / "manifest.json")
+        manifest.write(path)
+        loaded = json.loads(open(path).read())
+        assert loaded["config"] == {"n_values": [2, 4]}
+        assert isinstance(loaded["git_rev"], str)
+        assert loaded["version"] == 1
+
+    def test_custom_runner_override(self, tmp_path):
+        calls = []
+
+        def runner(experiment_id, **kwargs):
+            calls.append((experiment_id, kwargs))
+            return "result"
+
+        run = profile_experiment(
+            "figure4", output_dir=str(tmp_path), runner=runner, seed=3
+        )
+        assert run.result == "result"
+        assert calls == [("figure4", {"seed": 3})]
+        assert run.manifest.seed == 3
+
+
+class TestSummary:
+    def test_render_summary_sections(self):
+        tracer = Tracer(run_id="demo")
+        tracer.emit("kind.a")
+        tracer.count("layer.counter", 42)
+        tracer.observe("layer.obs", 7)
+        text = render_summary(tracer)
+        assert "demo" in text
+        assert "kind.a" in text
+        assert "layer.counter" in text and "42" in text
+        assert "layer.obs" in text
+
+    def test_render_summary_empty_tracer(self):
+        text = render_summary(Tracer(run_id="empty"))
+        assert "(none)" in text
+
+
+class TestRunManifestType:
+    def test_dataclass_fields(self):
+        tracer = Tracer()
+        manifest = build_manifest(tracer, experiment_id="x")
+        assert isinstance(manifest, RunManifest)
+        assert manifest.events_emitted == 0
+        assert manifest.seed is None

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's Markdown files resolve.
+
+Scans every tracked ``*.md`` under the repository root (including
+``docs/``) for inline Markdown links and verifies that each relative
+target exists on disk. External links (http/https/mailto) and pure
+in-page anchors are skipped. Exits non-zero listing every broken link.
+
+Usage: python tools/check_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__", "profiles"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(path.relative_to(root).parts):
+            yield path
+
+
+def broken_links(path: Path):
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (path.parent / relative).exists():
+            line = text.count("\n", 0, match.start()) + 1
+            yield line, target
+
+
+def main(argv):
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    failures = 0
+    checked = 0
+    for path in iter_markdown(root):
+        checked += 1
+        for line, target in broken_links(path):
+            failures += 1
+            print(f"{path.relative_to(root)}:{line}: broken link -> {target}")
+    print(f"checked {checked} markdown files, {failures} broken links")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
