@@ -17,6 +17,11 @@ Commands:
 - ``profile``               — run one experiment with tracing enabled;
                               writes manifest.json + events.jsonl + a
                               counter summary (see docs/observability.md).
+- ``faults``                — run one experiment resiliently under a
+                              fault-injection plan: per-point
+                              checkpoint/resume, timeouts, bounded
+                              retry, resilience summary (see
+                              docs/faults.md).
 """
 
 from __future__ import annotations
@@ -33,6 +38,29 @@ from repro.core.backoff import (
     VariableBackoff,
 )
 from repro.core.selection import PolicyAdvisor, SynchronizationProfile
+
+
+#: Seeds feed numpy Generators; this is the range every stream accepts.
+MAX_SEED = 2**32
+
+
+def _seed_arg(text: str) -> int:
+    """argparse type for ``--seed``: an integer in ``[0, 2**32)``.
+
+    Validating here turns a bad seed into a one-line usage error
+    instead of a raw numpy traceback from deep inside a simulator.
+    """
+    try:
+        seed = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seed must be an integer, got {text!r}"
+        ) from None
+    if not 0 <= seed < MAX_SEED:
+        raise argparse.ArgumentTypeError(
+            f"seed must be in [0, 2**32), got {seed}"
+        )
+    return seed
 
 
 def _build_policy(name: str, base: int, step: int):
@@ -176,6 +204,33 @@ def _cmd_verify(args) -> int:
     return 0 if "FAIL" not in report else 1
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults.runner import (
+        CheckpointMismatchError,
+        run_experiment_resilient,
+    )
+
+    overrides = _experiment_kwargs(args.id, args.repetitions, args.scale)
+    try:
+        summary = run_experiment_resilient(
+            args.id,
+            plan_spec=args.plan,
+            seed=args.seed,
+            checkpoint_dir=args.checkpoint_dir,
+            timeout_seconds=args.timeout,
+            max_retries=args.max_retries,
+            retry_backoff_seconds=args.retry_backoff,
+            max_points=args.max_points,
+            fresh=args.fresh,
+            **overrides,
+        )
+    except (ValueError, CheckpointMismatchError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(summary.render())
+    return 0 if summary.ok else 1
+
+
 def _cmd_advise(args) -> int:
     from repro.trace.apps import build_app
     from repro.trace.scheduler import PostMortemScheduler
@@ -221,7 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--base", type=int, default=2, help="exponential base")
     p.add_argument("--step", type=int, default=1, help="linear step")
     p.add_argument("--repetitions", type=int, default=100)
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed", type=_seed_arg, default=0)
     p.set_defaults(fn=_cmd_barrier)
 
     p = sub.add_parser("trace", help="schedule an application")
@@ -239,7 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("verify", help="re-check the paper's headline claims")
     p.add_argument("--repetitions", type=int, default=30)
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed", type=_seed_arg, default=0)
     p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser(
@@ -263,13 +318,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=_cmd_profile)
 
+    p = sub.add_parser(
+        "faults",
+        help="run an experiment resiliently under a fault-injection plan",
+    )
+    p.add_argument("id", choices=sorted(EXPERIMENTS))
+    p.add_argument(
+        "--plan", default="none",
+        help="named plan (none, stragglers, hot-module, lossy-net, "
+             "flaky-flags, chaos) or a spec string like "
+             "'stragglers:probability=0.2;grants:drop=0.05'",
+    )
+    p.add_argument("--seed", type=_seed_arg, default=0,
+                   help="root seed for the fault schedules")
+    p.add_argument(
+        "--checkpoint-dir", default=None,
+        help="checkpoint directory (default: checkpoints/<experiment-id>)",
+    )
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-point wall-clock budget in seconds")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retries per failed point (exponential backoff)")
+    p.add_argument("--retry-backoff", type=float, default=0.05,
+                   help="base retry sleep in seconds (doubles per retry)")
+    p.add_argument(
+        "--max-points", type=int, default=None,
+        help="stop after running this many new points (simulates a crash; "
+             "rerun to resume from the checkpoint)",
+    )
+    p.add_argument("--fresh", action="store_true",
+                   help="discard any existing checkpoint first")
+    p.add_argument("--repetitions", type=int, default=None)
+    p.add_argument("--scale", type=float, default=None)
+    p.set_defaults(fn=_cmd_faults)
+
     p = sub.add_parser("advise", help="recommend a backoff policy from a profile")
     p.add_argument("--app", choices=("FFT", "SIMPLE", "WEATHER"), default="SIMPLE")
     p.add_argument("--cpus", type=int, default=64)
     p.add_argument("--scale", type=float, default=0.5)
     p.add_argument("--waiting-weight", type=float, default=0.1)
     p.add_argument("--repetitions", type=int, default=30)
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed", type=_seed_arg, default=0)
     p.add_argument("--no-simulate", action="store_true",
                    help="skip the empirical ranking")
     p.set_defaults(fn=_cmd_advise)

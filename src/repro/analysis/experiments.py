@@ -16,9 +16,10 @@ Command line:
 
 from __future__ import annotations
 
+import inspect
 import sys
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from repro.analysis.figures import render_ascii_plot, render_series, savings_column
 from repro.analysis.tables import render_table
@@ -1420,15 +1421,66 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by id (see :data:`EXPERIMENTS`)."""
+def _lookup(experiment_id: str) -> Callable[..., ExperimentResult]:
     try:
-        runner = EXPERIMENTS[experiment_id]
+        return EXPERIMENTS[experiment_id]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
+
+
+#: Sweep axes :func:`experiment_points` can decompose, in priority
+#: order, with the label each single value gets in point keys.
+_POINT_AXES: Tuple[Tuple[str, Callable[[Any], str]], ...] = (
+    ("n_values", lambda v: f"N={v}"),
+    ("a_values", lambda v: f"A={v}"),
+    ("cpu_counts", lambda v: f"P={v}"),
+    ("hot_fractions", lambda v: f"hot={v}"),
+    ("apps", lambda v: f"app={v}"),
+    ("points", lambda v: f"N={v[0]},A={v[1]}"),
+)
+
+
+def experiment_points(experiment_id: str, **overrides) -> Dict[str, dict]:
+    """Decompose an experiment into independently runnable sweep points.
+
+    Returns an ordered mapping ``{point_key: runner_kwargs}`` such that
+    running the runner once per entry covers the same parameter space
+    as one full run.  The first sweep axis the runner's signature
+    exposes (see ``_POINT_AXES``) is split into single-value points
+    (keys like ``"N=64"``); experiments with no recognised axis run as
+    one point keyed ``"all"``.  ``overrides`` are forwarded to every
+    point (an override for the split axis re-scopes the sweep).
+
+    This is the unit of checkpointing for the resilient runner
+    (:func:`repro.faults.runner.run_experiment_resilient`): each point
+    is retried, timed out, and persisted independently.
+    """
+    runner = _lookup(experiment_id)
+    parameters = inspect.signature(runner).parameters
+    base = dict(overrides)
+    for axis, key_of in _POINT_AXES:
+        if axis not in parameters:
+            continue
+        values = base.pop(axis, None)
+        if values is None:
+            values = parameters[axis].default
+        values = list(values)
+        if not values:
+            raise ValueError(
+                f"experiment {experiment_id!r}: axis {axis!r} has no values"
+            )
+        return {
+            key_of(value): {**base, axis: (value,)} for value in values
+        }
+    return {"all": base}
+
+
+def run(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id (see :data:`EXPERIMENTS`)."""
+    runner = _lookup(experiment_id)
     tracer = get_tracer()
     if not tracer.enabled:
         return runner(**kwargs)

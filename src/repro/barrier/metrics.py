@@ -35,6 +35,10 @@ class BarrierRunResult:
     variable_accesses: int = 0
     flag_accesses: int = 0
     queued_processes: int = 0
+    #: Processors that exhausted their degraded-mode poll budget or
+    #: timeout and departed without observing the release (a
+    #: partial-arrival outcome; empty under the paper's semantics).
+    timed_out: List[int] = field(default_factory=list)
 
     @property
     def mean_accesses(self) -> float:
@@ -55,6 +59,11 @@ class BarrierRunResult:
     @property
     def max_waiting_time(self) -> int:
         return max(self.waiting_times) if self.waiting_times else 0
+
+    @property
+    def degraded(self) -> bool:
+        """True if any processor departed without seeing the release."""
+        return bool(self.timed_out)
 
     def waiting_percentile(self, q: float) -> float:
         """The q-th percentile (0..100) of per-process waiting times.
@@ -82,6 +91,10 @@ class BarrierAggregate:
     waiting: RunningStats = field(default_factory=RunningStats)
     waiting_p95: RunningStats = field(default_factory=RunningStats)
     queued: RunningStats = field(default_factory=RunningStats)
+    #: Episodes with at least one partial arrival (degraded mode).
+    degraded_runs: int = 0
+    #: Total processors that timed out across all episodes.
+    timed_out_processes: int = 0
 
     def add_run(self, run: BarrierRunResult) -> None:
         if run.num_processors != self.num_processors:
@@ -90,6 +103,9 @@ class BarrierAggregate:
         self.waiting.add(run.mean_waiting_time)
         self.waiting_p95.add(run.waiting_percentile(95.0))
         self.queued.add(run.queued_processes)
+        if run.degraded:
+            self.degraded_runs += 1
+            self.timed_out_processes += len(run.timed_out)
 
     @property
     def repetitions(self) -> int:

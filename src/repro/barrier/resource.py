@@ -48,6 +48,9 @@ class ResourceRunResult:
     accesses_per_process: List[int] = field(default_factory=list)
     finish_times: List[int] = field(default_factory=list)
     failed_attempts: int = 0
+    #: Processors that hit their lock's ``max_attempts`` bound and gave
+    #: up without finishing all acquisitions (degraded outcome).
+    aborted: List[int] = field(default_factory=list)
 
     @property
     def mean_accesses(self) -> float:
@@ -58,6 +61,11 @@ class ResourceRunResult:
     @property
     def makespan(self) -> int:
         return max(self.finish_times) if self.finish_times else 0
+
+    @property
+    def degraded(self) -> bool:
+        """True if any processor aborted its acquisition loop."""
+        return bool(self.aborted)
 
 
 @dataclass
@@ -172,6 +180,15 @@ class ResourceSimulator:
                     waiting_flags[cpu] = True
                     waiters += 1
                 attempts[cpu] += 1
+                should_abort = getattr(self.strategy, "should_abort", None)
+                if should_abort is not None and should_abort(attempts[cpu]):
+                    # Degraded mode: the lock's attempt bound is
+                    # exhausted; give up instead of spinning forever.
+                    waiting_flags[cpu] = False
+                    waiters -= 1
+                    result.aborted.append(cpu)
+                    finish[cpu] = grant
+                    continue
                 ahead = max(waiters - 1, 0)
                 wait = max(self.strategy.retry_wait(attempts[cpu], ahead), 1)
                 push(grant + wait, cpu, _REQ_ACQUIRE)

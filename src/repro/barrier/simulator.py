@@ -43,6 +43,7 @@ from repro.barrier.arrivals import ArrivalProcess, UniformArrivals
 from repro.barrier.metrics import BarrierAggregate, BarrierRunResult
 from repro.core.backoff import BackoffPolicy
 from repro.core.barrier import SingleVariableBarrier, TangYewBarrier
+from repro.faults.plan import GRANT_DROP, GRANT_DUP, get_fault_plan
 from repro.network.model import NetworkModel
 from repro.network.module import MemoryModule
 from repro.obs.tracer import get_tracer
@@ -84,7 +85,35 @@ class BarrierSimulator:
         else:
             flag_module = variable_module
 
-        arrival_times = self.arrivals.draw(n, rng)
+        plan = get_fault_plan()
+        if plan is not None:
+            plan.begin_episode()
+            modules = (
+                (variable_module,)
+                if flag_module is variable_module
+                else (variable_module, flag_module)
+            )
+            for module in modules:
+                for start, end in plan.module_windows(module.name):
+                    module.add_outage(start, end)
+
+        # Degraded-mode bounds: the barrier's own fields win; an active
+        # plan can supply them for registry experiments.  Both None
+        # (the default) preserves the paper's wait-forever semantics.
+        poll_budget = self.barrier.poll_budget
+        timeout_cycles = self.barrier.timeout_cycles
+        if plan is not None:
+            if poll_budget is None:
+                poll_budget = plan.poll_budget
+            if timeout_cycles is None:
+                timeout_cycles = plan.timeout_cycles
+
+        arrival_times = [int(when) for when in self.arrivals.draw(n, rng)]
+        if plan is not None:
+            for cpu in range(n):
+                arrival_times[cpu] += plan.arrival_delay(
+                    cpu, n, arrival_times[cpu]
+                )
         result = BarrierRunResult(
             num_processors=n,
             interval_a=self.arrivals.interval,
@@ -93,6 +122,7 @@ class BarrierSimulator:
         accesses = [0] * n
         polls = [0] * n
         depart = [0] * n
+        losses = [0] * n
 
         heap: List[Tuple[int, int, int, int]] = []
         seq = 0
@@ -146,6 +176,29 @@ class BarrierSimulator:
             if kind == _REQ_FLAG_WRITE:
                 grant, cost = flag_module.request(ready)
                 accesses[cpu] += cost
+                if plan is not None:
+                    outcome = plan.grant_outcome(
+                        f"{flag_module.name}.write", cpu, grant
+                    )
+                    if outcome == GRANT_DROP:
+                        # The write was lost in the network: the flag
+                        # stays clear and the writer re-issues it after
+                        # an adaptive loss backoff.
+                        losses[cpu] += 1
+                        wait = max(policy.loss_wait(losses[cpu]), 1)
+                        push(grant + wait, cpu, _REQ_FLAG_WRITE)
+                        if trace_on:
+                            tracer.emit(
+                                "barrier.flag_write_dropped",
+                                cpu=cpu,
+                                grant=grant,
+                                retry=grant + wait,
+                            )
+                        continue
+                    if outcome == GRANT_DUP:
+                        # A duplicated write is harmless (the flag is
+                        # idempotent) but costs one extra access.
+                        accesses[cpu] += 1
                 flag_set_time = grant
                 depart[cpu] = grant
                 if trace_on:
@@ -162,6 +215,14 @@ class BarrierSimulator:
             grant, cost = flag_module.request(ready)
             accesses[cpu] += cost
             released = flag_set_time is not None and grant > flag_set_time
+            if (
+                released
+                and plan is not None
+                and plan.flaky_read(f"{flag_module.name}.read", cpu, grant)
+            ):
+                # A transiently wrong read: the flag is set, but this
+                # poll observes it clear and the processor re-polls.
+                released = False
             if trace_on:
                 tracer.emit(
                     "barrier.flag_poll",
@@ -175,6 +236,24 @@ class BarrierSimulator:
                 depart[cpu] = grant
             else:
                 polls[cpu] += 1
+                if (poll_budget is not None and polls[cpu] >= poll_budget) or (
+                    timeout_cycles is not None
+                    and grant - arrival_times[cpu] >= timeout_cycles
+                ):
+                    # Degraded mode: give up waiting and depart with a
+                    # partial-arrival outcome instead of hanging.
+                    result.timed_out.append(cpu)
+                    depart[cpu] = grant
+                    if plan is not None:
+                        plan.count("barrier.partial_arrival")
+                    if trace_on:
+                        tracer.emit(
+                            "barrier.partial_arrival",
+                            cpu=cpu,
+                            grant=grant,
+                            polls=polls[cpu],
+                        )
+                    continue
                 wait = max(policy.flag_wait(polls[cpu]), 1)
                 if trace_on:
                     tracer.count("barrier.backoff_wait_cycles", wait)

@@ -58,6 +58,20 @@ class BackoffPolicy:
         """True if the process should block instead of polling again."""
         return False
 
+    def loss_wait(self, suspected_losses: int) -> int:
+        """Cycles to wait before re-issuing a write suspected lost.
+
+        Degraded-mode hook: when fault injection drops a flag write,
+        the writer re-issues it after this wait.  The default schedule
+        is bounded exponential backoff (base 2, capped at ``1 << 20``)
+        — the same adaptive shape the paper applies to polling, applied
+        to suspected loss, so a lossy network slows the release instead
+        of flooding the flag module with immediate retries.
+        """
+        if suspected_losses < 1:
+            raise ValueError("suspected_losses must be >= 1 (counts drops)")
+        return min(1 << suspected_losses, 1 << 20)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 

@@ -21,9 +21,16 @@ against the network model happens in :mod:`repro.barrier`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.core.backoff import BackoffPolicy, NoBackoff
+
+
+def _check_degraded_mode(poll_budget: Optional[int], timeout_cycles: Optional[int]) -> None:
+    if poll_budget is not None and poll_budget < 1:
+        raise ValueError("poll_budget must be >= 1 when set")
+    if timeout_cycles is not None and timeout_cycles < 1:
+        raise ValueError("timeout_cycles must be >= 1 when set")
 
 
 @dataclass
@@ -33,14 +40,24 @@ class TangYewBarrier:
     An arriving process increments the *barrier variable*; unless it is
     the last it then polls the *barrier flag*, which the last arrival
     sets.  The variable and flag live in different memory modules.
+
+    Degraded mode: when ``poll_budget`` or ``timeout_cycles`` is set, a
+    waiting process that exhausts either bound departs anyway and the
+    episode reports a partial-arrival outcome
+    (:attr:`repro.barrier.metrics.BarrierRunResult.timed_out`) instead
+    of polling forever — the behaviour fault-injection scenarios need.
+    Both default to None (wait indefinitely, the paper's semantics).
     """
 
     num_processors: int
     backoff: BackoffPolicy = field(default_factory=NoBackoff)
+    poll_budget: Optional[int] = None
+    timeout_cycles: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_processors < 1:
             raise ValueError("num_processors must be >= 1")
+        _check_degraded_mode(self.poll_budget, self.timeout_cycles)
 
     @property
     def separate_modules(self) -> bool:
@@ -54,14 +71,20 @@ class SingleVariableBarrier:
     Every process increments the shared variable and then repeatedly
     reads it until it reaches N; incrementers and pollers contend for
     the *same* memory module, which is the implementation's drawback.
+
+    ``poll_budget`` / ``timeout_cycles`` give the same degraded-mode
+    semantics as :class:`TangYewBarrier`.
     """
 
     num_processors: int
     backoff: BackoffPolicy = field(default_factory=NoBackoff)
+    poll_budget: Optional[int] = None
+    timeout_cycles: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_processors < 1:
             raise ValueError("num_processors must be >= 1")
+        _check_degraded_mode(self.poll_budget, self.timeout_cycles)
 
     @property
     def separate_modules(self) -> bool:

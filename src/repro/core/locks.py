@@ -17,20 +17,44 @@ Execution happens in :mod:`repro.barrier.resource`.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.backoff import ProportionalBackoff
 
 
-class TestAndSetLock:
+class _BoundedLock:
+    """Degraded-mode base: an optional cap on acquisition attempts.
+
+    With ``max_attempts`` set, :meth:`should_abort` tells the resource
+    simulator to give up on the lock after that many failed tries and
+    report an aborted (partial) outcome instead of spinning forever —
+    the bounded-retry semantics fault-injection scenarios rely on.
+    ``max_attempts=None`` (the default) retries indefinitely, which is
+    the paper's behaviour.
+    """
+
+    def __init__(self, max_attempts: Optional[int] = None) -> None:
+        if max_attempts is not None and max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1 when set")
+        self.max_attempts = max_attempts
+
+    def should_abort(self, attempts: int) -> bool:
+        """True if the processor should stop retrying this lock."""
+        return self.max_attempts is not None and attempts >= self.max_attempts
+
+
+class TestAndSetLock(_BoundedLock):
     """Spin on atomic test&set: every attempt is a network RMW."""
 
     name = "test-and-set"
+    __test__ = False  # not a pytest class, despite the Test* name
 
     def retry_wait(self, attempts: int, waiters_ahead: int) -> int:
         """Cycles to wait after the ``attempts``-th failed acquire."""
         return 0
 
 
-class TestAndTestAndSetLock:
+class TestAndTestAndSetLock(_BoundedLock):
     """Read the lock word until free, then try the RMW.
 
     With uncached synchronization variables the read spin still hits
@@ -40,12 +64,13 @@ class TestAndTestAndSetLock:
     """
 
     name = "test-and-test-and-set"
+    __test__ = False  # not a pytest class, despite the Test* name
 
     def retry_wait(self, attempts: int, waiters_ahead: int) -> int:
         return 0
 
 
-class BackoffLock:
+class BackoffLock(_BoundedLock):
     """Test-and-test-and-set with adaptive proportional backoff.
 
     After a failed attempt the processor waits
@@ -57,7 +82,13 @@ class BackoffLock:
 
     name = "backoff"
 
-    def __init__(self, hold_time: int, minimum_wait: int = 1) -> None:
+    def __init__(
+        self,
+        hold_time: int,
+        minimum_wait: int = 1,
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        super().__init__(max_attempts=max_attempts)
         if minimum_wait < 0:
             raise ValueError("minimum_wait must be non-negative")
         self._policy = ProportionalBackoff(hold_time=hold_time)

@@ -1,0 +1,88 @@
+"""Fault injection and resilient experiment execution.
+
+Layer map:
+
+- :mod:`repro.faults.plan` — the :class:`FaultPlan` hook protocol and
+  the process-wide active-plan registry the simulators consult (a
+  ``None`` lookup when no plan is installed, so the hot path costs one
+  ``is not None`` check and results with faults off stay bit-identical).
+- :mod:`repro.faults.injectors` — the injector catalog (stragglers,
+  module outages, grant drop/dup, flaky flag reads, event jitter).
+- :mod:`repro.faults.spec` — the ``--plan`` text grammar and named
+  plans (``chaos``, ``lossy-net``, ...).
+- :mod:`repro.faults.runner` — checkpoint/resume, per-point timeouts,
+  bounded retry, and the resilience summary behind
+  ``python -m repro faults``.
+"""
+
+from repro.faults.plan import (
+    GRANT_DROP,
+    GRANT_DUP,
+    GRANT_OK,
+    FaultInjector,
+    FaultPlan,
+    clear_fault_plan,
+    fault_injection,
+    get_fault_plan,
+    install_fault_plan,
+)
+from repro.faults.injectors import (
+    EventJitterInjector,
+    FlakyFlagInjector,
+    GrantFaultInjector,
+    ModuleOutageInjector,
+    StragglerInjector,
+)
+from repro.faults.spec import INJECTOR_FACTORIES, NAMED_PLANS, parse_plan
+
+#: Runner symbols resolved lazily (PEP 562): the runner pulls in
+#: repro.sim / repro.obs / repro.analysis, and the simulators import
+#: *this* package at load time — an eager import here would cycle.
+_RUNNER_EXPORTS = frozenset(
+    {
+        "CheckpointMismatchError",
+        "CheckpointStore",
+        "PointRecord",
+        "PointTimeoutError",
+        "ResilienceSummary",
+        "run_experiment_resilient",
+        "run_resilient_sweep",
+        "time_limit",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _RUNNER_EXPORTS:
+        from repro.faults import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "GRANT_DROP",
+    "GRANT_DUP",
+    "GRANT_OK",
+    "FaultInjector",
+    "FaultPlan",
+    "clear_fault_plan",
+    "fault_injection",
+    "get_fault_plan",
+    "install_fault_plan",
+    "EventJitterInjector",
+    "FlakyFlagInjector",
+    "GrantFaultInjector",
+    "ModuleOutageInjector",
+    "StragglerInjector",
+    "INJECTOR_FACTORIES",
+    "NAMED_PLANS",
+    "parse_plan",
+    "CheckpointMismatchError",
+    "CheckpointStore",
+    "PointRecord",
+    "PointTimeoutError",
+    "ResilienceSummary",
+    "run_experiment_resilient",
+    "run_resilient_sweep",
+    "time_limit",
+]

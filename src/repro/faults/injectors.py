@@ -1,0 +1,283 @@
+"""The injector catalog: concrete, seeded fault models.
+
+Each injector is deterministic given its per-episode stream (installed
+by :meth:`~repro.faults.plan.FaultPlan.begin_episode`) and composable
+with the others inside one :class:`~repro.faults.plan.FaultPlan`.
+
+Catalog (spec names in parentheses, see :mod:`repro.faults.spec`):
+
+- :class:`StragglerInjector` (``stragglers``) — a random subset of
+  processors arrive late by heavy-tailed (Pareto) delays, the classic
+  straggler model of large-machine barrier studies.
+- :class:`ModuleOutageInjector` (``outage``) — a memory module stops
+  granting during configured cycle windows (outage) — every denied
+  cycle is charged to the requester, per the paper's counting.
+- :class:`GrantFaultInjector` (``grants``) — a granted access is
+  dropped (the response is lost; the requester must retry) or
+  duplicated (an extra access is charged) with configured probability.
+- :class:`FlakyFlagInjector` (``flaky``) — a successful flag read
+  transiently observes the flag still clear, forcing an extra re-poll.
+- :class:`EventJitterInjector` (``jitter``) — events scheduled on the
+  discrete-event kernel slip by a few cycles (scheduling noise).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faults.plan import (
+    GRANT_DROP,
+    GRANT_DUP,
+    GRANT_OK,
+    FaultInjector,
+)
+
+
+def _site_matches(pattern: str, site: str) -> bool:
+    """True if ``pattern`` selects ``site`` ("*" selects everything)."""
+    return pattern == "*" or pattern == site or pattern in site
+
+
+def _check_probability(value: float, label: str) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{label} must be in [0, 1], got {value}")
+    return float(value)
+
+
+class StragglerInjector(FaultInjector):
+    """Heavy-tailed arrival delays for a random subset of processors.
+
+    Per episode: each processor is a straggler with ``probability``;
+    stragglers are delayed by ``scale * Pareto(shape)`` cycles, capped
+    at ``cap``.  Small ``shape`` values give the heavy tail (a few
+    processors arrive very late) that stresses degraded-mode barriers.
+    """
+
+    name = "stragglers"
+
+    def __init__(
+        self,
+        probability: float = 0.1,
+        scale: int = 100,
+        shape: float = 1.5,
+        cap: int = 100_000,
+    ) -> None:
+        super().__init__()
+        self.probability = _check_probability(probability, "probability")
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        if shape <= 0:
+            raise ValueError("shape must be > 0")
+        if cap < 1:
+            raise ValueError("cap must be >= 1")
+        self.scale = int(scale)
+        self.shape = float(shape)
+        self.cap = int(cap)
+        self._delays: Optional[List[int]] = None
+
+    def reset(self, rng) -> None:
+        super().reset(rng)
+        self._delays = None
+
+    def _ensure_delays(self, n: int) -> List[int]:
+        if self._delays is None or len(self._delays) != n:
+            mask = self.rng.random(n) < self.probability
+            raw = self.rng.pareto(self.shape, n) * self.scale
+            self._delays = [
+                int(min(raw[cpu], self.cap)) if mask[cpu] else 0
+                for cpu in range(n)
+            ]
+        return self._delays
+
+    def arrival_delay(self, cpu: int, n: int, time: int) -> int:
+        return self._ensure_delays(n)[cpu]
+
+    def __repr__(self) -> str:
+        return (
+            f"StragglerInjector(probability={self.probability}, "
+            f"scale={self.scale}, shape={self.shape}, cap={self.cap})"
+        )
+
+
+class ModuleOutageInjector(FaultInjector):
+    """Cycle windows during which a memory module grants nothing.
+
+    ``module`` selects which modules are hit (substring or "*"; the
+    barrier simulator exposes ``barrier-variable`` and ``barrier-flag``).
+    ``repeats`` windows of ``length`` cycles are placed every ``period``
+    cycles starting at ``start``.  Zero-length windows are no-ops.
+    """
+
+    name = "outage"
+
+    def __init__(
+        self,
+        module: str = "*",
+        start: int = 0,
+        length: int = 0,
+        period: int = 0,
+        repeats: int = 1,
+    ) -> None:
+        super().__init__()
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if repeats > 1 and period < 1:
+            raise ValueError("period must be >= 1 when repeats > 1")
+        self.module = module
+        self.start = int(start)
+        self.length = int(length)
+        self.period = int(period)
+        self.repeats = int(repeats)
+
+    def module_windows(self, module: str) -> Sequence[Tuple[int, int]]:
+        if self.length == 0 or not _site_matches(self.module, module):
+            return ()
+        return [
+            (
+                self.start + index * self.period,
+                self.start + index * self.period + self.length,
+            )
+            for index in range(self.repeats)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"ModuleOutageInjector(module={self.module!r}, start={self.start}, "
+            f"length={self.length}, period={self.period}, repeats={self.repeats})"
+        )
+
+
+class GrantFaultInjector(FaultInjector):
+    """Dropped or duplicated grants at a matched site.
+
+    Each granted access inside the ``[start, end)`` cycle window is
+    dropped with probability ``drop`` or duplicated with probability
+    ``dup`` (mutually exclusive per grant; drop is tested first).
+    """
+
+    name = "grants"
+
+    def __init__(
+        self,
+        site: str = "*",
+        drop: float = 0.0,
+        dup: float = 0.0,
+        start: int = 0,
+        end: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.site = site
+        self.drop = _check_probability(drop, "drop")
+        self.dup = _check_probability(dup, "dup")
+        if self.drop + self.dup > 1.0:
+            raise ValueError("drop + dup must not exceed 1")
+        if self.drop >= 1.0:
+            raise ValueError(
+                "drop must be < 1 (a certain drop would retry forever)"
+            )
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        if end is not None and end < start:
+            raise ValueError("end must be >= start")
+        self.start = int(start)
+        self.end = None if end is None else int(end)
+
+    def _in_window(self, time: int) -> bool:
+        if time < self.start:
+            return False
+        return self.end is None or time < self.end
+
+    def grant_outcome(self, site: str, actor: int, time: int) -> str:
+        if not _site_matches(self.site, site) or not self._in_window(time):
+            return GRANT_OK
+        draw = self.rng.random()
+        if draw < self.drop:
+            return GRANT_DROP
+        if draw < self.drop + self.dup:
+            return GRANT_DUP
+        return GRANT_OK
+
+    def __repr__(self) -> str:
+        return (
+            f"GrantFaultInjector(site={self.site!r}, drop={self.drop}, "
+            f"dup={self.dup}, start={self.start}, end={self.end})"
+        )
+
+
+class FlakyFlagInjector(FaultInjector):
+    """Transiently wrong flag reads: a set flag observed as clear.
+
+    Each otherwise-successful read at a matched site inside the window
+    is flaky with ``probability``; the reader re-polls (with its normal
+    backoff schedule), so a flaky read costs extra accesses and waiting
+    time but never wedges the barrier.
+    """
+
+    name = "flaky"
+
+    def __init__(
+        self,
+        probability: float = 0.1,
+        site: str = "*",
+        start: int = 0,
+        end: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        self.probability = _check_probability(probability, "probability")
+        if self.probability >= 1.0:
+            raise ValueError(
+                "probability must be < 1 (a certain flake would poll forever)"
+            )
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        if end is not None and end < start:
+            raise ValueError("end must be >= start")
+        self.site = site
+        self.start = int(start)
+        self.end = None if end is None else int(end)
+
+    def flaky_read(self, site: str, actor: int, time: int) -> bool:
+        if not _site_matches(self.site, site):
+            return False
+        if time < self.start or (self.end is not None and time >= self.end):
+            return False
+        return bool(self.rng.random() < self.probability)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlakyFlagInjector(probability={self.probability}, "
+            f"site={self.site!r}, start={self.start}, end={self.end})"
+        )
+
+
+class EventJitterInjector(FaultInjector):
+    """Scheduling jitter on the discrete-event kernel.
+
+    Each scheduled event slips by 1..``max_jitter`` extra cycles with
+    ``probability`` — interference noise for the event-driven
+    simulators built on :class:`repro.sim.engine.Simulator`.
+    """
+
+    name = "jitter"
+
+    def __init__(self, probability: float = 0.05, max_jitter: int = 3) -> None:
+        super().__init__()
+        self.probability = _check_probability(probability, "probability")
+        if max_jitter < 1:
+            raise ValueError("max_jitter must be >= 1")
+        self.max_jitter = int(max_jitter)
+
+    def event_jitter(self, time: int) -> int:
+        if self.rng.random() < self.probability:
+            return int(self.rng.integers(1, self.max_jitter + 1))
+        return 0
+
+    def __repr__(self) -> str:
+        return (
+            f"EventJitterInjector(probability={self.probability}, "
+            f"max_jitter={self.max_jitter})"
+        )

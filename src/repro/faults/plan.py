@@ -1,0 +1,264 @@
+"""Fault plans: the hook protocol between injectors and simulators.
+
+A :class:`FaultPlan` is a composition of seeded
+:class:`FaultInjector` objects plus an optional degraded-mode
+configuration (``poll_budget`` / ``timeout_cycles``) that the barrier
+simulator consults when deciding whether a waiting processor should
+give up and report a partial-arrival outcome.
+
+The contract with the simulators mirrors the tracer's: the active plan
+is a process-wide registry entry read once per run
+(:func:`get_fault_plan`); when no plan is installed the lookup returns
+``None`` and every hot path skips the fault hooks behind a single
+``is not None`` check, so results with faults off are bit-identical to
+a build without this module.
+
+Determinism: every injector draws from a named stream spawned off the
+plan's root seed (see :mod:`repro.sim.rng`), re-derived at every
+:meth:`FaultPlan.begin_episode`, so two runs of the same configuration
+with the same seed produce identical fault schedules.
+
+Hook sites (each is a no-op unless an injector overrides it):
+
+===================  ====================================================
+hook                 call site
+===================  ====================================================
+``arrival_delay``    :class:`repro.barrier.simulator.BarrierSimulator` —
+                     extra cycles added to a processor's barrier arrival
+                     (straggler model).
+``module_windows``   barrier simulator episode setup — outage windows
+                     installed into :class:`repro.network.module.MemoryModule`.
+``grant_outcome``    barrier flag writes and multistage-network circuit
+                     grants — ``"drop"`` loses the grant (the requester
+                     must retry), ``"dup"`` charges a duplicated access.
+``flaky_read``       barrier flag polls — a set flag transiently reads
+                     as clear.
+``event_jitter``     :meth:`repro.sim.engine.Simulator.schedule` —
+                     non-negative cycles added to an event's time.
+===================  ====================================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Grant outcomes returned by :meth:`FaultInjector.grant_outcome`.
+GRANT_OK = "ok"
+GRANT_DROP = "drop"
+GRANT_DUP = "dup"
+
+
+class FaultInjector:
+    """Base class: injects nothing.
+
+    Subclasses override the hooks they participate in and read
+    randomness exclusively from ``self.rng`` (a numpy Generator
+    installed by :meth:`reset` at the start of every episode).
+    """
+
+    name = "injector"
+
+    def __init__(self) -> None:
+        self.rng = None
+
+    def reset(self, rng) -> None:
+        """Install the episode's random stream; clears cached draws."""
+        self.rng = rng
+
+    def arrival_delay(self, cpu: int, n: int, time: int) -> int:
+        """Extra cycles before processor ``cpu`` (of ``n``) arrives."""
+        return 0
+
+    def module_windows(self, module: str) -> Sequence[Tuple[int, int]]:
+        """Outage windows ``(start, end)`` for the named memory module."""
+        return ()
+
+    def grant_outcome(self, site: str, actor: int, time: int) -> str:
+        """Fate of a granted access at ``site``: ok, drop or dup."""
+        return GRANT_OK
+
+    def flaky_read(self, site: str, actor: int, time: int) -> bool:
+        """True if this (otherwise successful) read observes stale state."""
+        return False
+
+    def event_jitter(self, time: int) -> int:
+        """Non-negative cycles of scheduling jitter for an event."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FaultPlan:
+    """A named, seeded composition of fault injectors.
+
+    Attributes:
+        injectors: the composed :class:`FaultInjector` list; hooks
+            dispatch over it in order (first non-default answer wins for
+            grant outcomes and flaky reads; delays and jitter sum).
+        seed: root seed for every injector stream.
+        name: label used in stream derivation and reports.
+        poll_budget: degraded-mode cap on unsuccessful flag polls per
+            processor (None = unlimited); overridden by a barrier's own
+            ``poll_budget`` when that is set.
+        timeout_cycles: degraded-mode cap on cycles a processor waits
+            past its arrival (None = unlimited).
+        fault_counts: monotonic counters of injected faults, keyed by
+            ``category.detail`` (e.g. ``grant.drop``); simulators also
+            record degraded outcomes here (``barrier.partial_arrival``).
+    """
+
+    def __init__(
+        self,
+        injectors: Sequence[FaultInjector] = (),
+        seed: int = 0,
+        name: str = "plan",
+        poll_budget: Optional[int] = None,
+        timeout_cycles: Optional[int] = None,
+    ) -> None:
+        if poll_budget is not None and poll_budget < 1:
+            raise ValueError("poll_budget must be >= 1 when set")
+        if timeout_cycles is not None and timeout_cycles < 1:
+            raise ValueError("timeout_cycles must be >= 1 when set")
+        self.injectors: List[FaultInjector] = list(injectors)
+        self.seed = seed
+        self.name = name
+        self.poll_budget = poll_budget
+        self.timeout_cycles = timeout_cycles
+        self.fault_counts: Dict[str, int] = {}
+        self._episode = 0
+        self._reset_injectors("init")
+
+    # -- episode management ------------------------------------------
+
+    def begin_episode(self, tag: Optional[str] = None) -> None:
+        """Re-derive every injector stream for a new episode.
+
+        With no explicit ``tag`` an internal counter is used, so a
+        fixed call sequence (same configuration, same seed) yields the
+        same schedule in every run.
+        """
+        self._episode += 1
+        self._reset_injectors(tag if tag is not None else str(self._episode))
+
+    def _reset_injectors(self, tag: str) -> None:
+        if not self.injectors:
+            return
+        # Imported lazily so this module stays free of import cycles
+        # (repro.sim.engine imports this module at load time).
+        from repro.sim.rng import spawn_stream
+
+        for index, injector in enumerate(self.injectors):
+            injector.reset(
+                spawn_stream(
+                    self.seed, f"fault:{self.name}:{index}:{injector.name}:{tag}"
+                )
+            )
+
+    # -- bookkeeping --------------------------------------------------
+
+    def count(self, kind: str, amount: int = 1) -> None:
+        """Record ``amount`` injected faults of ``kind``."""
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + amount
+
+    @property
+    def total_injected(self) -> int:
+        """Total injected-fault count across all categories."""
+        return sum(self.fault_counts.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        """The fault counters as a plain sorted dict (for manifests)."""
+        return dict(sorted(self.fault_counts.items()))
+
+    # -- hooks (called by the simulators) ----------------------------
+
+    def arrival_delay(self, cpu: int, n: int, time: int) -> int:
+        delay = 0
+        for injector in self.injectors:
+            delay += int(injector.arrival_delay(cpu, n, time))
+        if delay:
+            self.count("arrival.stragglers")
+            self.count("arrival.delay_cycles", delay)
+        return delay
+
+    def module_windows(self, module: str) -> List[Tuple[int, int]]:
+        windows: List[Tuple[int, int]] = []
+        for injector in self.injectors:
+            windows.extend(injector.module_windows(module))
+        if windows:
+            self.count("module.outage_windows", len(windows))
+        return windows
+
+    def grant_outcome(self, site: str, actor: int, time: int) -> str:
+        for injector in self.injectors:
+            outcome = injector.grant_outcome(site, actor, time)
+            if outcome != GRANT_OK:
+                self.count(f"grant.{outcome}")
+                return outcome
+        return GRANT_OK
+
+    def flaky_read(self, site: str, actor: int, time: int) -> bool:
+        for injector in self.injectors:
+            if injector.flaky_read(site, actor, time):
+                self.count("read.flaky")
+                return True
+        return False
+
+    def event_jitter(self, time: int) -> int:
+        jitter = 0
+        for injector in self.injectors:
+            jitter += int(injector.event_jitter(time))
+        if jitter:
+            self.count("event.jitter_cycles", jitter)
+        return jitter
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan({self.name!r}, seed={self.seed}, "
+            f"injectors={self.injectors!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Active-plan registry (mirrors repro.obs.tracer's get/set/contextmanager).
+# ----------------------------------------------------------------------
+
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def get_fault_plan() -> Optional[FaultPlan]:
+    """The installed plan, or None (the common, zero-cost case)."""
+    return _ACTIVE_PLAN
+
+
+def install_fault_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install ``plan`` process-wide; returns it.  None uninstalls."""
+    global _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+    return plan
+
+
+def clear_fault_plan() -> None:
+    """Uninstall any active plan."""
+    install_fault_plan(None)
+
+
+@contextmanager
+def fault_injection(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of the block.
+
+    Example:
+        >>> from repro.faults.plan import FaultPlan, fault_injection
+        >>> with fault_injection(FaultPlan(name="demo")) as plan:
+        ...     get_fault_plan() is plan
+        True
+        >>> get_fault_plan() is None
+        True
+    """
+    previous = _ACTIVE_PLAN
+    install_fault_plan(plan)
+    try:
+        yield plan
+    finally:
+        install_fault_plan(previous)

@@ -1,0 +1,500 @@
+"""Resilient experiment execution: checkpoint/resume, timeouts, retries.
+
+The registry experiments (:mod:`repro.analysis.experiments`) are
+decomposed into independent sweep points; each point runs under the
+requested fault plan with
+
+- **per-point checkpointing** — every finished point is written to
+  ``<checkpoint-dir>/points/<key>.json`` (manifest-style: jsonable
+  payload plus a deterministic digest, see :mod:`repro.obs.manifest`),
+  so a crashed or interrupted sweep resumes without recomputing
+  completed points;
+- **a wall-clock timeout** — each attempt is bounded by ``SIGALRM``
+  (main thread; elsewhere the timeout degrades to unbounded) and
+  cancelled cleanly;
+- **bounded retry with exponential backoff** — a failed point is
+  retried up to ``max_retries`` times, sleeping
+  ``retry_backoff_seconds * 2**attempt`` between attempts, mirroring
+  the paper's own retry discipline at the harness level.
+
+Each point gets its *own* plan instance seeded from
+``derive_seed(seed, point-key)``, so fault schedules are identical
+whether the sweep runs straight through or resumes from a checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
+
+from repro.faults.plan import FaultPlan, fault_injection
+from repro.faults.spec import parse_plan
+from repro.obs.manifest import git_revision, jsonable
+from repro.sim.rng import derive_seed
+
+#: Checkpoint schema version; bump when the on-disk layout changes.
+CHECKPOINT_VERSION = 1
+
+COMPLETED = "completed"
+DEGRADED = "degraded"
+FAILED = "failed"
+
+
+class PointTimeoutError(RuntimeError):
+    """A sweep point exceeded its wall-clock budget."""
+
+
+class CheckpointMismatchError(RuntimeError):
+    """The checkpoint on disk was written by a different configuration."""
+
+
+@contextmanager
+def time_limit(seconds: Optional[float]) -> Iterator[None]:
+    """Bound the block's wall clock; raises :class:`PointTimeoutError`.
+
+    Uses ``SIGALRM``, so it only engages on the main thread of a
+    platform that has it; elsewhere the block runs unbounded (the
+    retry/checkpoint machinery still applies).
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise PointTimeoutError(
+            f"point exceeded its wall-clock budget of {seconds:g}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass
+class PointRecord:
+    """The durable outcome of one sweep point."""
+
+    key: str
+    status: str
+    attempts: int = 1
+    wall_time_seconds: float = 0.0
+    data: Any = None
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "key": self.key,
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_time_seconds": self.wall_time_seconds,
+            "data": jsonable(self.data),
+            "fault_counts": jsonable(self.fault_counts),
+            "error": self.error,
+        }
+        payload["digest"] = _record_digest(payload)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "PointRecord":
+        return cls(
+            key=payload["key"],
+            status=payload["status"],
+            attempts=payload.get("attempts", 1),
+            wall_time_seconds=payload.get("wall_time_seconds", 0.0),
+            data=payload.get("data"),
+            fault_counts=payload.get("fault_counts", {}) or {},
+            error=payload.get("error"),
+        )
+
+    @property
+    def done(self) -> bool:
+        """True if this point never needs to run again."""
+        return self.status in (COMPLETED, DEGRADED)
+
+
+def _record_digest(payload: Dict[str, Any]) -> str:
+    """Integrity digest over the fields that make a record meaningful."""
+    deterministic = {
+        "key": payload["key"],
+        "status": payload["status"],
+        "data": payload.get("data"),
+        "fault_counts": payload.get("fault_counts", {}),
+    }
+    blob = json.dumps(deterministic, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _safe_filename(key: str) -> str:
+    return "".join(c if c.isalnum() or c in "-._=" else "_" for c in key)
+
+
+class CheckpointStore:
+    """Directory-backed per-point checkpoints for one sweep."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        self.points_dir = os.path.join(self.directory, "points")
+        self.meta_path = os.path.join(self.directory, "checkpoint.json")
+
+    def clear(self) -> None:
+        """Delete the checkpoint (start the sweep from scratch)."""
+        if os.path.isdir(self.directory):
+            shutil.rmtree(self.directory)
+
+    def _ensure_dirs(self) -> None:
+        os.makedirs(self.points_dir, exist_ok=True)
+
+    def write_meta(self, meta: Dict[str, Any]) -> None:
+        self._ensure_dirs()
+        payload = dict(meta)
+        payload["version"] = CHECKPOINT_VERSION
+        payload["git_rev"] = git_revision()
+        with open(self.meta_path, "w", encoding="utf-8") as handle:
+            json.dump(jsonable(payload), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def load(self, config_digest: str) -> Dict[str, PointRecord]:
+        """Completed/degraded/failed points recorded by a prior run.
+
+        Raises:
+            CheckpointMismatchError: the directory holds a checkpoint
+                for a different configuration (different experiment,
+                plan, seed or point set).  Pass ``fresh=True`` (CLI:
+                ``--fresh``) to discard it instead.
+        """
+        if not os.path.isfile(self.meta_path):
+            return {}
+        with open(self.meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        recorded = meta.get("config_digest")
+        if recorded != config_digest:
+            raise CheckpointMismatchError(
+                f"checkpoint at {self.directory!r} was written by a different "
+                f"configuration (digest {recorded!r} != {config_digest!r}); "
+                "rerun with fresh=True / --fresh to discard it"
+            )
+        records: Dict[str, PointRecord] = {}
+        if os.path.isdir(self.points_dir):
+            for filename in sorted(os.listdir(self.points_dir)):
+                if not filename.endswith(".json"):
+                    continue
+                path = os.path.join(self.points_dir, filename)
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        payload = json.load(handle)
+                    if payload.get("digest") != _record_digest(payload):
+                        continue  # corrupt or hand-edited: recompute it
+                    record = PointRecord.from_dict(payload)
+                except (OSError, ValueError, KeyError):
+                    continue  # a torn write from a crash: recompute it
+                records[record.key] = record
+        return records
+
+    def save_point(self, record: PointRecord) -> str:
+        self._ensure_dirs()
+        path = os.path.join(
+            self.points_dir, f"{_safe_filename(record.key)}.json"
+        )
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(record.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)  # atomic: a crash never tears a point
+        return path
+
+
+@dataclass
+class ResilienceSummary:
+    """What happened to a resilient sweep, for reports and exit codes."""
+
+    experiment_id: str
+    plan_name: str
+    total_points: int
+    records: Dict[str, PointRecord] = field(default_factory=dict)
+    resumed: int = 0
+    retried: int = 0
+    interrupted: bool = False
+    checkpoint_dir: str = ""
+
+    def _count(self, status: str) -> int:
+        return sum(1 for r in self.records.values() if r.status == status)
+
+    @property
+    def completed(self) -> int:
+        return self._count(COMPLETED)
+
+    @property
+    def degraded(self) -> int:
+        return self._count(DEGRADED)
+
+    @property
+    def failed(self) -> int:
+        return self._count(FAILED)
+
+    @property
+    def remaining(self) -> int:
+        return self.total_points - len(self.records)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing failed outright (degraded still counts ok)."""
+        return self.failed == 0
+
+    @property
+    def fault_counts(self) -> Dict[str, int]:
+        """Injected-fault totals aggregated over every point."""
+        totals: Dict[str, int] = {}
+        for record in self.records.values():
+            for kind, count in record.fault_counts.items():
+                totals[kind] = totals.get(kind, 0) + count
+        return dict(sorted(totals.items()))
+
+    def render(self) -> str:
+        lines = [
+            f"== resilience summary: {self.experiment_id} "
+            f"under plan {self.plan_name!r} ==",
+            f"points     : {self.total_points} total, "
+            f"{self.resumed} resumed from checkpoint",
+            f"completed  : {self.completed}",
+            f"degraded   : {self.degraded}",
+            f"failed     : {self.failed}",
+            f"retries    : {self.retried}",
+        ]
+        if self.interrupted:
+            lines.append(
+                f"interrupted: yes ({self.remaining} point(s) left; rerun "
+                "to resume)"
+            )
+        faults = self.fault_counts
+        if faults:
+            lines.append("injected faults:")
+            width = max(len(kind) for kind in faults)
+            for kind, count in faults.items():
+                lines.append(f"  {kind:<{width}} : {count}")
+        else:
+            lines.append("injected faults: none")
+        for record in self.records.values():
+            if record.status == FAILED:
+                lines.append(f"  FAILED {record.key}: {record.error}")
+        if self.checkpoint_dir:
+            lines.append(f"checkpoint : {self.checkpoint_dir}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def run_resilient_sweep(
+    points: Mapping[str, Callable[[], PointRecord]],
+    store: Optional[CheckpointStore] = None,
+    existing: Optional[Dict[str, PointRecord]] = None,
+    timeout_seconds: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff_seconds: float = 0.05,
+    max_points: Optional[int] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> "tuple[Dict[str, PointRecord], int, int, bool]":
+    """Run ``points`` resiliently; returns (records, resumed, retried, interrupted).
+
+    Each value in ``points`` is a zero-argument callable returning a
+    :class:`PointRecord` (status already classified); exceptions and
+    timeouts are caught here and turned into retries, then a FAILED
+    record.  ``max_points`` bounds how many *new* points run (the
+    crash-simulation hook the CI resume smoke test uses).
+    """
+    if max_retries < 0:
+        raise ValueError("max_retries must be non-negative")
+    if retry_backoff_seconds < 0:
+        raise ValueError("retry_backoff_seconds must be non-negative")
+    existing = existing or {}
+    records: Dict[str, PointRecord] = {}
+    resumed = retried = 0
+    ran = 0
+    interrupted = False
+
+    for key, point in points.items():
+        prior = existing.get(key)
+        if prior is not None and prior.done:
+            records[key] = prior
+            resumed += 1
+            continue
+        if max_points is not None and ran >= max_points:
+            interrupted = True
+            break
+        ran += 1
+        record: Optional[PointRecord] = None
+        started = time.perf_counter()
+        for attempt in range(max_retries + 1):
+            if attempt:
+                retried += 1
+                sleep(retry_backoff_seconds * (2 ** (attempt - 1)))
+            try:
+                with time_limit(timeout_seconds):
+                    record = point()
+                break
+            except KeyboardInterrupt:
+                interrupted = True
+                break
+            except Exception as error:  # noqa: BLE001 - resilience boundary
+                record = PointRecord(
+                    key=key,
+                    status=FAILED,
+                    attempts=attempt + 1,
+                    error=f"{type(error).__name__}: {error}",
+                )
+        if interrupted and record is None:
+            break
+        assert record is not None
+        record.key = key
+        record.attempts = max(record.attempts, 1)
+        record.wall_time_seconds = time.perf_counter() - started
+        records[key] = record
+        if store is not None:
+            store.save_point(record)
+        if interrupted:
+            break
+    return records, resumed, retried, interrupted
+
+
+def _config_digest(payload: Dict[str, Any]) -> str:
+    blob = json.dumps(jsonable(payload), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def run_experiment_resilient(
+    experiment_id: str,
+    plan_spec: str = "none",
+    seed: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    timeout_seconds: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff_seconds: float = 0.05,
+    max_points: Optional[int] = None,
+    fresh: bool = False,
+    **overrides: Any,
+) -> ResilienceSummary:
+    """Run a registered experiment under a fault plan, resiliently.
+
+    The engine behind ``python -m repro faults <experiment-id>``: the
+    experiment is decomposed into sweep points (see
+    :func:`repro.analysis.experiments.experiment_points`), each point
+    runs under its own deterministic plan instance, finished points are
+    checkpointed, and the whole sweep resumes from disk after a crash
+    or interrupt.
+    """
+    # Imported lazily: repro.analysis imports the simulators, which
+    # import repro.faults — a module-level import here would cycle.
+    from repro.analysis.experiments import experiment_points
+    from repro.analysis.experiments import run as run_one
+
+    # Validate the plan spec once, up front: a typo'd injector name
+    # should be one usage error, not N failed points plus retries and
+    # a checkpoint bound to a broken configuration.
+    parse_plan(plan_spec, seed=seed)
+
+    points_kwargs = experiment_points(experiment_id, **overrides)
+    digest = _config_digest(
+        {
+            "experiment_id": experiment_id,
+            "plan_spec": plan_spec,
+            "seed": seed,
+            "points": {k: v for k, v in points_kwargs.items()},
+        }
+    )
+    store = CheckpointStore(
+        checkpoint_dir
+        if checkpoint_dir is not None
+        else os.path.join("checkpoints", experiment_id)
+    )
+    if fresh:
+        store.clear()
+    existing = store.load(digest)
+    store.write_meta(
+        {
+            "experiment_id": experiment_id,
+            "plan_spec": plan_spec,
+            "seed": seed,
+            "config_digest": digest,
+            "points": sorted(points_kwargs),
+        }
+    )
+
+    def make_point(key: str, kwargs: Dict[str, Any]) -> Callable[[], PointRecord]:
+        def run_point() -> PointRecord:
+            # A fresh plan per point, seeded by the point key: fault
+            # schedules do not depend on which points ran before, so a
+            # resumed sweep equals an uninterrupted one.
+            plan = build_point_plan(plan_spec, seed, experiment_id, key)
+            with fault_injection(plan):
+                result = run_one(experiment_id, **kwargs)
+            degraded = plan.fault_counts.get("barrier.partial_arrival", 0) > 0
+            # Round-trip through JSON so the in-memory record equals what
+            # a resumed run loads from disk (e.g. int dict keys -> str).
+            data = json.loads(
+                json.dumps(
+                    jsonable({"title": result.title, "data": result.data}),
+                    sort_keys=True,
+                    default=str,
+                )
+            )
+            return PointRecord(
+                key=key,
+                status=DEGRADED if degraded else COMPLETED,
+                data=data,
+                fault_counts=plan.snapshot(),
+            )
+
+        return run_point
+
+    callables = {
+        key: make_point(key, kwargs) for key, kwargs in points_kwargs.items()
+    }
+    records, resumed, retried, interrupted = run_resilient_sweep(
+        callables,
+        store=store,
+        existing=existing,
+        timeout_seconds=timeout_seconds,
+        max_retries=max_retries,
+        retry_backoff_seconds=retry_backoff_seconds,
+        max_points=max_points,
+    )
+    return ResilienceSummary(
+        experiment_id=experiment_id,
+        plan_name=plan_spec,
+        total_points=len(points_kwargs),
+        records=records,
+        resumed=resumed,
+        retried=retried,
+        interrupted=interrupted,
+        checkpoint_dir=store.directory,
+    )
+
+
+def build_point_plan(
+    plan_spec: str, seed: int, experiment_id: str, key: str
+) -> FaultPlan:
+    """The deterministic per-point plan for (spec, seed, experiment, key)."""
+    return parse_plan(
+        plan_spec,
+        seed=derive_seed(seed, f"faults:{experiment_id}:{key}"),
+    )

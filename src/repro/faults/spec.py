@@ -1,0 +1,148 @@
+"""Fault-plan specs: the text grammar behind ``--plan``.
+
+A spec is a ``;``-separated list of injector clauses::
+
+    stragglers:probability=0.2,scale=300;grants:drop=0.02;flaky:probability=0.05
+
+Each clause is ``<injector>[:key=value[,key=value...]]`` where
+``<injector>`` is a key of :data:`INJECTOR_FACTORIES` and the keys are
+the injector's constructor parameters.  Values parse as int, then
+float, then stay strings.  The pseudo-injector ``degrade`` sets the
+plan-level degraded-mode knobs instead of adding an injector:
+``degrade:polls=4096,timeout=200000``.
+
+:data:`NAMED_PLANS` maps short names to canned specs, so
+``python -m repro faults figure5 --plan chaos`` works out of the box.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.faults.injectors import (
+    EventJitterInjector,
+    FlakyFlagInjector,
+    GrantFaultInjector,
+    ModuleOutageInjector,
+    StragglerInjector,
+)
+from repro.faults.plan import FaultInjector, FaultPlan
+
+INJECTOR_FACTORIES = {
+    "stragglers": StragglerInjector,
+    "outage": ModuleOutageInjector,
+    "grants": GrantFaultInjector,
+    "flaky": FlakyFlagInjector,
+    "jitter": EventJitterInjector,
+}
+
+#: Canned plan specs by name (``--plan <name>``).
+NAMED_PLANS: Dict[str, str] = {
+    # The identity plan: installed but injecting nothing (useful to
+    # exercise the resilient runner without perturbing results).
+    "none": "",
+    # A quarter of the processors straggle with Pareto tails.
+    "stragglers": "stragglers:probability=0.25,scale=200",
+    # The flag module periodically goes dark for 16-cycle windows.
+    "hot-module": "outage:module=barrier-flag,start=64,length=16,period=1000,repeats=4",
+    # Grants are lost or duplicated network-wide.
+    "lossy-net": "grants:drop=0.05,dup=0.02",
+    # One flag read in five lies (reads the flag as still clear).
+    "flaky-flags": "flaky:probability=0.2",
+    # Everything at once, plus a degraded-mode poll budget so barriers
+    # report partial arrivals instead of grinding through the noise.
+    "chaos": (
+        "stragglers:probability=0.2,scale=300;"
+        "outage:module=barrier-flag,start=64,length=16,period=1000,repeats=3;"
+        "grants:drop=0.02,dup=0.01;"
+        "flaky:probability=0.05;"
+        "degrade:polls=4096"
+    ),
+}
+
+
+def _coerce(text: str) -> Any:
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_clause(clause: str) -> Dict[str, Any]:
+    injector, _, params_text = clause.partition(":")
+    injector = injector.strip()
+    params: Dict[str, Any] = {}
+    if params_text.strip():
+        for pair in params_text.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep or not key.strip():
+                raise ValueError(
+                    f"malformed parameter {pair!r} in clause {clause!r} "
+                    "(expected key=value)"
+                )
+            params[key.strip()] = _coerce(value.strip())
+    return {"injector": injector, "params": params}
+
+
+def parse_plan(
+    spec: str, seed: int = 0, name: Optional[str] = None
+) -> FaultPlan:
+    """Build a :class:`FaultPlan` from a named plan or a spec string.
+
+    Args:
+        spec: a key of :data:`NAMED_PLANS` or a raw spec string (see
+            the module docstring for the grammar).
+        seed: the plan's root seed.
+        name: plan label; defaults to the named-plan key or "custom".
+
+    Raises:
+        ValueError: unknown injector, malformed clause, or constructor
+            parameters the injector rejects.
+    """
+    if spec in NAMED_PLANS:
+        resolved = NAMED_PLANS[spec]
+        plan_name = name if name is not None else spec
+    else:
+        resolved = spec
+        plan_name = name if name is not None else "custom"
+
+    injectors: List[FaultInjector] = []
+    poll_budget: Optional[int] = None
+    timeout_cycles: Optional[int] = None
+    for raw_clause in resolved.split(";"):
+        clause = raw_clause.strip()
+        if not clause:
+            continue
+        parsed = _parse_clause(clause)
+        kind, params = parsed["injector"], parsed["params"]
+        if kind == "degrade":
+            unknown = set(params) - {"polls", "timeout"}
+            if unknown:
+                raise ValueError(
+                    f"degrade clause takes polls/timeout, got {sorted(unknown)}"
+                )
+            poll_budget = params.get("polls", poll_budget)
+            timeout_cycles = params.get("timeout", timeout_cycles)
+            continue
+        try:
+            factory = INJECTOR_FACTORIES[kind]
+        except KeyError:
+            known = ", ".join(sorted(INJECTOR_FACTORIES) + ["degrade"])
+            raise ValueError(
+                f"unknown injector {kind!r} in plan spec; known: {known}"
+            ) from None
+        try:
+            injectors.append(factory(**params))
+        except TypeError as error:
+            raise ValueError(
+                f"bad parameters for injector {kind!r}: {error}"
+            ) from None
+    return FaultPlan(
+        injectors,
+        seed=seed,
+        name=plan_name,
+        poll_budget=poll_budget,
+        timeout_cycles=timeout_cycles,
+    )

@@ -18,7 +18,7 @@ continuously re-poll, this is equivalent to round-robin service.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Tuple
 
 
 class MemoryModule:
@@ -34,6 +34,8 @@ class MemoryModule:
         total_grants: accesses that actually completed.
         busy_cycles: number of cycles in which the module granted an
             access (utilisation numerator).
+        outage_cycles: denied cycles attributable to outage windows
+            (fault injection) rather than contention.
     """
 
     def __init__(self, name: str = "module") -> None:
@@ -42,15 +44,51 @@ class MemoryModule:
         self.total_accesses = 0
         self.total_grants = 0
         self.busy_cycles = 0
+        self.outage_cycles = 0
         self._last_ready = 0
+        self._outages: List[Tuple[int, int]] = []
 
     def reset(self) -> None:
-        """Return the module to its initial idle state."""
+        """Return the module to its initial idle state (keeps no outages)."""
         self.next_free = 0
         self.total_accesses = 0
         self.total_grants = 0
         self.busy_cycles = 0
+        self.outage_cycles = 0
         self._last_ready = 0
+        self._outages = []
+
+    # -- fault injection ----------------------------------------------
+
+    def add_outage(self, start: int, end: int) -> None:
+        """Declare the half-open cycle window ``[start, end)`` dead.
+
+        During an outage the module grants nothing; a processor whose
+        grant would land inside the window keeps retrying (each denied
+        cycle is charged as a network access, per the paper's counting)
+        and is granted at the first live cycle.  Zero-length windows
+        (``end <= start``) are no-ops.
+        """
+        if start < 0:
+            raise ValueError(f"outage start must be non-negative, got {start}")
+        if end <= start:
+            return
+        self._outages.append((int(start), int(end)))
+        self._outages.sort()
+
+    @property
+    def outages(self) -> Tuple[Tuple[int, int], ...]:
+        """The declared outage windows, sorted by start cycle."""
+        return tuple(self._outages)
+
+    def _next_live_cycle(self, cycle: int) -> int:
+        """The first cycle >= ``cycle`` outside every outage window."""
+        for start, end in self._outages:
+            if cycle < start:
+                break
+            if cycle < end:
+                cycle = end
+        return cycle
 
     def request(self, ready_time: int) -> Tuple[int, int]:
         """Serve one access that became ready at ``ready_time``.
@@ -74,6 +112,10 @@ class MemoryModule:
             )
         self._last_ready = ready_time
         grant_time = max(ready_time, self.next_free)
+        if self._outages:
+            live = self._next_live_cycle(grant_time)
+            self.outage_cycles += live - grant_time
+            grant_time = live
         self.next_free = grant_time + 1
         accesses = grant_time - ready_time + 1
         self.total_accesses += accesses
@@ -83,7 +125,10 @@ class MemoryModule:
 
     def peek_grant_time(self, ready_time: int) -> int:
         """The grant time a request at ``ready_time`` would receive now."""
-        return max(ready_time, self.next_free)
+        grant_time = max(ready_time, self.next_free)
+        if self._outages:
+            grant_time = self._next_live_cycle(grant_time)
+        return grant_time
 
     @property
     def contention_accesses(self) -> int:

@@ -28,6 +28,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.faults.plan import GRANT_DROP, GRANT_DUP, get_fault_plan
 from repro.network.netbackoff import (
     CollisionInfo,
     ImmediateRetry,
@@ -63,6 +64,10 @@ class NetworkRunResult:
     completed: int = 0
     collisions: int = 0
     attempts: int = 0
+    #: Circuit grants lost to fault injection (the message retried).
+    dropped_grants: int = 0
+    #: Circuit grants duplicated by fault injection (extra attempt charged).
+    duplicated_grants: int = 0
     latency: RunningStats = field(default_factory=RunningStats)
     attempts_per_message: RunningStats = field(default_factory=RunningStats)
     collision_depths: Histogram = field(default_factory=Histogram)
@@ -168,6 +173,7 @@ class MultistageNetwork:
         seq = 0
         tracer = get_tracer()
         trace_on = tracer.enabled
+        plan = get_fault_plan()
 
         def push(message: NetworkMessage, when: int) -> None:
             nonlocal seq
@@ -187,6 +193,20 @@ class MultistageNetwork:
             message.attempts += 1
             result.attempts += 1
             success, depth = self._attempt(message, time)
+            if success and plan is not None:
+                outcome = plan.grant_outcome("network.grant", message.source, time)
+                if outcome == GRANT_DROP:
+                    # The grant (or its acknowledgement) is lost: the
+                    # circuit held its links for the round trip but the
+                    # requester saw nothing, so it retries afterwards.
+                    result.dropped_grants += 1
+                    push(message, time + self.hold_time + 1)
+                    continue
+                if outcome == GRANT_DUP:
+                    # A duplicated grant: the duplicate consumed one
+                    # extra network attempt's worth of resources.
+                    result.duplicated_grants += 1
+                    result.attempts += 1
             if success:
                 message.completed_time = time + self.hold_time
                 self._dest_pending[message.dest] -= 1

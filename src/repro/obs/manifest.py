@@ -48,6 +48,11 @@ def _jsonable(value: Any) -> Any:
     return json.loads(json.dumps(value, sort_keys=True, default=str))
 
 
+def jsonable(value: Any) -> Any:
+    """Public alias of :func:`_jsonable`: normalise a value for JSON."""
+    return _jsonable(value)
+
+
 @dataclass
 class RunManifest:
     """The durable record of one traced run."""

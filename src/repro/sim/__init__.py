@@ -10,8 +10,13 @@ repository:
   containers used by the experiment harnesses.
 """
 
-from repro.sim.engine import Event, EventQueue, Simulator
-from repro.sim.rng import RandomStreams, spawn_stream
+from repro.sim.engine import (
+    Event,
+    EventQueue,
+    SimulationStalledError,
+    Simulator,
+)
+from repro.sim.rng import RandomStreams, derive_seed, spawn_stream
 from repro.sim.stats import (
     Histogram,
     RunningStats,
@@ -23,8 +28,10 @@ from repro.sim.stats import (
 __all__ = [
     "Event",
     "EventQueue",
+    "SimulationStalledError",
     "Simulator",
     "RandomStreams",
+    "derive_seed",
     "spawn_stream",
     "Histogram",
     "RunningStats",

@@ -18,7 +18,22 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
+from repro.faults.plan import get_fault_plan
 from repro.obs.tracer import get_tracer
+
+
+class SimulationStalledError(RuntimeError):
+    """The simulation cannot make the progress it was asked for.
+
+    Raised when :meth:`Simulator.run` exhausts ``max_events`` with work
+    still pending (a runaway or livelocked event loop), or — via the
+    :class:`IndexError`-compatible subclass below — when an event is
+    popped from an empty queue.
+    """
+
+
+class EmptyQueueError(SimulationStalledError, IndexError):
+    """Empty-queue pop; also an ``IndexError`` for historical callers."""
 
 
 @dataclass(frozen=True)
@@ -64,7 +79,10 @@ class EventQueue:
     def pop(self) -> Event:
         """Remove and return the earliest event."""
         if not self._heap:
-            raise IndexError("pop from an empty EventQueue")
+            raise EmptyQueueError(
+                "pop from an empty EventQueue: no events are pending, so "
+                "the simulation cannot advance"
+            )
         __, event = heapq.heappop(self._heap)
         return event
 
@@ -101,6 +119,9 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule event at {time}, simulation time is {self.now}"
             )
+        plan = get_fault_plan()
+        if plan is not None:
+            time += plan.event_jitter(time)
         event = self._queue.push(time, callback, priority)
         tracer = get_tracer()
         if tracer.enabled:
@@ -122,10 +143,16 @@ class Simulator:
         Args:
             until: inclusive time horizon; events scheduled later remain
                 queued.
-            max_events: stop after this many events (a runaway guard).
+            max_events: runaway guard; exceeding it with work still
+                pending raises :class:`SimulationStalledError`.
 
         Returns:
             The number of events executed.
+
+        Raises:
+            SimulationStalledError: ``max_events`` events were executed
+                and the queue still holds runnable work (within
+                ``until``) — a runaway or livelocked event loop.
         """
         executed = 0
         tracer = get_tracer()
@@ -137,7 +164,13 @@ class Simulator:
                 if until is not None and next_time is not None and next_time > until:
                     break
                 if max_events is not None and executed >= max_events:
-                    break
+                    raise SimulationStalledError(
+                        f"simulation stalled: executed {executed} events "
+                        f"(max_events={max_events}) at time {self.now} with "
+                        f"{len(self._queue)} event(s) still pending "
+                        f"(next at t={next_time}); this usually means a "
+                        "callback reschedules itself unconditionally"
+                    )
                 event = self._queue.pop()
                 self.now = event.time
                 event.callback()

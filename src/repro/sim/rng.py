@@ -26,6 +26,11 @@ def _derive_seed(root_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+def derive_seed(root_seed: int, name: str) -> int:
+    """Public alias of :func:`_derive_seed` for cross-layer consumers."""
+    return _derive_seed(root_seed, name)
+
+
 def spawn_stream(root_seed: int, name: str) -> np.random.Generator:
     """Return a numpy Generator keyed by ``(root_seed, name)``."""
     return np.random.default_rng(_derive_seed(root_seed, name))

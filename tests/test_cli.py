@@ -25,7 +25,7 @@ class TestParser:
         commands = set(actions[0].choices)
         assert commands == {
             "list", "experiment", "barrier", "trace", "report", "advise",
-            "verify", "profile",
+            "verify", "profile", "faults",
         }
 
     def test_barrier_defaults(self):
@@ -33,6 +33,37 @@ class TestParser:
         assert args.n == 64
         assert args.interval_a == 1000
         assert args.policy == "exponential"
+
+
+class TestSeedValidation:
+    """``--seed`` is validated at parse time on every subcommand."""
+
+    @pytest.mark.parametrize("command", ["barrier", "verify", "advise"])
+    def test_non_integer_seed_rejected(self, command, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([command, "--seed", "not-a-seed"])
+        assert "seed must be an integer" in capsys.readouterr().err
+
+    def test_negative_seed_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["barrier", "--seed", "-1"])
+        assert "seed must be in [0, 2**32)" in capsys.readouterr().err
+
+    def test_too_large_seed_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "figure5", "--seed", str(2**32)])
+        assert "seed must be in [0, 2**32)" in capsys.readouterr().err
+
+    def test_valid_seed_accepted(self):
+        args = build_parser().parse_args(["barrier", "--seed", "123"])
+        assert args.seed == 123
+
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults", "figure5"])
+        assert args.plan == "none"
+        assert args.seed == 0
+        assert args.max_retries == 2
+        assert args.max_points is None
 
 
 class TestReportCommand:

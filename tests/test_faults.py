@@ -1,0 +1,619 @@
+"""Tests for the fault-injection subsystem (repro.faults).
+
+Three properties anchor everything here:
+
+1. **Inertness** — with no plan installed (or the empty "none" plan)
+   every simulator produces bit-identical results to a build without
+   the subsystem; the regression goldens pin this.
+2. **Determinism** — the same (spec, seed) yields the same fault
+   schedule, the same perturbed results, and the same checkpoint
+   digests, independent of execution order or resume boundaries.
+3. **Resilience** — crashes, timeouts, and interrupts surface as
+   retries / FAILED records / resumable checkpoints, never as hangs.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.backoff import ExponentialFlagBackoff, NoBackoff
+from repro.faults import (
+    CheckpointMismatchError,
+    CheckpointStore,
+    EventJitterInjector,
+    FaultPlan,
+    FlakyFlagInjector,
+    GRANT_DROP,
+    GRANT_DUP,
+    GRANT_OK,
+    GrantFaultInjector,
+    ModuleOutageInjector,
+    PointRecord,
+    StragglerInjector,
+    clear_fault_plan,
+    fault_injection,
+    get_fault_plan,
+    install_fault_plan,
+    parse_plan,
+    run_resilient_sweep,
+)
+from repro.faults.runner import COMPLETED, DEGRADED, FAILED, build_point_plan
+from repro.sim.rng import spawn_stream
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """Every test starts and ends with no plan installed."""
+    clear_fault_plan()
+    yield
+    clear_fault_plan()
+
+
+class TestRegistry:
+    def test_no_plan_by_default(self):
+        assert get_fault_plan() is None
+
+    def test_install_and_uninstall(self):
+        plan = FaultPlan([])
+        assert install_fault_plan(plan) is plan
+        assert get_fault_plan() is plan
+        install_fault_plan(None)
+        assert get_fault_plan() is None
+
+    def test_context_manager_restores(self):
+        outer = FaultPlan([], name="outer")
+        install_fault_plan(outer)
+        with fault_injection(FaultPlan([], name="inner")) as inner:
+            assert get_fault_plan() is inner
+        assert get_fault_plan() is outer
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with fault_injection(FaultPlan([])):
+                raise RuntimeError("boom")
+        assert get_fault_plan() is None
+
+
+class TestInjectors:
+    def test_straggler_deterministic_per_episode(self):
+        def delays(tag):
+            injector = StragglerInjector(probability=0.5, scale=100)
+            plan = FaultPlan([injector], seed=11)
+            plan.begin_episode(tag)
+            return [injector.arrival_delay(cpu, 16, 0) for cpu in range(16)]
+
+        assert delays("a") == delays("a")
+        assert delays("a") != delays("b")
+
+    def test_straggler_delay_capped(self):
+        injector = StragglerInjector(probability=1.0, scale=10**9, cap=50)
+        FaultPlan([injector], seed=3).begin_episode()
+        assert all(
+            0 <= injector.arrival_delay(cpu, 8, 0) <= 50 for cpu in range(8)
+        )
+
+    def test_outage_windows_periodic(self):
+        injector = ModuleOutageInjector(
+            module="barrier-flag", start=10, length=5, period=100, repeats=3
+        )
+        assert list(injector.module_windows("barrier-flag")) == [
+            (10, 15), (110, 115), (210, 215),
+        ]
+        assert list(injector.module_windows("barrier-variable")) == []
+
+    def test_zero_length_outage_yields_nothing(self):
+        injector = ModuleOutageInjector(module="*", start=10, length=0)
+        assert list(injector.module_windows("anything")) == []
+
+    def test_grant_injector_rejects_certain_drop(self):
+        with pytest.raises(ValueError):
+            GrantFaultInjector(drop=1.0)
+
+    def test_grant_injector_rejects_overfull_probabilities(self):
+        with pytest.raises(ValueError):
+            GrantFaultInjector(drop=0.6, dup=0.5)
+
+    def test_grant_outcomes_deterministic(self):
+        def outcomes():
+            injector = GrantFaultInjector(drop=0.3, dup=0.3)
+            FaultPlan([injector], seed=5).begin_episode()
+            return [injector.grant_outcome("s", 0, t) for t in range(64)]
+
+        first, second = outcomes(), outcomes()
+        assert first == second
+        assert set(first) >= {GRANT_OK, GRANT_DROP, GRANT_DUP}
+
+    def test_flaky_rejects_certain_failure(self):
+        with pytest.raises(ValueError):
+            FlakyFlagInjector(probability=1.0)
+
+    def test_jitter_bounded(self):
+        injector = EventJitterInjector(probability=1.0, max_jitter=3)
+        FaultPlan([injector], seed=9).begin_episode()
+        assert all(0 <= injector.event_jitter(t) <= 3 for t in range(32))
+
+
+class TestFaultPlan:
+    def test_counts_accumulate(self):
+        plan = FaultPlan([])
+        plan.count("x")
+        plan.count("x", 4)
+        assert plan.fault_counts == {"x": 5}
+        assert plan.total_injected == 5
+        assert plan.snapshot() == {"x": 5}
+
+    def test_snapshot_is_a_copy(self):
+        plan = FaultPlan([])
+        plan.count("x")
+        snap = plan.snapshot()
+        snap["x"] = 99
+        assert plan.fault_counts["x"] == 1
+
+    def test_dispatch_sums_delays(self):
+        class Two(StragglerInjector):
+            def arrival_delay(self, cpu, n, time):
+                return 2
+
+        plan = FaultPlan([Two(), Two()], seed=0)
+        plan.begin_episode()
+        assert plan.arrival_delay(0, 4, 0) == 4
+        assert plan.fault_counts["arrival.delay_cycles"] == 4
+
+    def test_first_non_ok_grant_wins(self):
+        class Drop(GrantFaultInjector):
+            def grant_outcome(self, site, actor, time):
+                return GRANT_DROP
+
+        class Dup(GrantFaultInjector):
+            def grant_outcome(self, site, actor, time):
+                return GRANT_DUP
+
+        plan = FaultPlan([Drop(), Dup()], seed=0)
+        plan.begin_episode()
+        assert plan.grant_outcome("s", 0, 0) == GRANT_DROP
+        assert plan.fault_counts == {"grant.drop": 1}
+
+
+class TestSpecParsing:
+    def test_named_plans_all_parse(self):
+        from repro.faults.spec import NAMED_PLANS
+
+        for name in NAMED_PLANS:
+            plan = parse_plan(name, seed=1)
+            assert plan.name == name
+
+    def test_empty_spec_is_empty_plan(self):
+        plan = parse_plan("", seed=0)
+        assert list(plan.injectors) == []
+        assert plan.poll_budget is None
+
+    def test_custom_spec(self):
+        plan = parse_plan(
+            "stragglers:probability=0.5,scale=10;grants:drop=0.1", seed=2
+        )
+        assert plan.name == "custom"
+        assert len(plan.injectors) == 2
+        assert isinstance(plan.injectors[0], StragglerInjector)
+        assert plan.injectors[0].probability == 0.5
+
+    def test_degrade_clause_sets_plan_knobs(self):
+        plan = parse_plan("degrade:polls=64,timeout=5000", seed=0)
+        assert plan.poll_budget == 64
+        assert plan.timeout_cycles == 5000
+        assert list(plan.injectors) == []
+
+    def test_unknown_injector_rejected(self):
+        with pytest.raises(ValueError, match="unknown injector 'bogus'"):
+            parse_plan("bogus:probability=0.5")
+
+    def test_malformed_parameter_rejected(self):
+        with pytest.raises(ValueError, match="expected key=value"):
+            parse_plan("stragglers:probability")
+
+    def test_bad_constructor_parameter_rejected(self):
+        with pytest.raises(ValueError, match="bad parameters"):
+            parse_plan("stragglers:no_such_knob=1")
+
+    def test_unknown_degrade_knob_rejected(self):
+        with pytest.raises(ValueError, match="degrade clause"):
+            parse_plan("degrade:wibble=1")
+
+
+GOLDEN_MEAN_ACCESSES = 9.0875  # pinned by tests/test_regression_goldens.py
+
+
+def _golden_run():
+    from repro.barrier.simulator import simulate_barrier
+
+    return simulate_barrier(
+        16, 500, ExponentialFlagBackoff(2), repetitions=5, seed=0
+    )
+
+
+class TestBitIdentityWithoutFaults:
+    def test_no_plan_matches_golden(self):
+        assert _golden_run().mean_accesses == GOLDEN_MEAN_ACCESSES
+
+    def test_empty_plan_matches_golden(self):
+        # An installed-but-empty plan must not perturb results either.
+        with fault_injection(parse_plan("none", seed=0)):
+            aggregate = _golden_run()
+        assert aggregate.mean_accesses == GOLDEN_MEAN_ACCESSES
+
+
+class TestFaultsPerturbDeterministically:
+    def test_chaos_changes_results_reproducibly(self):
+        def run():
+            with fault_injection(parse_plan("chaos", seed=42)) as plan:
+                aggregate = _golden_run()
+            return aggregate.mean_accesses, plan.snapshot()
+
+        first, second = run(), run()
+        assert first == second
+        accesses, counts = first
+        assert accesses != GOLDEN_MEAN_ACCESSES
+        assert counts["arrival.stragglers"] > 0
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            with fault_injection(parse_plan("chaos", seed=seed)):
+                return _golden_run().mean_accesses
+
+        assert run(1) != run(2)
+
+    def test_outage_plan_charges_outage_cycles(self):
+        with fault_injection(parse_plan("hot-module", seed=7)) as plan:
+            _golden_run()
+        assert plan.fault_counts["module.outage_windows"] > 0
+
+
+class TestDegradedBarrier:
+    def test_poll_budget_reports_partial_arrival(self):
+        from repro.barrier.simulator import BarrierSimulator
+        from repro.core.barrier import TangYewBarrier
+
+        # A tiny poll budget with no backoff: late arrivals exhaust it
+        # and depart as timed out instead of polling forever.
+        barrier = TangYewBarrier(8, NoBackoff(), poll_budget=2)
+        simulator = BarrierSimulator(barrier, seed=3)
+        result = simulator.run_once(spawn_stream(3, "episode"))
+        assert result.timed_out
+        assert result.degraded
+        # Timed-out CPUs are real, distinct processor indices.
+        assert len(set(result.timed_out)) == len(result.timed_out)
+        assert all(0 <= cpu < 8 for cpu in result.timed_out)
+
+    def test_no_budget_means_no_timeouts(self):
+        result = _golden_run()
+        assert result.degraded_runs == 0
+        assert result.timed_out_processes == 0
+
+    def test_poll_budget_validated(self):
+        from repro.core.barrier import TangYewBarrier
+
+        with pytest.raises(ValueError):
+            TangYewBarrier(4, NoBackoff(), poll_budget=0)
+        with pytest.raises(ValueError):
+            TangYewBarrier(4, NoBackoff(), timeout_cycles=0)
+
+    def test_plan_level_degrade_counts_partial_arrivals(self):
+        from repro.barrier.simulator import simulate_barrier
+
+        with fault_injection(parse_plan("degrade:polls=2", seed=0)) as plan:
+            simulate_barrier(8, 2000, NoBackoff(), repetitions=2, seed=0)
+        assert plan.fault_counts.get("barrier.partial_arrival", 0) > 0
+
+
+class TestBoundedLocks:
+    def test_lock_abort_reports_degraded(self):
+        from repro.barrier.resource import simulate_resource
+        from repro.core.locks import TestAndSetLock
+
+        lock = TestAndSetLock(max_attempts=1)
+        aggregate = simulate_resource(
+            8, lock, hold_time=50, repetitions=1, seed=0
+        )
+        # With one attempt allowed and long holds, somebody gave up;
+        # the run still terminates and aggregates.
+        assert aggregate.mean_accesses > 0
+
+    def test_max_attempts_validated(self):
+        from repro.core.locks import BackoffLock
+
+        with pytest.raises(ValueError):
+            BackoffLock(hold_time=8, max_attempts=0)
+
+
+class TestSweepRunner:
+    @staticmethod
+    def _ok_point(key):
+        return lambda: PointRecord(key=key, status=COMPLETED, data={"v": key})
+
+    def test_all_points_complete(self):
+        points = {k: self._ok_point(k) for k in ("a", "b", "c")}
+        records, resumed, retried, interrupted = run_resilient_sweep(points)
+        assert sorted(records) == ["a", "b", "c"]
+        assert (resumed, retried, interrupted) == (0, 0, False)
+
+    def test_existing_records_resumed_not_recomputed(self):
+        ran = []
+
+        def point():
+            ran.append(1)
+            return PointRecord(key="a", status=COMPLETED)
+
+        prior = PointRecord(key="a", status=COMPLETED)
+        records, resumed, __, __ = run_resilient_sweep(
+            {"a": point}, existing={"a": prior}
+        )
+        assert ran == []
+        assert resumed == 1
+        assert records["a"] is prior
+
+    def test_failed_prior_records_are_retried(self):
+        prior = PointRecord(key="a", status=FAILED)
+        records, resumed, __, __ = run_resilient_sweep(
+            {"a": self._ok_point("a")}, existing={"a": prior}
+        )
+        assert resumed == 0
+        assert records["a"].status == COMPLETED
+
+    def test_crashing_point_retried_then_failed(self):
+        calls = []
+
+        def crash():
+            calls.append(1)
+            raise RuntimeError("kaboom")
+
+        slept = []
+        records, __, retried, __ = run_resilient_sweep(
+            {"a": crash}, max_retries=2, retry_backoff_seconds=0.5,
+            sleep=slept.append,
+        )
+        assert len(calls) == 3  # initial + 2 retries
+        assert retried == 2
+        assert slept == [0.5, 1.0]  # exponential backoff
+        assert records["a"].status == FAILED
+        assert "kaboom" in records["a"].error
+
+    def test_transient_crash_recovers(self):
+        state = {"left": 1}
+
+        def flaky():
+            if state["left"]:
+                state["left"] -= 1
+                raise RuntimeError("transient")
+            return PointRecord(key="a", status=COMPLETED)
+
+        records, __, retried, __ = run_resilient_sweep(
+            {"a": flaky}, retry_backoff_seconds=0, sleep=lambda _t: None
+        )
+        assert records["a"].status == COMPLETED
+        assert records["a"].attempts >= 1
+        assert retried == 1
+
+    def test_max_points_interrupts(self):
+        points = {k: self._ok_point(k) for k in ("a", "b", "c")}
+        records, __, __, interrupted = run_resilient_sweep(
+            points, max_points=2
+        )
+        assert interrupted
+        assert len(records) == 2
+
+    def test_keyboard_interrupt_stops_cleanly(self):
+        def interrupt():
+            raise KeyboardInterrupt
+
+        done = []
+        points = {
+            "a": self._ok_point("a"),
+            "b": interrupt,
+            "c": lambda: done.append(1),
+        }
+        records, __, __, interrupted = run_resilient_sweep(points)
+        assert interrupted
+        assert done == []
+        assert list(records) == ["a"]
+
+    def test_timeout_produces_failed_record(self):
+        import time as _time
+
+        def slow():
+            _time.sleep(5)
+            return PointRecord(key="a", status=COMPLETED)
+
+        records, __, __, __ = run_resilient_sweep(
+            {"a": slow}, timeout_seconds=0.05, max_retries=0
+        )
+        assert records["a"].status == FAILED
+        assert "PointTimeoutError" in records["a"].error
+
+
+class TestCheckpointStore:
+    def test_round_trip(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck"))
+        store.write_meta({"config_digest": "d1"})
+        record = PointRecord(
+            key="N=16", status=COMPLETED, data={"x": 1},
+            fault_counts={"grant.drop": 2},
+        )
+        store.save_point(record)
+        loaded = CheckpointStore(str(tmp_path / "ck")).load("d1")
+        assert loaded["N=16"].data == {"x": 1}
+        assert loaded["N=16"].fault_counts == {"grant.drop": 2}
+
+    def test_digest_mismatch_raises(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck"))
+        store.write_meta({"config_digest": "d1"})
+        store.save_point(PointRecord(key="a", status=COMPLETED))
+        with pytest.raises(CheckpointMismatchError):
+            store.load("d2")
+
+    def test_missing_directory_loads_empty(self, tmp_path):
+        assert CheckpointStore(str(tmp_path / "nope")).load("d") == {}
+
+    def test_torn_point_file_skipped(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck"))
+        store.write_meta({"config_digest": "d1"})
+        store.save_point(PointRecord(key="good", status=COMPLETED))
+        torn = os.path.join(store.directory, "points", "torn.json")
+        with open(torn, "w", encoding="utf-8") as handle:
+            handle.write('{"key": "torn", "sta')  # crash mid-write
+        loaded = store.load("d1")
+        assert list(loaded) == ["good"]
+
+    def test_tampered_record_skipped(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck"))
+        store.write_meta({"config_digest": "d1"})
+        path = store.save_point(
+            PointRecord(key="a", status=COMPLETED, data={"x": 1})
+        )
+        payload = json.loads(open(path, encoding="utf-8").read())
+        payload["data"] = {"x": 999}  # digest no longer matches
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert store.load("d1") == {}
+
+    def test_clear(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "ck"))
+        store.write_meta({"config_digest": "d1"})
+        store.save_point(PointRecord(key="a", status=COMPLETED))
+        store.clear()
+        assert store.load("anything") == {}
+
+
+class TestExperimentPoints:
+    def test_figure5_splits_on_n(self):
+        from repro.analysis.experiments import experiment_points
+
+        points = experiment_points("figure5", repetitions=1)
+        assert all(key.startswith("N=") for key in points)
+        assert all(
+            len(kwargs["n_values"]) == 1 for kwargs in points.values()
+        )
+
+    def test_override_narrows_sweep(self):
+        from repro.analysis.experiments import experiment_points
+
+        points = experiment_points("figure5", n_values=(4, 8), repetitions=1)
+        assert sorted(points) == ["N=4", "N=8"]
+
+    def test_empty_axis_rejected(self):
+        from repro.analysis.experiments import experiment_points
+
+        with pytest.raises(ValueError):
+            experiment_points("figure5", n_values=())
+
+    def test_unknown_experiment_rejected(self):
+        from repro.analysis.experiments import experiment_points
+
+        with pytest.raises(KeyError, match="unknown experiment"):
+            experiment_points("figure99")
+
+
+class TestEndToEndResilience:
+    def _run(self, tmp_path, **kwargs):
+        from repro.faults.runner import run_experiment_resilient
+
+        defaults = dict(
+            plan_spec="chaos",
+            seed=7,
+            checkpoint_dir=str(tmp_path / "ck"),
+            n_values=(4, 8, 16),
+            repetitions=1,
+        )
+        defaults.update(kwargs)
+        return run_experiment_resilient("figure5", **defaults)
+
+    def test_interrupted_sweep_resumes_completely(self, tmp_path):
+        first = self._run(tmp_path, max_points=1)
+        assert first.interrupted
+        assert first.completed + first.degraded == 1
+
+        second = self._run(tmp_path)
+        assert not second.interrupted
+        assert second.resumed == 1
+        assert second.remaining == 0
+        assert second.ok
+
+        # Resume equals an uninterrupted fresh run, point for point.
+        fresh = self._run(tmp_path, checkpoint_dir=str(tmp_path / "ck2"))
+        for key, record in fresh.records.items():
+            assert second.records[key].data == record.data
+            assert second.records[key].fault_counts == record.fault_counts
+
+    def test_point_plans_deterministic_by_key(self):
+        plan_a = build_point_plan("chaos", 7, "figure5", "N=8")
+        plan_b = build_point_plan("chaos", 7, "figure5", "N=8")
+        plan_c = build_point_plan("chaos", 7, "figure5", "N=16")
+        assert plan_a.seed == plan_b.seed
+        assert plan_a.seed != plan_c.seed
+
+    def test_bad_plan_spec_rejected_before_sweep(self, tmp_path):
+        # A typo'd spec is one usage error, not N failed points — and
+        # it must not leave a checkpoint behind that blocks the
+        # corrected rerun.
+        with pytest.raises(ValueError, match="unknown injector"):
+            self._run(tmp_path, plan_spec="choas")
+        assert not (tmp_path / "ck").exists()
+        assert self._run(tmp_path).ok
+
+    def test_changed_config_detected(self, tmp_path):
+        self._run(tmp_path)
+        with pytest.raises(CheckpointMismatchError):
+            self._run(tmp_path, seed=8)
+
+    def test_fresh_discards_stale_checkpoint(self, tmp_path):
+        self._run(tmp_path)
+        summary = self._run(tmp_path, seed=8, fresh=True)
+        assert summary.resumed == 0
+        assert summary.ok
+
+    def test_render_mentions_failures(self):
+        from repro.faults.runner import ResilienceSummary
+
+        summary = ResilienceSummary(
+            experiment_id="figure5",
+            plan_name="chaos",
+            total_points=2,
+            records={
+                "a": PointRecord(key="a", status=COMPLETED),
+                "b": PointRecord(key="b", status=FAILED, error="E: boom"),
+            },
+        )
+        text = summary.render()
+        assert "failed     : 1" in text
+        assert "boom" in text
+        assert not summary.ok
+
+
+class TestFaultsCliCommand:
+    def test_cli_smoke_and_resume(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        argv = [
+            "faults", "figure5", "--plan", "stragglers", "--seed", "3",
+            "--repetitions", "1",
+            "--checkpoint-dir", str(tmp_path / "ck"),
+        ]
+        assert main(argv + ["--max-points", "2"]) == 0
+        first = capsys.readouterr().out
+        assert "interrupted: yes" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 resumed from checkpoint" in second
+        assert "interrupted" not in second
+
+    def test_cli_reports_config_mismatch(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        base = [
+            "faults", "figure5", "--repetitions", "1",
+            "--checkpoint-dir", str(tmp_path / "ck"), "--max-points", "1",
+        ]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--seed", "9"]) == 2
+        assert "checkpoint" in capsys.readouterr().err.lower()

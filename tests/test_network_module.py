@@ -94,6 +94,80 @@ class TestMemoryModule:
         assert module.utilisation(10) == pytest.approx(0.5)
         assert module.utilisation(0) == 0.0
 
+    def test_utilisation_zero_horizon_with_grants(self):
+        # horizon=0 must not divide by zero even after real traffic.
+        module = MemoryModule()
+        module.request(0)
+        module.request(0)
+        assert module.utilisation(0) == 0.0
+
+    def test_back_to_back_same_cycle_grants_keep_order(self):
+        # Many requests presented in the same cycle are granted in
+        # strictly increasing consecutive cycles, FIFO by presentation.
+        module = MemoryModule()
+        grants = [module.request(7)[0] for __ in range(4)]
+        assert grants == [7, 8, 9, 10]
+        assert module.total_grants == 4
+
+
+class TestMemoryModuleOutages:
+    def test_zero_length_outage_is_a_no_op(self):
+        module = MemoryModule()
+        module.add_outage(5, 5)  # empty window [5, 5)
+        assert module.outages == ()
+        grant, accesses = module.request(5)
+        assert (grant, accesses) == (5, 1)
+        assert module.outage_cycles == 0
+
+    def test_inverted_outage_is_a_no_op(self):
+        module = MemoryModule()
+        module.add_outage(9, 4)
+        assert module.outages == ()
+
+    def test_negative_outage_start_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModule().add_outage(-1, 5)
+
+    def test_request_defers_past_outage(self):
+        module = MemoryModule()
+        module.add_outage(3, 8)
+        grant, accesses = module.request(3)
+        assert grant == 8
+        # Every denied cycle counts, exactly as under contention.
+        assert accesses == 8 - 3 + 1
+        assert module.outage_cycles == 5
+
+    def test_request_before_outage_unaffected(self):
+        module = MemoryModule()
+        module.add_outage(10, 20)
+        grant, accesses = module.request(2)
+        assert (grant, accesses) == (2, 1)
+        assert module.outage_cycles == 0
+
+    def test_back_to_back_windows_walked_through(self):
+        module = MemoryModule()
+        module.add_outage(4, 6)
+        module.add_outage(6, 9)
+        grant, __ = module.request(4)
+        assert grant == 9
+
+    def test_peek_grant_time_sees_outage(self):
+        module = MemoryModule()
+        module.add_outage(0, 12)
+        assert module.peek_grant_time(0) == 12
+        grant, __ = module.request(0)
+        assert grant == 12
+
+    def test_reset_clears_outages(self):
+        module = MemoryModule()
+        module.add_outage(0, 100)
+        module.request(0)
+        module.reset()
+        assert module.outages == ()
+        assert module.outage_cycles == 0
+        grant, __ = module.request(0)
+        assert grant == 0
+
 
 class TestNetworkModel:
     def test_separate_modules(self):

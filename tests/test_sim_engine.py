@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.engine import (
+    Event,
+    EventQueue,
+    SimulationStalledError,
+    Simulator,
+)
 
 
 class TestEventQueue:
@@ -23,6 +28,10 @@ class TestEventQueue:
 
     def test_pop_empty_raises(self):
         with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_pop_empty_is_also_a_stall(self):
+        with pytest.raises(SimulationStalledError, match="no events are pending"):
             EventQueue().pop()
 
     def test_negative_time_rejected(self):
@@ -103,15 +112,24 @@ class TestSimulator:
         sim.run(until=100)
         assert sim.now == 100
 
-    def test_max_events_guard(self):
+    def test_max_events_raises_stalled_when_work_pending(self):
         sim = Simulator()
 
         def reschedule():
             sim.schedule_after(1, reschedule)
 
         sim.schedule(0, reschedule)
-        executed = sim.run(max_events=50)
-        assert executed == 50
+        with pytest.raises(SimulationStalledError) as excinfo:
+            sim.run(max_events=50)
+        message = str(excinfo.value)
+        assert "max_events=50" in message
+        assert "still pending" in message
+
+    def test_max_events_not_raised_when_queue_drains_exactly(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule(t, lambda: None)
+        assert sim.run(max_events=5) == 5
 
     def test_events_scheduled_during_run_execute(self):
         sim = Simulator()
