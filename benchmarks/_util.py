@@ -4,7 +4,10 @@ Each ``bench_*.py`` regenerates one paper artifact through the
 experiment registry, times it with pytest-benchmark (one round — these
 are simulations, not microbenchmarks), prints the reproduced
 rows/series, and writes them to ``benchmarks/reports/<id>.txt`` so that
-EXPERIMENTS.md can cite a stable copy.
+EXPERIMENTS.md can cite a stable copy.  Alongside each ``.txt`` a
+machine-readable ``<id>.json`` records the wall time and the knobs the
+run used; ``tools/bench_report.py`` collects those into
+``BENCH_sweeps.json``.
 
 Environment knobs:
 
@@ -12,29 +15,78 @@ Environment knobs:
   (default 100, the paper's count).
 - ``REPRO_BENCH_SCALE`` — scale for trace-driven experiments
   (default 1.0, the paper-sized workloads).
+- ``REPRO_BENCH_JOBS``  — worker processes for sweep execution
+  (default 1, the serial path; >1 routes sweeps through
+  :mod:`repro.exec` with bit-identical output).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
+from typing import Any, Dict
 
 from repro.analysis.experiments import ExperimentResult, run
+from repro.exec.context import ExecConfig, execution, get_stats, reset_stats
+from repro.obs.manifest import jsonable
 
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
 
 BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "100"))
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def write_record(experiment_id: str, record: Dict[str, Any]) -> str:
+    """Write one benchmark record to ``reports/<id>.json``; returns path."""
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, f"{experiment_id}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(jsonable(record), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def run_and_report(benchmark, experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment under the benchmark timer and emit its report."""
-    result = benchmark.pedantic(
-        run, args=(experiment_id,), kwargs=kwargs, iterations=1, rounds=1
-    )
+    """Run one experiment under the benchmark timer and emit its report.
+
+    With ``REPRO_BENCH_JOBS > 1`` the run executes under an active
+    :class:`repro.exec.ExecConfig`, fanning sweep points across worker
+    processes; results are bit-identical to the serial default.
+    """
+    timings = []
+
+    def timed_run(*args, **kw):
+        start = time.perf_counter()
+        result = run(*args, **kw)
+        timings.append(time.perf_counter() - start)
+        return result
+
+    reset_stats()
+    if BENCH_JOBS > 1:
+        with execution(ExecConfig(jobs=BENCH_JOBS, force_engine=True)):
+            result = benchmark.pedantic(
+                timed_run, args=(experiment_id,), kwargs=kwargs,
+                iterations=1, rounds=1,
+            )
+    else:
+        result = benchmark.pedantic(
+            timed_run, args=(experiment_id,), kwargs=kwargs,
+            iterations=1, rounds=1,
+        )
     os.makedirs(REPORT_DIR, exist_ok=True)
     path = os.path.join(REPORT_DIR, f"{result.experiment_id}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(str(result) + "\n")
+    write_record(result.experiment_id, {
+        "experiment_id": result.experiment_id,
+        "wall_time_seconds": timings[-1],
+        "knobs": dict(sorted(kwargs.items())),
+        "jobs": BENCH_JOBS,
+        "cpu_count": os.cpu_count(),
+        "execution": get_stats().as_dict(),
+    })
     print()
     print(result)
     return result

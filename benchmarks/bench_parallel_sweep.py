@@ -1,0 +1,67 @@
+"""Benchmark: parallel sweep execution vs the serial baseline.
+
+Runs the same experiment twice — once on the untouched serial path and
+once through :mod:`repro.exec` with ``REPRO_BENCH_JOBS`` workers (at
+least 2, so the pool path is always exercised) — asserts the results
+are bit-identical, and records both wall times plus the speedup to
+``reports/parallel_sweep.json`` for ``tools/bench_report.py``.
+
+On a single-core machine the speedup is expectedly <= 1 (pool overhead
+with nothing to overlap); the record includes ``cpu_count`` so readers
+can interpret the number honestly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks._util import BENCH_JOBS, BENCH_REPS, write_record
+from repro.analysis.experiments import run
+from repro.exec.context import ExecConfig, execution, get_stats, reset_stats
+from repro.obs.manifest import jsonable
+
+EXPERIMENT_ID = "figure4"
+
+
+def bench_parallel_sweep(benchmark):
+    from repro.exec.cache import payload_digest
+
+    jobs = max(2, BENCH_JOBS)
+
+    start = time.perf_counter()
+    serial = run(EXPERIMENT_ID, repetitions=BENCH_REPS)
+    serial_seconds = time.perf_counter() - start
+
+    timings = []
+
+    def timed_run():
+        t0 = time.perf_counter()
+        result = run(EXPERIMENT_ID, repetitions=BENCH_REPS)
+        timings.append(time.perf_counter() - t0)
+        return result
+
+    reset_stats()
+    with execution(ExecConfig(jobs=jobs, force_engine=True)):
+        parallel = benchmark.pedantic(timed_run, iterations=1, rounds=1)
+    parallel_seconds = timings[-1]
+
+    serial_digest = payload_digest(jsonable(serial.data))
+    parallel_digest = payload_digest(jsonable(parallel.data))
+    assert serial_digest == parallel_digest, (
+        "parallel execution must be bit-identical to serial"
+    )
+
+    write_record("parallel_sweep", {
+        "experiment_id": EXPERIMENT_ID,
+        "repetitions": BENCH_REPS,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds
+        if parallel_seconds else None,
+        "results_digest": serial_digest,
+        "digests_match": True,
+        "execution": get_stats().as_dict(),
+    })

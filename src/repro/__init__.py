@@ -28,6 +28,9 @@ Packages:
   table and figure.
 - :mod:`repro.obs` — observability: structured tracing, counters,
   per-run manifests and the ``python -m repro profile`` pipeline.
+- :mod:`repro.exec` — parallel sweep execution (``--jobs``) and the
+  content-addressed result cache (``--cache``), bit-identical to the
+  serial path.
 """
 
 from repro.analysis.experiments import EXPERIMENTS, ExperimentResult, run
@@ -84,6 +87,7 @@ from repro.core.barrier import (
     TangYewBarrier,
 )
 from repro.core.locks import BackoffLock, TestAndSetLock, TestAndTestAndSetLock
+from repro.exec import ExecConfig, ExecStats, ResultCache, execution, get_stats
 from repro.memory.coherence import CoherenceConfig, CoherenceSimulator
 from repro.obs import (
     NullTracer,
@@ -173,5 +177,11 @@ __all__ = [
     "set_tracer",
     "tracing",
     "profile_experiment",
+    # Execution.
+    "ExecConfig",
+    "ExecStats",
+    "ResultCache",
+    "execution",
+    "get_stats",
     "__version__",
 ]

@@ -3,6 +3,12 @@
 Commands:
 
 - ``experiment <id> [...]`` — regenerate paper artifacts by id.
+- ``run <id>``              — run one experiment with the execution
+                              layer (``--jobs`` worker processes,
+                              ``--cache`` content-addressed result
+                              reuse) and print a results digest for
+                              bit-identity checks (see
+                              docs/performance.md).
 - ``list``                  — list available experiment ids.
 - ``report``                — run every experiment, write reports to a
                               directory.
@@ -27,6 +33,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Optional, Sequence
 
@@ -38,6 +45,14 @@ from repro.core.backoff import (
     VariableBackoff,
 )
 from repro.core.selection import PolicyAdvisor, SynchronizationProfile
+from repro.exec.context import (
+    DEFAULT_CACHE_DIR,
+    ExecConfig,
+    execution,
+    get_stats,
+    jobs_arg,
+    reset_stats,
+)
 
 
 #: Seeds feed numpy Generators; this is the range every stream accepts.
@@ -83,19 +98,75 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _experiment_kwargs(experiment_id: str, repetitions, scale) -> dict:
-    """CLI overrides that apply to this experiment's runner signature."""
+def _experiment_kwargs(
+    experiment_id: str, repetitions=None, scale=None, seed=None
+) -> dict:
+    """CLI overrides that apply to this experiment's runner signature.
+
+    Inspects the runner instead of keeping a hand-maintained id
+    whitelist, so new experiments pick up ``--repetitions`` /
+    ``--scale`` / ``--seed`` support by declaring the parameter.
+    """
+    parameters = inspect.signature(EXPERIMENTS[experiment_id]).parameters
     kwargs = {}
-    if repetitions is not None and experiment_id.startswith(
-        ("figure4", "figure5", "figure6", "figure7", "figure8", "figure9",
-         "figure10", "hardware")
+    for name, value in (
+        ("repetitions", repetitions),
+        ("scale", scale),
+        ("seed", seed),
     ):
-        kwargs["repetitions"] = repetitions
-    if scale is not None and experiment_id in (
-        "table1", "table2", "table3", "figure1", "figure3", "fft_traffic"
-    ):
-        kwargs["scale"] = scale
+        if value is not None and name in parameters:
+            kwargs[name] = value
     return kwargs
+
+
+def _add_exec_args(p: argparse.ArgumentParser) -> None:
+    """The shared execution flags: ``--jobs``, ``--cache``, ``--cache-dir``."""
+    p.add_argument(
+        "--jobs", type=jobs_arg, default=None,
+        help="worker processes for sweep execution (>= 1; default: serial)",
+    )
+    p.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help="reuse results from the content-addressed cache and store "
+             "fresh ones into it",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+
+
+def _exec_config_from_args(args) -> Optional[ExecConfig]:
+    """An engine-routed ExecConfig, or None when no exec flag was given.
+
+    Any explicit exec flag — even ``--jobs 1`` — routes the run through
+    the exec engine, so serial and parallel runs of the same experiment
+    produce identical observability output and manifest digests.
+    """
+    jobs = getattr(args, "jobs", None)
+    cache = getattr(args, "cache", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    if jobs is None and cache is None and cache_dir is None:
+        return None
+    return ExecConfig(
+        jobs=jobs if jobs is not None else 1,
+        cache=bool(cache),
+        cache_dir=cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR,
+        force_engine=True,
+    )
+
+
+def _render_exec_stats(config: ExecConfig) -> str:
+    stats = get_stats()
+    cache_state = "on" if config.cache else "off"
+    line = (
+        f"jobs={config.jobs}, cache {cache_state}, "
+        f"{stats.cache_hits} hit(s) / {stats.cache_misses} miss(es) / "
+        f"{stats.cache_stores} store(s)"
+    )
+    if stats.shards:
+        line += f", {stats.shards} shard(s)"
+    return line
 
 
 def _cmd_experiment(args) -> int:
@@ -106,16 +177,58 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    import time
+
+    from repro.exec.cache import payload_digest
+    from repro.obs.manifest import jsonable
+
+    config = _exec_config_from_args(args)
+    kwargs = _experiment_kwargs(
+        args.id, args.repetitions, args.scale, seed=args.seed
+    )
+    reset_stats()
+    start = time.perf_counter()
+    if config is not None:
+        with execution(config):
+            result = run_experiment(args.id, **kwargs)
+    else:
+        result = run_experiment(args.id, **kwargs)
+    wall_time = time.perf_counter() - start
+    if not args.quiet:
+        print(result)
+        print()
+    print(f"experiment     : {args.id}")
+    print(f"wall time      : {wall_time:.3f}s")
+    if config is not None:
+        print(f"execution      : {_render_exec_stats(config)}")
+    # The digest covers the canonicalized result data alone — never
+    # wall time or execution mode — so any two runs of the same
+    # experiment and seed can be compared with one string equality.
+    print(f"results digest : {payload_digest(jsonable(result.data))}")
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from repro.obs import profile_experiment
 
+    config = _exec_config_from_args(args)
     kwargs = _experiment_kwargs(args.id, args.repetitions, args.scale)
-    profile = profile_experiment(
-        args.id,
-        output_dir=args.output,
-        ring_size=args.ring_size,
-        **kwargs,
-    )
+    if config is not None:
+        with execution(config):
+            profile = profile_experiment(
+                args.id,
+                output_dir=args.output,
+                ring_size=args.ring_size,
+                **kwargs,
+            )
+    else:
+        profile = profile_experiment(
+            args.id,
+            output_dir=args.output,
+            ring_size=args.ring_size,
+            **kwargs,
+        )
     if args.show_result:
         print(profile.result)
         print()
@@ -222,6 +335,9 @@ def _cmd_faults(args) -> int:
             retry_backoff_seconds=args.retry_backoff,
             max_points=args.max_points,
             fresh=args.fresh,
+            jobs=args.jobs,
+            use_cache=args.cache,
+            cache_dir=args.cache_dir,
             **overrides,
         )
     except (ValueError, CheckpointMismatchError) as error:
@@ -264,6 +380,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repetitions", type=int, default=None)
     p.add_argument("--scale", type=float, default=None)
     p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser(
+        "run",
+        help="run one experiment, optionally parallel/cached, and print "
+             "its results digest",
+    )
+    p.add_argument("id", choices=sorted(EXPERIMENTS))
+    p.add_argument("--repetitions", type=int, default=None)
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--seed", type=_seed_arg, default=None)
+    p.add_argument("--quiet", action="store_true",
+                   help="print only the run summary, not the report text")
+    _add_exec_args(p)
+    p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("barrier", help="simulate one barrier configuration")
     p.add_argument("--n", type=int, default=64, help="processors")
@@ -316,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-result", action="store_true",
         help="also print the experiment's report text",
     )
+    _add_exec_args(p)
     p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser(
@@ -350,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="discard any existing checkpoint first")
     p.add_argument("--repetitions", type=int, default=None)
     p.add_argument("--scale", type=float, default=None)
+    _add_exec_args(p)
     p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser("advise", help="recommend a backoff policy from a profile")

@@ -16,7 +16,7 @@ lets tests verify.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.stats import RunningStats
 
@@ -80,6 +80,59 @@ class BarrierRunResult:
         return float(ordered[index])
 
 
+@dataclass(frozen=True)
+class EpisodeSummary:
+    """The five numbers one episode contributes to a BarrierAggregate.
+
+    This is the unit of work exchanged with :mod:`repro.exec` pool
+    workers and stored in the result cache: a worker simulates a shard
+    of repetitions and returns one summary per episode, and the parent
+    replays them — in repetition order — through
+    :meth:`BarrierAggregate.add_summary`.  Because the replay performs
+    the *same* float additions in the *same* order as
+    :meth:`BarrierAggregate.add_run` does on the serial path, the
+    resulting aggregate is bit-identical regardless of how the shards
+    were distributed.  All fields survive a JSON round-trip exactly
+    (Python serialises floats via repr).
+    """
+
+    mean_accesses: float
+    mean_waiting_time: float
+    waiting_p95: float
+    queued_processes: int
+    timed_out: int
+
+    @classmethod
+    def from_run(cls, run: BarrierRunResult) -> "EpisodeSummary":
+        return cls(
+            mean_accesses=run.mean_accesses,
+            mean_waiting_time=run.mean_waiting_time,
+            waiting_p95=run.waiting_percentile(95.0),
+            queued_processes=run.queued_processes,
+            timed_out=len(run.timed_out),
+        )
+
+    def as_tuple(self) -> Tuple[float, float, float, int, int]:
+        return (
+            self.mean_accesses,
+            self.mean_waiting_time,
+            self.waiting_p95,
+            self.queued_processes,
+            self.timed_out,
+        )
+
+    @classmethod
+    def from_tuple(cls, values: Sequence) -> "EpisodeSummary":
+        accesses, waiting, p95, queued, timed_out = values
+        return cls(
+            mean_accesses=float(accesses),
+            mean_waiting_time=float(waiting),
+            waiting_p95=float(p95),
+            queued_processes=int(queued),
+            timed_out=int(timed_out),
+        )
+
+
 @dataclass
 class BarrierAggregate:
     """Aggregate of repeated runs at one (N, A, policy) point."""
@@ -99,13 +152,17 @@ class BarrierAggregate:
     def add_run(self, run: BarrierRunResult) -> None:
         if run.num_processors != self.num_processors:
             raise ValueError("run has a different processor count")
-        self.accesses.add(run.mean_accesses)
-        self.waiting.add(run.mean_waiting_time)
-        self.waiting_p95.add(run.waiting_percentile(95.0))
-        self.queued.add(run.queued_processes)
-        if run.degraded:
+        self.add_summary(EpisodeSummary.from_run(run))
+
+    def add_summary(self, summary: EpisodeSummary) -> None:
+        """Fold one episode's summary in (same arithmetic as add_run)."""
+        self.accesses.add(summary.mean_accesses)
+        self.waiting.add(summary.mean_waiting_time)
+        self.waiting_p95.add(summary.waiting_p95)
+        self.queued.add(summary.queued_processes)
+        if summary.timed_out:
             self.degraded_runs += 1
-            self.timed_out_processes += len(run.timed_out)
+            self.timed_out_processes += summary.timed_out
 
     @property
     def repetitions(self) -> int:
@@ -140,3 +197,24 @@ class BarrierAggregate:
         if baseline.mean_waiting_time == 0:
             return 0.0
         return self.mean_waiting_time / baseline.mean_waiting_time - 1.0
+
+
+def aggregate_from_summaries(
+    num_processors: int,
+    interval_a: int,
+    policy_name: str,
+    summaries: Iterable[EpisodeSummary],
+) -> BarrierAggregate:
+    """Rebuild an aggregate by replaying episode summaries in order.
+
+    The summaries must be ordered by repetition index; the replay then
+    reproduces the serial path's accumulator state bit-for-bit.
+    """
+    aggregate = BarrierAggregate(
+        num_processors=num_processors,
+        interval_a=interval_a,
+        policy_name=policy_name,
+    )
+    for summary in summaries:
+        aggregate.add_summary(summary)
+    return aggregate

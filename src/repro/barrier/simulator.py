@@ -40,9 +40,14 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from repro.barrier.arrivals import ArrivalProcess, UniformArrivals
-from repro.barrier.metrics import BarrierAggregate, BarrierRunResult
+from repro.barrier.metrics import (
+    BarrierAggregate,
+    BarrierRunResult,
+    EpisodeSummary,
+)
 from repro.core.backoff import BackoffPolicy
 from repro.core.barrier import SingleVariableBarrier, TangYewBarrier
+from repro.exec.context import get_exec_config
 from repro.faults.plan import GRANT_DROP, GRANT_DUP, get_fault_plan
 from repro.network.model import NetworkModel
 from repro.network.module import MemoryModule
@@ -74,11 +79,25 @@ class BarrierSimulator:
     def policy(self) -> BackoffPolicy:
         return self.barrier.backoff
 
-    def run_once(self, rng: np.random.Generator) -> BarrierRunResult:
-        """Simulate one barrier episode; returns its metrics."""
+    def run_once(
+        self,
+        rng: np.random.Generator,
+        network: Optional[NetworkModel] = None,
+        heap: Optional[List[Tuple[int, int, int, int]]] = None,
+    ) -> BarrierRunResult:
+        """Simulate one barrier episode; returns its metrics.
+
+        ``network`` and ``heap`` let callers that run many episodes
+        (:meth:`run`, :meth:`run_shard`) reuse the allocations across
+        repetitions; both are reset here, so a reused episode is
+        bit-identical to a fresh one.
+        """
         n = self.barrier.num_processors
         policy = self.barrier.backoff
-        network = NetworkModel()
+        if network is None:
+            network = NetworkModel()
+        else:
+            network.reset()
         variable_module = network.variable_module
         if self.barrier.separate_modules:
             flag_module: MemoryModule = network.flag_module
@@ -124,7 +143,10 @@ class BarrierSimulator:
         depart = [0] * n
         losses = [0] * n
 
-        heap: List[Tuple[int, int, int, int]] = []
+        if heap is None:
+            heap = []
+        else:
+            heap.clear()
         seq = 0
 
         def push(time: int, cpu: int, kind: int) -> None:
@@ -304,10 +326,42 @@ class BarrierSimulator:
             interval_a=self.arrivals.interval,
             policy_name=self.barrier.backoff.name,
         )
+        # Episode state (network modules, event heap) is allocated once
+        # and reset per repetition; only the derived RNG stream is
+        # per-repetition, because the stream name is the determinism
+        # contract that makes shards location-independent.
+        network = NetworkModel()
+        heap: List[Tuple[int, int, int, int]] = []
         for rep in range(repetitions):
             rng = spawn_stream(self.seed, f"barrier-rep-{rep}")
-            aggregate.add_run(self.run_once(rng))
+            aggregate.add_run(self.run_once(rng, network=network, heap=heap))
         return aggregate
+
+    def run_shard(self, rep_start: int, rep_stop: int) -> List[EpisodeSummary]:
+        """Simulate repetitions ``[rep_start, rep_stop)``; one summary each.
+
+        Because every repetition's stream is derived from ``(seed,
+        "barrier-rep-<rep>")`` alone, a shard's episodes are identical
+        no matter which process runs them or what ran before; replaying
+        the summaries of shards ``[0,a) [a,b) ... [z,R)`` in order
+        through :meth:`BarrierAggregate.add_summary` reproduces
+        :meth:`run`'s aggregate bit-for-bit.
+        """
+        if rep_start < 0 or rep_stop < rep_start:
+            raise ValueError(
+                f"invalid shard bounds [{rep_start}, {rep_stop})"
+            )
+        summaries: List[EpisodeSummary] = []
+        network = NetworkModel()
+        heap: List[Tuple[int, int, int, int]] = []
+        for rep in range(rep_start, rep_stop):
+            rng = spawn_stream(self.seed, f"barrier-rep-{rep}")
+            summaries.append(
+                EpisodeSummary.from_run(
+                    self.run_once(rng, network=network, heap=heap)
+                )
+            )
+        return summaries
 
 
 def simulate_barrier(
@@ -328,13 +382,68 @@ def simulate_barrier(
         seed: root seed (episodes use derived streams).
         single_variable: use the naive one-variable barrier instead of
             the Tang-Yew two-variable barrier.
+
+    When an active :class:`repro.exec.ExecConfig` is installed (via the
+    ``--jobs``/``--cache`` CLI flags or :func:`repro.exec.execution`)
+    and no fault plan is in effect, the point is routed through the
+    exec engine — parallel repetition shards plus the result cache —
+    with bit-identical output.  Fault plans are process-global and
+    stateful across episodes, so they always take the serial path here
+    (the faults runner parallelizes at the point level instead).
     """
+    config = get_exec_config()
+    if config.active and get_fault_plan() is None:
+        from repro.exec.engine import PointSpec, execute_barrier_points
+
+        spec = PointSpec(
+            num_processors=num_processors,
+            interval_a=interval_a,
+            policy=policy,
+            repetitions=repetitions,
+            seed=seed,
+            single_variable=single_variable,
+        )
+        return execute_barrier_points([spec], config)[0]
+    return _simulate_barrier_serial(
+        num_processors,
+        interval_a,
+        policy,
+        repetitions=repetitions,
+        seed=seed,
+        single_variable=single_variable,
+    )
+
+
+def _simulate_barrier_serial(
+    num_processors: int,
+    interval_a: int,
+    policy: BackoffPolicy,
+    repetitions: int = 100,
+    seed: int = 0,
+    single_variable: bool = False,
+) -> BarrierAggregate:
+    """The original serial path (also the exec engine's inline runner)."""
+    simulator = build_simulator(
+        num_processors,
+        interval_a,
+        policy,
+        seed=seed,
+        single_variable=single_variable,
+    )
+    return simulator.run(repetitions)
+
+
+def build_simulator(
+    num_processors: int,
+    interval_a: int,
+    policy: BackoffPolicy,
+    seed: int = 0,
+    single_variable: bool = False,
+) -> BarrierSimulator:
+    """The simulator ``simulate_barrier`` would run for these params."""
     barrier: BarrierAlgorithm
     if single_variable:
         barrier = SingleVariableBarrier(num_processors, backoff=policy)
     else:
         barrier = TangYewBarrier(num_processors, backoff=policy)
-    simulator = BarrierSimulator(
-        barrier, UniformArrivals(interval_a), seed=seed
-    )
-    return simulator.run(repetitions)
+    return BarrierSimulator(barrier, UniformArrivals(interval_a), seed=seed)

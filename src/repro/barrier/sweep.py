@@ -14,6 +14,8 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from repro.barrier.metrics import BarrierAggregate
 from repro.barrier.simulator import simulate_barrier
 from repro.core.backoff import BackoffPolicy, paper_policies
+from repro.exec.context import ExecConfig, get_exec_config, validate_jobs
+from repro.faults.plan import get_fault_plan
 from repro.sim.stats import Series
 
 #: The processor counts of Figures 4-10.
@@ -23,20 +25,73 @@ PAPER_N_VALUES = (2, 4, 8, 16, 32, 64, 128, 256, 512)
 PAPER_A_VALUES = (0, 100, 1000)
 
 
+def resolve_exec_config(
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> ExecConfig:
+    """The ambient exec config with any explicit overrides applied.
+
+    Passing an override makes the result engine-routed even at
+    ``jobs=1``, so explicit requests always go through the exec layer.
+    """
+    base = get_exec_config()
+    if jobs is None and cache is None and cache_dir is None:
+        return base
+    return ExecConfig(
+        jobs=validate_jobs(jobs) if jobs is not None else base.jobs,
+        cache=base.cache if cache is None else bool(cache),
+        cache_dir=cache_dir if cache_dir is not None else base.cache_dir,
+        force_engine=True,
+    )
+
+
 def sweep(
     n_values: Sequence[int],
     interval_a: int,
     policies: Optional[Mapping[str, BackoffPolicy]] = None,
     repetitions: int = 100,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, List[BarrierAggregate]]:
     """Simulate every (policy, N) point at one arrival interval A.
+
+    With an active exec config — ambient (CLI ``--jobs``/``--cache``)
+    or given explicitly via ``jobs``/``cache``/``cache_dir`` — all
+    (policy, N) points are submitted to the exec engine in one batch,
+    which fans both the points and their repetition shards across the
+    worker pool and consults the result cache, with output bit-identical
+    to the serial loop.  An installed fault plan forces the serial path
+    (plans are process-global and episode-ordered).
 
     Returns:
         ``{policy_label: [BarrierAggregate per N, in n_values order]}``.
     """
     if policies is None:
         policies = paper_policies()
+    config = resolve_exec_config(jobs, cache, cache_dir)
+    if config.active and get_fault_plan() is None:
+        from repro.exec.engine import PointSpec, execute_barrier_points
+
+        specs = [
+            PointSpec(
+                num_processors=n,
+                interval_a=interval_a,
+                policy=policy,
+                repetitions=repetitions,
+                seed=seed,
+            )
+            for policy in policies.values()
+            for n in n_values
+        ]
+        aggregates = execute_barrier_points(specs, config)
+        width = len(list(n_values))
+        return {
+            label: aggregates[row * width : (row + 1) * width]
+            for row, label in enumerate(policies)
+        }
     results: Dict[str, List[BarrierAggregate]] = {}
     for label, policy in policies.items():
         points = []
@@ -68,9 +123,15 @@ def sweep_accesses(
     policies: Optional[Mapping[str, BackoffPolicy]] = None,
     repetitions: int = 100,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Series]:
     """Network accesses per process vs N (Figures 4-7 curves)."""
-    results = sweep(n_values, interval_a, policies, repetitions, seed)
+    results = sweep(
+        n_values, interval_a, policies, repetitions, seed,
+        jobs=jobs, cache=cache, cache_dir=cache_dir,
+    )
     return _to_series(results, "mean_accesses")
 
 
@@ -80,9 +141,15 @@ def sweep_waiting_time(
     policies: Optional[Mapping[str, BackoffPolicy]] = None,
     repetitions: int = 100,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Series]:
     """Waiting time per process vs N (Figures 8-10 curves)."""
-    results = sweep(n_values, interval_a, policies, repetitions, seed)
+    results = sweep(
+        n_values, interval_a, policies, repetitions, seed,
+        jobs=jobs, cache=cache, cache_dir=cache_dir,
+    )
     return _to_series(results, "mean_waiting_time")
 
 
@@ -119,9 +186,15 @@ def sweep_both(
     policies: Optional[Mapping[str, BackoffPolicy]] = None,
     repetitions: int = 100,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Dict[str, Series]]:
     """One simulation pass yielding both metrics (no duplicated work)."""
-    results = sweep(n_values, interval_a, policies, repetitions, seed)
+    results = sweep(
+        n_values, interval_a, policies, repetitions, seed,
+        jobs=jobs, cache=cache, cache_dir=cache_dir,
+    )
     return {
         "accesses": _to_series(results, "mean_accesses"),
         "waiting": _to_series(results, "mean_waiting_time"),

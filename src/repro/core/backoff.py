@@ -40,6 +40,12 @@ class BackoffPolicy:
 
     name = "none"
 
+    #: True when the policy carries mutable draw state across episodes
+    #: (e.g. a random stream).  The exec layer keeps stateful policies
+    #: on the in-order serial path and out of the result cache, because
+    #: their answers depend on everything simulated before them.
+    stateful = False
+
     def variable_wait(self, barrier_value: int, num_processors: int) -> int:
         """Cycles to wait after the barrier-variable F&A, before poll 1.
 
@@ -217,6 +223,7 @@ class RandomizedExponentialBackoff(FlagBackoff):
     """
 
     name = "randomized-exponential-flag"
+    stateful = True
 
     def __init__(
         self,
@@ -282,6 +289,8 @@ class ThresholdQueueBackoff(BackoffPolicy):
             raise ValueError("threshold must be >= 1")
         self.inner = inner
         self.threshold = threshold
+        # Delegating policies are only as replayable as their inner one.
+        self.stateful = getattr(inner, "stateful", False)
 
     def variable_wait(self, barrier_value: int, num_processors: int) -> int:
         return self.inner.variable_wait(barrier_value, num_processors)

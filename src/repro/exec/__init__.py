@@ -1,0 +1,72 @@
+"""Parallel, cache-aware sweep execution.
+
+Public surface:
+
+- :class:`ExecConfig` / :func:`execution` / :func:`get_exec_config` —
+  the ambient ``--jobs`` / ``--cache`` configuration.
+- :func:`validate_jobs` / :func:`jobs_arg` — the shared ``--jobs``
+  validation used by every CLI subcommand.
+- :class:`ExecStats` / :func:`get_stats` / :func:`reset_stats` —
+  per-process counters (points, cache hits/misses/stores, shards).
+- :class:`ResultCache` / :func:`cache_key` / :func:`code_digest` /
+  :func:`payload_digest` — the content-addressed result cache.
+- :class:`PointSpec` / :func:`execute_barrier_points` /
+  :func:`shutdown_pools` — the executor itself (imported lazily: the
+  engine pulls in the barrier layer, which itself reads the exec
+  config, so an eager import would make package order matter).
+
+See docs/performance.md for the determinism guarantees.
+"""
+
+from __future__ import annotations
+
+from repro.exec.cache import (
+    ResultCache,
+    cache_key,
+    canonical_params,
+    code_digest,
+    payload_digest,
+)
+from repro.exec.context import (
+    DEFAULT_CACHE_DIR,
+    ExecConfig,
+    ExecStats,
+    execution,
+    get_exec_config,
+    get_stats,
+    jobs_arg,
+    reset_stats,
+    set_exec_config,
+    validate_jobs,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ExecConfig",
+    "ExecStats",
+    "PointSpec",
+    "ResultCache",
+    "cache_key",
+    "canonical_params",
+    "code_digest",
+    "execute_barrier_points",
+    "execution",
+    "get_exec_config",
+    "get_stats",
+    "jobs_arg",
+    "payload_digest",
+    "reset_stats",
+    "set_exec_config",
+    "shutdown_pools",
+    "validate_jobs",
+]
+
+_LAZY_ENGINE = {"PointSpec", "execute_barrier_points", "shutdown_pools"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_ENGINE:
+        from repro.exec import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

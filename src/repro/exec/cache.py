@@ -1,0 +1,159 @@
+"""Content-addressed on-disk result cache.
+
+A cache entry is keyed by the four things that determine a simulation
+result bit-for-bit:
+
+1. the **experiment id** (a namespaced label such as ``barrier`` or
+   ``faults:figure5``),
+2. the **canonicalized parameters** (JSON with sorted keys, tuples
+   normalised to lists — see :func:`canonical_params`),
+3. the **root seed**, and
+4. the **code digest** — a SHA-256 over every ``.py`` file in the
+   ``repro`` package, so editing any simulator invalidates every entry
+   automatically.
+
+The key is the SHA-256 of that 4-tuple's canonical JSON; entries live
+at ``<cache-dir>/<key[:2]>/<key>.json`` with an integrity digest over
+the stored payload (a torn or hand-edited entry reads as a miss, never
+as wrong data).  Writes are atomic (``os.replace``), so concurrent
+writers at worst duplicate work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+#: Cache entry schema version; bump when the payload layout changes.
+CACHE_VERSION = 1
+
+#: Environment override for the code digest (tests use this to force
+#: invalidation without editing source files).
+CODE_DIGEST_ENV = "REPRO_EXEC_CODE_DIGEST"
+
+_code_digest_memo: Optional[str] = None
+
+
+def _package_root() -> str:
+    """The directory of the installed ``repro`` package."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def code_digest() -> str:
+    """SHA-256 over every ``repro/**/*.py`` file (path + contents).
+
+    Memoized per process — the source tree does not change under a
+    running experiment.  ``REPRO_EXEC_CODE_DIGEST`` overrides the
+    computed value (read on every call, so tests can flip it).
+    """
+    override = os.environ.get(CODE_DIGEST_ENV)
+    if override:
+        return override
+    global _code_digest_memo
+    if _code_digest_memo is not None:
+        return _code_digest_memo
+    root = _package_root()
+    hasher = hashlib.sha256()
+    paths = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                paths.append(os.path.join(dirpath, filename))
+    for path in paths:
+        hasher.update(os.path.relpath(path, root).encode("utf-8"))
+        hasher.update(b"\0")
+        with open(path, "rb") as handle:
+            hasher.update(handle.read())
+        hasher.update(b"\0")
+    _code_digest_memo = hasher.hexdigest()
+    return _code_digest_memo
+
+
+def canonical_params(params: Any) -> Any:
+    """Normalise params for hashing: sorted keys, tuples -> lists."""
+    return json.loads(json.dumps(params, sort_keys=True, default=str))
+
+
+def payload_digest(payload: Any) -> str:
+    """SHA-256 of a value's canonical JSON (the ``run`` CLI's digest)."""
+    blob = json.dumps(canonical_params(payload), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def cache_key(experiment_id: str, params: Any, seed: int) -> str:
+    """The content address of one (experiment, params, seed, code) result."""
+    blob = json.dumps(
+        {
+            "experiment": experiment_id,
+            "params": canonical_params(params),
+            "seed": seed,
+            "code": code_digest(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed content-addressed store of result payloads."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        payload = entry.get("payload")
+        if entry.get("key") != key or entry.get("version") != CACHE_VERSION:
+            return None
+        if entry.get("digest") != payload_digest(payload):
+            return None  # torn write or hand-edited entry: recompute
+        return payload
+
+    def put(
+        self, key: str, payload: Any, meta: Optional[Dict[str, Any]] = None
+    ) -> str:
+        """Store ``payload`` under ``key`` atomically; returns the path."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "payload": canonical_params(payload),
+            "digest": payload_digest(payload),
+        }
+        if meta:
+            entry["meta"] = canonical_params(meta)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __repr__(self) -> str:
+        return f"ResultCache({self.directory!r})"

@@ -1,0 +1,177 @@
+"""Execution configuration: the ambient ``--jobs`` / ``--cache`` state.
+
+The execution layer (see :mod:`repro.exec.engine`) is configured the
+same way the tracer and the fault-plan registry are: a process-wide
+entry installed for the duration of a run.  ``ExecConfig`` is the
+default (``jobs=1``, cache off), under which every simulator takes its
+original serial code path untouched; the CLI installs a non-default
+config with :func:`execution` and the barrier layer consults it via
+:func:`get_exec_config`.
+
+This module is deliberately stdlib-only and imports nothing from the
+rest of the repository, so any layer (including the hot simulator
+paths) can read the ambient config without import cycles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional
+
+#: Default on-disk location of the content-addressed result cache.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def validate_jobs(jobs: int) -> int:
+    """Validate a ``--jobs`` value; the single shared CLI/API helper.
+
+    Rejects anything below 1 and warns (without failing) when the
+    requested worker count exceeds ``os.cpu_count()`` — the extra
+    workers only add scheduling overhead.  Mirrors the ``--seed``
+    validation in :mod:`repro.__main__`: a bad value becomes one clear
+    error instead of a traceback from deep inside the pool machinery.
+    """
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    cpus = os.cpu_count()
+    if cpus is not None and jobs > cpus:
+        warnings.warn(
+            f"jobs={jobs} exceeds os.cpu_count()={cpus}; the extra "
+            "workers will mostly idle",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return jobs
+
+
+def jobs_arg(text: str) -> int:
+    """argparse type for ``--jobs``: an integer >= 1 (warns past cpu count)."""
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be an integer, got {text!r}"
+        ) from None
+    try:
+        return validate_jobs(jobs)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """How sweep work should execute: worker count and result cache."""
+
+    jobs: int = 1
+    cache: bool = False
+    cache_dir: str = DEFAULT_CACHE_DIR
+    #: Route through the exec engine even when serial and uncached.
+    #: The CLI sets this whenever the user passes any exec flag, so
+    #: ``--jobs 1`` produces the same observability output — and hence
+    #: the same deterministic manifest digest — as ``--jobs N``.
+    force_engine: bool = False
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    @property
+    def active(self) -> bool:
+        """True when this config routes work through the exec engine."""
+        return self.jobs > 1 or self.cache or self.force_engine
+
+
+#: The serial, uncached default every process starts with.
+DEFAULT_CONFIG = ExecConfig()
+
+_active = DEFAULT_CONFIG
+
+
+def get_exec_config() -> ExecConfig:
+    """The process-wide active execution config (serial by default)."""
+    return _active
+
+
+def set_exec_config(config: Optional[ExecConfig]) -> ExecConfig:
+    """Install ``config`` as the active one; returns the previous config.
+
+    Passing None restores the serial default.
+    """
+    global _active
+    previous = _active
+    _active = config if config is not None else DEFAULT_CONFIG
+    return previous
+
+
+@contextmanager
+def execution(config: ExecConfig) -> Iterator[ExecConfig]:
+    """Context manager: install ``config`` for the duration of the block.
+
+    Example::
+
+        with execution(ExecConfig(jobs=4, cache=True)):
+            sweep_accesses(repetitions=100)
+    """
+    previous = set_exec_config(config)
+    try:
+        yield config
+    finally:
+        set_exec_config(previous)
+
+
+@dataclass
+class ExecStats:
+    """Counters describing what the exec engine did in this process.
+
+    Cache hit/miss counts live here (and in the obs manifest's
+    ``execution`` section) rather than in tracer counters on purpose:
+    tracer counters feed the manifest's *deterministic* digest, and a
+    warm cache must not change the digest of an otherwise identical
+    run.
+    """
+
+    points: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+    shards: int = 0
+    parallel_points: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "points": self.points,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_stores": self.cache_stores,
+            "shards": self.shards,
+            "parallel_points": self.parallel_points,
+        }
+
+    def merge(self, other: "ExecStats") -> None:
+        self.points += other.points
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_stores += other.cache_stores
+        self.shards += other.shards
+        self.parallel_points += other.parallel_points
+
+
+_stats = ExecStats()
+
+
+def get_stats() -> ExecStats:
+    """The process-wide exec counters (monotonic until reset)."""
+    return _stats
+
+
+def reset_stats() -> ExecStats:
+    """Zero the exec counters; returns the snapshot they held before."""
+    global _stats
+    previous = _stats
+    _stats = ExecStats()
+    return previous

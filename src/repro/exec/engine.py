@@ -1,0 +1,270 @@
+"""The parallel, cache-aware sweep executor.
+
+:func:`execute_barrier_points` takes a batch of (N, A, policy) sweep
+points and returns their :class:`~repro.barrier.metrics.BarrierAggregate`
+results, bit-identical to the serial loop, by combining three paths:
+
+1. **Cache** — with ``ExecConfig.cache`` on, each point's episode
+   summaries are looked up by content address (experiment id,
+   canonical params, seed, code digest; :mod:`repro.exec.cache`) and
+   replayed through the aggregate on a hit — no simulation at all.
+2. **Pool** — with ``jobs > 1``, missed points are split into
+   repetition shards (:mod:`repro.exec.shards`) and fanned across a
+   shared :class:`~concurrent.futures.ProcessPoolExecutor`; the parent
+   replays each point's summaries in repetition order, which rebuilds
+   the exact accumulator state of the serial path.
+3. **Inline** — ``jobs == 1`` (cache-only mode) and *stateful*
+   policies (``policy.stateful``, e.g. randomized backoff, whose draws
+   depend on everything simulated before them) run serially in the
+   parent, in submission order, and stateful results are never cached.
+
+Observability contract: while the engine owns a point, simulator-level
+tracing is suppressed (workers carry no tracer; inline execution runs
+under the null tracer) and the engine emits exactly one ``exec.point``
+event per point to the caller's tracer.  Every execution mode thus
+produces the same event kinds and counts, so a run's deterministic
+manifest digest is identical whether the work was simulated cold,
+sharded across any number of workers, or replayed from a warm cache.
+Cache hit/miss totals go to :class:`repro.exec.context.ExecStats` (and
+the manifest's non-digested ``execution`` section), never to tracer
+counters, for the same reason.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.barrier.metrics import (
+    BarrierAggregate,
+    EpisodeSummary,
+    aggregate_from_summaries,
+)
+from repro.exec.cache import ResultCache, cache_key
+from repro.exec.context import ExecConfig, get_exec_config, get_stats
+from repro.exec.shards import make_shard_task, run_barrier_shard, shard_bounds
+from repro.obs.tracer import NULL_TRACER, get_tracer, tracing
+
+#: Experiment id under which barrier sweep points are cached.
+BARRIER_KIND = "barrier"
+
+
+@dataclass
+class PointSpec:
+    """One (N, A, policy) sweep point, as ``simulate_barrier`` takes it."""
+
+    num_processors: int
+    interval_a: int
+    policy: Any
+    repetitions: int = 100
+    seed: int = 0
+    single_variable: bool = False
+
+    def params(self) -> Dict[str, Any]:
+        """The canonicalizable parameter dict used in the cache key."""
+        return {
+            "num_processors": self.num_processors,
+            "interval_a": self.interval_a,
+            "repetitions": self.repetitions,
+            "single_variable": self.single_variable,
+            "policy": policy_fingerprint(self.policy),
+        }
+
+
+def policy_fingerprint(policy: Any) -> Dict[str, Any]:
+    """A structural identity for a policy, for cache keying.
+
+    ``repr`` alone is not enough (some reprs omit inherited parameters,
+    e.g. ``LinearFlagBackoff`` hides its variable-backoff multiplier),
+    so the fingerprint combines the class name, the repr, and every
+    public instance attribute rendered via ``repr`` (nested policies
+    fingerprint through their own reprs).
+    """
+    state = {
+        key: repr(value)
+        for key, value in sorted(vars(policy).items())
+        if not key.startswith("_")
+    }
+    return {
+        "class": type(policy).__name__,
+        "repr": repr(policy),
+        "state": state,
+    }
+
+
+# -- worker pools -------------------------------------------------------
+
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    """A shared pool with ``jobs`` workers, created on first use."""
+    pool = _POOLS.get(jobs)
+    if pool is None:
+        pool = _POOLS[jobs] = ProcessPoolExecutor(max_workers=jobs)
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every worker pool the engine has created."""
+    while _POOLS:
+        __, pool = _POOLS.popitem()
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+# -- execution ----------------------------------------------------------
+
+
+def _cache_payload(spec: PointSpec, summaries: List[EpisodeSummary]) -> dict:
+    return {
+        "num_processors": spec.num_processors,
+        "interval_a": spec.interval_a,
+        "policy_name": spec.policy.name,
+        "summaries": [summary.as_tuple() for summary in summaries],
+    }
+
+
+def _replay_payload(spec: PointSpec, payload: dict) -> BarrierAggregate:
+    return aggregate_from_summaries(
+        spec.num_processors,
+        spec.interval_a,
+        spec.policy.name,
+        (EpisodeSummary.from_tuple(t) for t in payload["summaries"]),
+    )
+
+
+def _emit_point(tracer, spec: PointSpec, source: str, shards: int) -> None:
+    if not tracer.enabled:
+        return
+    # One event per point in every mode; only the fields (which do not
+    # enter the deterministic digest) say how the point was satisfied.
+    tracer.emit(
+        "exec.point",
+        n=spec.num_processors,
+        interval_a=spec.interval_a,
+        policy=spec.policy.name,
+        repetitions=spec.repetitions,
+        source=source,
+        shards=shards,
+    )
+
+
+def _run_point_inline(spec: PointSpec) -> List[EpisodeSummary]:
+    """Simulate a whole point serially, with simulator tracing off."""
+    from repro.barrier.simulator import build_simulator
+
+    simulator = build_simulator(
+        spec.num_processors,
+        spec.interval_a,
+        spec.policy,
+        seed=spec.seed,
+        single_variable=spec.single_variable,
+    )
+    with tracing(NULL_TRACER):
+        return simulator.run_shard(0, spec.repetitions)
+
+
+def execute_barrier_points(
+    specs: List[PointSpec], config: Optional[ExecConfig] = None
+) -> List[BarrierAggregate]:
+    """Execute sweep points under ``config``; results in ``specs`` order.
+
+    The ambient config (:func:`repro.exec.context.get_exec_config`) is
+    used when ``config`` is None.
+    """
+    if config is None:
+        config = get_exec_config()
+    stats = get_stats()
+    tracer = get_tracer()
+    cache = ResultCache(config.cache_dir) if config.cache else None
+
+    results: List[Optional[BarrierAggregate]] = [None] * len(specs)
+    #: (index, spec, cache key or None) still needing simulation.
+    pending: List[Tuple[int, PointSpec, Optional[str]]] = []
+
+    for index, spec in enumerate(specs):
+        stats.points += 1
+        key: Optional[str] = None
+        if cache is not None and not getattr(spec.policy, "stateful", False):
+            key = cache_key(BARRIER_KIND, spec.params(), spec.seed)
+            payload = cache.get(key)
+            if payload is not None:
+                stats.cache_hits += 1
+                results[index] = _replay_payload(spec, payload)
+                _emit_point(tracer, spec, "cache", 0)
+                continue
+            stats.cache_misses += 1
+        pending.append((index, spec, key))
+
+    # Fan shardable points across the pool; stateful policies stay
+    # inline so their draw state evolves in exactly the serial order.
+    pooled: List[Tuple[int, PointSpec, Optional[str], int]] = []
+    futures: Dict[Any, Tuple[int, int]] = {}
+    if config.jobs > 1:
+        pool = _get_pool(config.jobs)
+        for index, spec, key in pending:
+            if getattr(spec.policy, "stateful", False):
+                continue
+            bounds = shard_bounds(spec.repetitions, config.jobs)
+            for shard_index, (start, stop) in enumerate(bounds):
+                task = make_shard_task(
+                    spec.num_processors,
+                    spec.interval_a,
+                    spec.policy,
+                    spec.seed,
+                    spec.single_variable,
+                    start,
+                    stop,
+                )
+                future = pool.submit(run_barrier_shard, task)
+                futures[future] = (index, shard_index)
+            pooled.append((index, spec, key, len(bounds)))
+
+    pooled_indices = {index for index, *_ in pooled}
+    shard_results: Dict[int, Dict[int, List[tuple]]] = {}
+    for future, (index, shard_index) in futures.items():
+        shard_results.setdefault(index, {})[shard_index] = future.result()
+
+    for index, spec, key, shard_count in pooled:
+        shards = shard_results[index]
+        summaries = [
+            EpisodeSummary.from_tuple(values)
+            for shard_index in range(shard_count)
+            for values in shards[shard_index]
+        ]
+        results[index] = aggregate_from_summaries(
+            spec.num_processors,
+            spec.interval_a,
+            spec.policy.name,
+            summaries,
+        )
+        stats.shards += shard_count
+        stats.parallel_points += 1
+        if key is not None and cache is not None:
+            cache.put(key, _cache_payload(spec, summaries))
+            stats.cache_stores += 1
+        _emit_point(tracer, spec, "pool", shard_count)
+
+    # Inline: cache-only mode (jobs == 1) and stateful policies, in
+    # submission order.
+    for index, spec, key in pending:
+        if index in pooled_indices:
+            continue
+        summaries = _run_point_inline(spec)
+        results[index] = aggregate_from_summaries(
+            spec.num_processors,
+            spec.interval_a,
+            spec.policy.name,
+            summaries,
+        )
+        if key is not None and cache is not None:
+            cache.put(key, _cache_payload(spec, summaries))
+            stats.cache_stores += 1
+        _emit_point(tracer, spec, "inline", 1)
+
+    return results  # type: ignore[return-value]

@@ -1,0 +1,98 @@
+"""Pool-worker entry points for parallel sweep execution.
+
+A *shard* is a contiguous repetition range ``[rep_start, rep_stop)`` of
+one (N, A, policy) sweep point.  Shards are the unit of work shipped to
+:class:`concurrent.futures.ProcessPoolExecutor` workers: each worker
+simulates its range and returns one compact summary tuple per episode
+(see :class:`repro.barrier.metrics.EpisodeSummary`), and the parent
+replays the tuples in repetition order to rebuild the aggregate
+bit-for-bit.
+
+Why this is deterministic: every repetition's RNG stream is derived
+from ``(root_seed, "barrier-rep-<rep>")`` alone (:mod:`repro.sim.rng`),
+so an episode's outcome does not depend on which process runs it or
+what ran before it in that process.
+
+Workers are forked from a live parent and inherit its process-global
+registries — an active tracer (possibly holding an open JSONL sink), a
+fault plan, an exec config.  :func:`reset_worker_state` clears all
+three at shard entry so a worker can neither corrupt the parent's sink
+nor recursively re-enter the exec engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.exec.context import set_exec_config
+from repro.faults.plan import clear_fault_plan
+from repro.obs.tracer import set_tracer
+
+
+def shard_bounds(repetitions: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``[0, repetitions)`` into at most ``shards`` contiguous ranges.
+
+    Every range but the last has the same size (the ceiling of an even
+    split), so the slowest worker gets no more than one extra episode's
+    worth of imbalance per shard.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    size = -(-repetitions // shards)  # ceil division
+    return [
+        (start, min(start + size, repetitions))
+        for start in range(0, repetitions, size)
+    ]
+
+
+def make_shard_task(
+    num_processors: int,
+    interval_a: int,
+    policy: Any,
+    seed: int,
+    single_variable: bool,
+    rep_start: int,
+    rep_stop: int,
+) -> Dict[str, Any]:
+    """The picklable work order :func:`run_barrier_shard` executes."""
+    return {
+        "num_processors": num_processors,
+        "interval_a": interval_a,
+        "policy": policy,
+        "seed": seed,
+        "single_variable": single_variable,
+        "rep_start": rep_start,
+        "rep_stop": rep_stop,
+    }
+
+
+def reset_worker_state() -> None:
+    """Drop registries a forked worker inherited from its parent."""
+    set_tracer(None)
+    clear_fault_plan()
+    set_exec_config(None)
+
+
+def run_barrier_shard(task: Dict[str, Any]) -> List[tuple]:
+    """Simulate one barrier shard; returns episode-summary tuples.
+
+    Top-level by design: pool workers receive this function by
+    reference, so it must be importable, not a closure.
+    """
+    reset_worker_state()
+    # Imported here, not at module top: repro.barrier.simulator imports
+    # repro.exec.context, so a top-level import would make package
+    # initialisation order-dependent.
+    from repro.barrier.simulator import build_simulator
+
+    simulator = build_simulator(
+        task["num_processors"],
+        task["interval_a"],
+        task["policy"],
+        seed=task["seed"],
+        single_variable=task["single_variable"],
+    )
+    summaries = simulator.run_shard(task["rep_start"], task["rep_stop"])
+    return [summary.as_tuple() for summary in summaries]

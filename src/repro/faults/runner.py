@@ -35,6 +35,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
 
+from repro.exec.cache import ResultCache, cache_key
+from repro.exec.context import get_exec_config, get_stats, validate_jobs
 from repro.faults.plan import FaultPlan, fault_injection
 from repro.faults.spec import parse_plan
 from repro.obs.manifest import git_revision, jsonable
@@ -235,6 +237,12 @@ class ResilienceSummary:
     retried: int = 0
     interrupted: bool = False
     checkpoint_dir: str = ""
+    #: Worker processes the sweep ran with (1 = the serial path).
+    jobs: int = 1
+    #: Points satisfied from the content-addressed result cache.
+    cache_hits: int = 0
+    #: Freshly computed points written to the result cache.
+    cache_stores: int = 0
 
     def _count(self, status: str) -> int:
         return sum(1 for r in self.records.values() if r.status == status)
@@ -280,6 +288,11 @@ class ResilienceSummary:
             f"failed     : {self.failed}",
             f"retries    : {self.retried}",
         ]
+        if self.jobs > 1 or self.cache_hits or self.cache_stores:
+            lines.append(
+                f"execution  : jobs={self.jobs}, cache hits "
+                f"{self.cache_hits}, cache stores {self.cache_stores}"
+            )
         if self.interrupted:
             lines.append(
                 f"interrupted: yes ({self.remaining} point(s) left; rerun "
@@ -381,6 +394,181 @@ def _config_digest(payload: Dict[str, Any]) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def _execute_fault_point(
+    experiment_id: str,
+    plan_spec: str,
+    seed: int,
+    key: str,
+    kwargs: Dict[str, Any],
+) -> PointRecord:
+    """Run one sweep point under its derived plan; shared by both the
+    serial closure and the pool worker, so the two paths cannot drift.
+    """
+    from repro.analysis.experiments import run as run_one
+
+    # A fresh plan per point, seeded by the point key: fault schedules
+    # do not depend on which points ran before, so a resumed (or
+    # parallel) sweep equals an uninterrupted serial one.
+    plan = build_point_plan(plan_spec, seed, experiment_id, key)
+    with fault_injection(plan):
+        result = run_one(experiment_id, **kwargs)
+    degraded = plan.fault_counts.get("barrier.partial_arrival", 0) > 0
+    # Round-trip through JSON so the in-memory record equals what a
+    # resumed run loads from disk (e.g. int dict keys -> str).
+    data = json.loads(
+        json.dumps(
+            jsonable({"title": result.title, "data": result.data}),
+            sort_keys=True,
+            default=str,
+        )
+    )
+    return PointRecord(
+        key=key,
+        status=DEGRADED if degraded else COMPLETED,
+        data=data,
+        fault_counts=plan.snapshot(),
+    )
+
+
+def run_fault_point_task(task: Dict[str, Any]) -> PointRecord:
+    """Pool-worker entry: execute one fault point from a picklable task.
+
+    The worker applies the wall-clock limit itself (``SIGALRM`` works
+    there — a pool worker's work runs on its main thread) and first
+    drops the tracer / fault plan / exec config it inherited from the
+    forked parent, so nested parallelism and sink corruption are
+    impossible.
+    """
+    from repro.exec.shards import reset_worker_state
+
+    reset_worker_state()
+    started = time.perf_counter()
+    with time_limit(task.get("timeout_seconds")):
+        record = _execute_fault_point(
+            task["experiment_id"],
+            task["plan_spec"],
+            task["seed"],
+            task["key"],
+            task["kwargs"],
+        )
+    record.wall_time_seconds = time.perf_counter() - started
+    return record
+
+
+def _run_fault_points_parallel(
+    points_kwargs: "Dict[str, Dict[str, Any]]",
+    existing: Dict[str, PointRecord],
+    store: Optional[CheckpointStore],
+    jobs: int,
+    experiment_id: str,
+    plan_spec: str,
+    seed: int,
+    timeout_seconds: Optional[float] = None,
+    max_retries: int = 2,
+    retry_backoff_seconds: float = 0.05,
+    max_points: Optional[int] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> "tuple[Dict[str, PointRecord], int, int, bool]":
+    """Point-level parallel version of :func:`run_resilient_sweep`.
+
+    Fault plans are process-global and stateful across episodes, so
+    repetition-level sharding is off the table here; instead whole
+    points — already independent by construction (each derives its own
+    plan from the point key) — are fanned across the worker pool.
+    Retries happen in rounds: every point that failed in round ``k``
+    waits out the shared backoff and is resubmitted in round ``k+1``.
+    """
+    from repro.exec.engine import _get_pool
+
+    records: Dict[str, PointRecord] = {}
+    resumed = retried = 0
+    interrupted = False
+    pending: List[str] = []
+    for key in points_kwargs:
+        prior = existing.get(key)
+        if prior is not None and prior.done:
+            records[key] = prior
+            resumed += 1
+        else:
+            pending.append(key)
+    if max_points is not None and len(pending) > max_points:
+        interrupted = True
+        pending = pending[:max_points]
+
+    pool = _get_pool(jobs)
+    stats = get_stats()
+    attempts: Dict[str, int] = {key: 0 for key in pending}
+    last_error: Dict[str, str] = {}
+    remaining = list(pending)
+    round_index = 0
+    while remaining and not interrupted:
+        if round_index:
+            retried += len(remaining)
+            sleep(retry_backoff_seconds * (2 ** (round_index - 1)))
+        futures = {}
+        for key in remaining:
+            attempts[key] += 1
+            task = {
+                "experiment_id": experiment_id,
+                "plan_spec": plan_spec,
+                "seed": seed,
+                "key": key,
+                "kwargs": points_kwargs[key],
+                "timeout_seconds": timeout_seconds,
+            }
+            futures[pool.submit(run_fault_point_task, task)] = key
+        failed_round: List[str] = []
+        try:
+            for future, key in futures.items():
+                try:
+                    record = future.result()
+                except Exception as error:  # noqa: BLE001 - resilience boundary
+                    last_error[key] = f"{type(error).__name__}: {error}"
+                    failed_round.append(key)
+                    continue
+                record.key = key
+                record.attempts = attempts[key]
+                records[key] = record
+                stats.parallel_points += 1
+                if store is not None:
+                    store.save_point(record)
+        except KeyboardInterrupt:
+            interrupted = True
+            break
+        remaining = failed_round
+        round_index += 1
+        if round_index > max_retries:
+            break
+    if not interrupted:
+        for key in remaining:
+            record = PointRecord(
+                key=key,
+                status=FAILED,
+                attempts=attempts[key],
+                error=last_error.get(key),
+            )
+            records[key] = record
+            if store is not None:
+                store.save_point(record)
+    ordered = {key: records[key] for key in points_kwargs if key in records}
+    return ordered, resumed, retried, interrupted
+
+
+def fault_point_cache_key(
+    experiment_id: str,
+    plan_spec: str,
+    seed: int,
+    key: str,
+    kwargs: Dict[str, Any],
+) -> str:
+    """Content address of one fault point's durable record."""
+    return cache_key(
+        f"faults:{experiment_id}",
+        {"plan_spec": plan_spec, "point": key, "kwargs": jsonable(kwargs)},
+        seed,
+    )
+
+
 def run_experiment_resilient(
     experiment_id: str,
     plan_spec: str = "none",
@@ -391,6 +579,9 @@ def run_experiment_resilient(
     retry_backoff_seconds: float = 0.05,
     max_points: Optional[int] = None,
     fresh: bool = False,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
     **overrides: Any,
 ) -> ResilienceSummary:
     """Run a registered experiment under a fault plan, resiliently.
@@ -401,18 +592,34 @@ def run_experiment_resilient(
     runs under its own deterministic plan instance, finished points are
     checkpointed, and the whole sweep resumes from disk after a crash
     or interrupt.
+
+    ``jobs > 1`` fans the *points* across the exec worker pool (plans
+    are per-point deterministic, so results — and their record digests
+    — are identical to the serial sweep); ``use_cache`` consults the
+    content-addressed result cache before running a point and stores
+    fresh completed/degraded records into it.  Both default to the
+    ambient :class:`repro.exec.ExecConfig`; ``fresh`` clears the
+    checkpoint but never the cache (its key already encodes code and
+    configuration).
     """
     # Imported lazily: repro.analysis imports the simulators, which
     # import repro.faults — a module-level import here would cycle.
     from repro.analysis.experiments import experiment_points
-    from repro.analysis.experiments import run as run_one
 
     # Validate the plan spec once, up front: a typo'd injector name
     # should be one usage error, not N failed points plus retries and
     # a checkpoint bound to a broken configuration.
     parse_plan(plan_spec, seed=seed)
 
+    exec_config = get_exec_config()
+    jobs = validate_jobs(jobs if jobs is not None else exec_config.jobs)
+    use_cache = exec_config.cache if use_cache is None else bool(use_cache)
+    cache_dir = cache_dir if cache_dir is not None else exec_config.cache_dir
+    cache = ResultCache(cache_dir) if use_cache else None
+    stats = get_stats()
+
     points_kwargs = experiment_points(experiment_id, **overrides)
+    stats.points += len(points_kwargs)
     digest = _config_digest(
         {
             "experiment_id": experiment_id,
@@ -439,54 +646,96 @@ def run_experiment_resilient(
         }
     )
 
-    def make_point(key: str, kwargs: Dict[str, Any]) -> Callable[[], PointRecord]:
-        def run_point() -> PointRecord:
-            # A fresh plan per point, seeded by the point key: fault
-            # schedules do not depend on which points ran before, so a
-            # resumed sweep equals an uninterrupted one.
-            plan = build_point_plan(plan_spec, seed, experiment_id, key)
-            with fault_injection(plan):
-                result = run_one(experiment_id, **kwargs)
-            degraded = plan.fault_counts.get("barrier.partial_arrival", 0) > 0
-            # Round-trip through JSON so the in-memory record equals what
-            # a resumed run loads from disk (e.g. int dict keys -> str).
-            data = json.loads(
-                json.dumps(
-                    jsonable({"title": result.title, "data": result.data}),
-                    sort_keys=True,
-                    default=str,
+    # Cache pre-pass: a point whose durable record is already in the
+    # content-addressed cache (same experiment, plan, kwargs, seed and
+    # code) is replayed from it — checkpointed like a fresh result, but
+    # never simulated.
+    cached_records: Dict[str, PointRecord] = {}
+    if cache is not None:
+        for key, kwargs in points_kwargs.items():
+            prior = existing.get(key)
+            if prior is not None and prior.done:
+                continue
+            ckey = fault_point_cache_key(
+                experiment_id, plan_spec, seed, key, kwargs
+            )
+            payload = cache.get(ckey)
+            record = (
+                PointRecord.from_dict(payload) if payload is not None else None
+            )
+            if record is not None and record.done:
+                cached_records[key] = record
+                stats.cache_hits += 1
+                store.save_point(record)
+            else:
+                stats.cache_misses += 1
+    merged = dict(existing)
+    merged.update(cached_records)
+
+    if jobs > 1:
+        records, resumed, retried, interrupted = _run_fault_points_parallel(
+            points_kwargs,
+            merged,
+            store,
+            jobs,
+            experiment_id,
+            plan_spec,
+            seed,
+            timeout_seconds=timeout_seconds,
+            max_retries=max_retries,
+            retry_backoff_seconds=retry_backoff_seconds,
+            max_points=max_points,
+        )
+    else:
+
+        def make_point(
+            key: str, kwargs: Dict[str, Any]
+        ) -> Callable[[], PointRecord]:
+            def run_point() -> PointRecord:
+                return _execute_fault_point(
+                    experiment_id, plan_spec, seed, key, kwargs
                 )
-            )
-            return PointRecord(
-                key=key,
-                status=DEGRADED if degraded else COMPLETED,
-                data=data,
-                fault_counts=plan.snapshot(),
-            )
 
-        return run_point
+            return run_point
 
-    callables = {
-        key: make_point(key, kwargs) for key, kwargs in points_kwargs.items()
-    }
-    records, resumed, retried, interrupted = run_resilient_sweep(
-        callables,
-        store=store,
-        existing=existing,
-        timeout_seconds=timeout_seconds,
-        max_retries=max_retries,
-        retry_backoff_seconds=retry_backoff_seconds,
-        max_points=max_points,
-    )
+        callables = {
+            key: make_point(key, kwargs)
+            for key, kwargs in points_kwargs.items()
+        }
+        records, resumed, retried, interrupted = run_resilient_sweep(
+            callables,
+            store=store,
+            existing=merged,
+            timeout_seconds=timeout_seconds,
+            max_retries=max_retries,
+            retry_backoff_seconds=retry_backoff_seconds,
+            max_points=max_points,
+        )
+
+    cache_stores = 0
+    if cache is not None:
+        for key, record in records.items():
+            if key in merged or not record.done:
+                continue
+            ckey = fault_point_cache_key(
+                experiment_id, plan_spec, seed, key, points_kwargs[key]
+            )
+            cache.put(ckey, record.to_dict())
+            cache_stores += 1
+        stats.cache_stores += cache_stores
+
     return ResilienceSummary(
         experiment_id=experiment_id,
         plan_name=plan_spec,
         total_points=len(points_kwargs),
         records=records,
-        resumed=resumed,
+        resumed=resumed - len(cached_records),
         retried=retried,
         interrupted=interrupted,
         checkpoint_dir=store.directory,
+        jobs=jobs,
+        cache_hits=len(cached_records),
+        cache_stores=cache_stores,
     )
 
 

@@ -69,6 +69,11 @@ class RunManifest:
     counters: Dict[str, float]
     observations: Dict[str, Dict[str, Any]]
     timers: Dict[str, Dict[str, Any]]
+    #: How the run executed (jobs, cache hit/miss/store counts; see
+    #: repro.exec).  Deliberately excluded from the deterministic
+    #: digest: a warm cache or a different worker count changes how a
+    #: result was *obtained*, never what it *is*.
+    execution: Dict[str, Any] = field(default_factory=dict)
     python_version: str = field(default_factory=lambda: sys.version.split()[0])
     platform: str = field(default_factory=platform.platform)
     version: int = MANIFEST_VERSION
@@ -109,6 +114,7 @@ class RunManifest:
             "counters": _jsonable(self.counters),
             "observations": _jsonable(self.observations),
             "timers": _jsonable(self.timers),
+            "execution": _jsonable(self.execution),
             "deterministic_digest": self.deterministic_digest(),
         }
 
@@ -127,6 +133,7 @@ def build_manifest(
     seed: Optional[int] = None,
     wall_time_seconds: float = 0.0,
     run_id: Optional[str] = None,
+    execution: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
     """Assemble a :class:`RunManifest` from a finished tracer."""
     snapshot = tracer.snapshot()
@@ -143,4 +150,5 @@ def build_manifest(
         counters=snapshot["counters"],
         observations=snapshot["observations"],
         timers=snapshot["timers"],
+        execution=_jsonable(execution or {}),
     )

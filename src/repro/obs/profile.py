@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
+from repro.exec.context import get_exec_config, get_stats, reset_stats
 from repro.obs.manifest import RunManifest, build_manifest
 from repro.obs.summary import render_summary
 from repro.obs.tracer import JsonlSink, Tracer, tracing
@@ -76,6 +77,7 @@ def profile_experiment(
         sink=JsonlSink(events_path),
         ring_size=ring_size,
     )
+    reset_stats()
     start = time.perf_counter()
     try:
         with tracing(tracer):
@@ -85,12 +87,20 @@ def profile_experiment(
         tracer.close()
     wall_time = time.perf_counter() - start
 
+    exec_config = get_exec_config()
+    execution_info = {
+        "jobs": exec_config.jobs,
+        "cache": exec_config.cache,
+        "cache_dir": exec_config.cache_dir,
+    }
+    execution_info.update(get_stats().as_dict())
     manifest = build_manifest(
         tracer,
         experiment_id=experiment_id,
         config=_config_dict(kwargs),
         seed=kwargs.get("seed"),
         wall_time_seconds=wall_time,
+        execution=execution_info,
     )
     manifest.write(manifest_path)
     summary = render_summary(tracer, title=f"profile {experiment_id}")

@@ -25,7 +25,7 @@ class TestParser:
         commands = set(actions[0].choices)
         assert commands == {
             "list", "experiment", "barrier", "trace", "report", "advise",
-            "verify", "profile", "faults",
+            "verify", "profile", "faults", "run",
         }
 
     def test_barrier_defaults(self):

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Collect benchmark records into a single ``BENCH_sweeps.json``.
+
+Every ``bench_*.py`` run writes a machine-readable record next to its
+text report (``benchmarks/reports/<id>.json`` — see
+``benchmarks/_util.py``).  This tool gathers them into one artifact:
+
+- per-experiment wall time and the knobs each run used,
+- the serial-vs-``--jobs`` comparison from ``parallel_sweep.json``
+  (speedup, worker count, digest equality),
+- the host's ``cpu_count`` so a <= 1x speedup on a one-core CI box is
+  not mistaken for a regression.
+
+Usage::
+
+    python tools/bench_report.py [--reports-dir benchmarks/reports]
+                                 [--output BENCH_sweeps.json]
+
+Exits non-zero when the reports directory holds no records, so CI
+fails loudly if the bench step silently produced nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Any, Dict
+
+DEFAULT_REPORTS_DIR = os.path.join("benchmarks", "reports")
+DEFAULT_OUTPUT = "BENCH_sweeps.json"
+
+
+def collect(reports_dir: str) -> Dict[str, Any]:
+    """Read every ``<id>.json`` record under ``reports_dir``."""
+    experiments: Dict[str, Any] = {}
+    comparison: Dict[str, Any] = {}
+    for path in sorted(glob.glob(os.path.join(reports_dir, "*.json"))):
+        name = os.path.splitext(os.path.basename(path))[0]
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"skipping unreadable record {path}: {error}",
+                  file=sys.stderr)
+            continue
+        if name == "parallel_sweep":
+            comparison = record
+        else:
+            experiments[name] = record
+    return {
+        "cpu_count": os.cpu_count(),
+        "experiments": experiments,
+        "serial_vs_jobs": comparison,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Collect benchmark records into BENCH_sweeps.json",
+    )
+    parser.add_argument("--reports-dir", default=DEFAULT_REPORTS_DIR)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    report = collect(args.reports_dir)
+    if not report["experiments"] and not report["serial_vs_jobs"]:
+        print(
+            f"no benchmark records found under {args.reports_dir}; "
+            "run `python -m pytest benchmarks/` first",
+            file=sys.stderr,
+        )
+        return 1
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    comparison = report["serial_vs_jobs"]
+    print(f"wrote {args.output}: {len(report['experiments'])} experiment "
+          f"record(s)")
+    for name, record in sorted(report["experiments"].items()):
+        wall = record.get("wall_time_seconds")
+        jobs = record.get("jobs", 1)
+        if isinstance(wall, (int, float)):
+            print(f"  {name:<24} {wall:8.3f}s  jobs={jobs}")
+    if comparison:
+        speedup = comparison.get("speedup")
+        print(
+            f"  serial vs jobs={comparison.get('jobs')}: "
+            f"{comparison.get('serial_seconds', 0.0):.3f}s -> "
+            f"{comparison.get('parallel_seconds', 0.0):.3f}s "
+            f"({speedup:.2f}x on {comparison.get('cpu_count')} cpu(s))"
+            if isinstance(speedup, (int, float)) else
+            "  serial vs jobs comparison incomplete"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
