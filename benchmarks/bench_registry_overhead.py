@@ -1,0 +1,84 @@
+"""Benchmark: declarative registry dispatch vs direct point execution.
+
+The registry resolves a parameter schema, decomposes the sweep into
+points, JSON-round-trips every payload, and aggregates — per
+experiment run.  This benchmark measures that machinery against the
+bare minimum (call ``run_point`` per point, aggregate), min-of-k on
+the same in-process state, and asserts the overhead stays under 2% of
+end-to-end wall time: the refactor's dispatch layer must be free at
+experiment granularity.
+
+Writes ``reports/registry_overhead.json`` for ``tools/bench_report.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks._util import BENCH_REPS, write_record
+from repro.registry import get_spec, run
+
+EXPERIMENT_ID = "figure5"
+ROUNDS = 5
+MAX_OVERHEAD_FRACTION = 0.02
+
+
+def _min_of(rounds, fn):
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def bench_registry_overhead(benchmark):
+    spec = get_spec(EXPERIMENT_ID)
+    kwargs = dict(repetitions=BENCH_REPS)
+
+    def direct():
+        # The floor: exactly the per-point work and the aggregate, no
+        # schema resolution, no registry lookup, no payload round-trip.
+        params = spec.resolve(kwargs)
+        points = spec.points(params)
+        payloads = {
+            key: spec.run_point(**point_kwargs)
+            for key, point_kwargs in points.items()
+        }
+        return spec.aggregate(payloads, params)
+
+    def registry():
+        return run(EXPERIMENT_ID, **kwargs)
+
+    # Warm both paths (trace caches, imports) before timing.
+    direct_result = direct()
+    registry_result = benchmark.pedantic(registry, iterations=1, rounds=1)
+    assert str(direct_result) == str(registry_result)
+
+    direct_seconds = _min_of(ROUNDS, direct)
+    registry_seconds = _min_of(ROUNDS, registry)
+    overhead_seconds = max(0.0, registry_seconds - direct_seconds)
+    overhead_fraction = overhead_seconds / registry_seconds
+
+    write_record("registry_overhead", {
+        "experiment_id": EXPERIMENT_ID,
+        "repetitions": BENCH_REPS,
+        "rounds": ROUNDS,
+        "cpu_count": os.cpu_count(),
+        "direct_seconds": direct_seconds,
+        "registry_seconds": registry_seconds,
+        "overhead_seconds": overhead_seconds,
+        "overhead_fraction": overhead_fraction,
+        "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+    })
+    print(
+        f"\nregistry {registry_seconds:.4f}s vs direct {direct_seconds:.4f}s "
+        f"-> overhead {100 * overhead_fraction:.2f}% "
+        f"(budget {100 * MAX_OVERHEAD_FRACTION:.0f}%)"
+    )
+    assert overhead_fraction < MAX_OVERHEAD_FRACTION, (
+        f"registry dispatch overhead {100 * overhead_fraction:.2f}% "
+        f"exceeds the {100 * MAX_OVERHEAD_FRACTION:.0f}% budget"
+    )

@@ -2,7 +2,10 @@
 
 Commands:
 
-- ``experiment <id> [...]`` — regenerate paper artifacts by id.
+- ``experiment <id> [...]`` — regenerate paper artifacts by id;
+                              ``--describe`` prints each experiment's
+                              declared parameter schema, ``--param
+                              NAME=VALUE`` sets any declared parameter.
 - ``run <id>``              — run one experiment with the execution
                               layer (``--jobs`` worker processes,
                               ``--cache`` content-addressed result
@@ -33,7 +36,6 @@ Commands:
 from __future__ import annotations
 
 import argparse
-import inspect
 import sys
 from typing import Optional, Sequence
 
@@ -99,24 +101,44 @@ def _cmd_list(_args) -> int:
 
 
 def _experiment_kwargs(
-    experiment_id: str, repetitions=None, scale=None, seed=None
+    experiment_id: str, repetitions=None, scale=None, seed=None, params=None
 ) -> dict:
-    """CLI overrides that apply to this experiment's runner signature.
+    """CLI overrides resolved against the experiment's declared schema.
 
-    Inspects the runner instead of keeping a hand-maintained id
-    whitelist, so new experiments pick up ``--repetitions`` /
-    ``--scale`` / ``--seed`` support by declaring the parameter.
+    The shared flags (``--repetitions`` / ``--scale`` / ``--seed``)
+    apply when the spec declares the parameter; ``--param NAME=VALUE``
+    entries are parsed by the declared parameter type and reject
+    unknown names with the list of valid ones
+    (:class:`repro.registry.ParameterError`).
     """
-    parameters = inspect.signature(EXPERIMENTS[experiment_id]).parameters
+    from repro.registry import ParameterError, get_spec
+
+    spec = get_spec(experiment_id)
+    names = set(spec.param_names())
     kwargs = {}
     for name, value in (
         ("repetitions", repetitions),
         ("scale", scale),
         ("seed", seed),
     ):
-        if value is not None and name in parameters:
+        if value is not None and name in names:
             kwargs[name] = value
+    for entry in params or ():
+        name, sep, text = entry.partition("=")
+        if not sep:
+            raise ParameterError(
+                f"--param expects NAME=VALUE, got {entry!r}"
+            )
+        kwargs[name] = spec.get_param(name).parse(text)
     return kwargs
+
+
+def _add_param_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "-p", "--param", action="append", default=None, metavar="NAME=VALUE",
+        help="set any declared experiment parameter (repeatable; see "
+             "'experiment --describe <id>' for names, types and defaults)",
+    )
 
 
 def _add_exec_args(p: argparse.ArgumentParser) -> None:
@@ -170,8 +192,18 @@ def _render_exec_stats(config: ExecConfig) -> str:
 
 
 def _cmd_experiment(args) -> int:
+    if args.describe:
+        from repro.registry import get_spec
+
+        for index, experiment_id in enumerate(args.ids):
+            if index:
+                print()
+            print(get_spec(experiment_id).describe())
+        return 0
     for experiment_id in args.ids:
-        kwargs = _experiment_kwargs(experiment_id, args.repetitions, args.scale)
+        kwargs = _experiment_kwargs(
+            experiment_id, args.repetitions, args.scale, params=args.param
+        )
         print(run_experiment(experiment_id, **kwargs))
         print()
     return 0
@@ -185,7 +217,8 @@ def _cmd_run(args) -> int:
 
     config = _exec_config_from_args(args)
     kwargs = _experiment_kwargs(
-        args.id, args.repetitions, args.scale, seed=args.seed
+        args.id, args.repetitions, args.scale, seed=args.seed,
+        params=args.param,
     )
     reset_stats()
     start = time.perf_counter()
@@ -213,7 +246,9 @@ def _cmd_profile(args) -> int:
     from repro.obs import profile_experiment
 
     config = _exec_config_from_args(args)
-    kwargs = _experiment_kwargs(args.id, args.repetitions, args.scale)
+    kwargs = _experiment_kwargs(
+        args.id, args.repetitions, args.scale, params=args.param
+    )
     if config is not None:
         with execution(config):
             profile = profile_experiment(
@@ -323,7 +358,9 @@ def _cmd_faults(args) -> int:
         run_experiment_resilient,
     )
 
-    overrides = _experiment_kwargs(args.id, args.repetitions, args.scale)
+    overrides = _experiment_kwargs(
+        args.id, args.repetitions, args.scale, params=args.param
+    )
     try:
         summary = run_experiment_resilient(
             args.id,
@@ -379,6 +416,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("ids", nargs="+", choices=sorted(EXPERIMENTS))
     p.add_argument("--repetitions", type=int, default=None)
     p.add_argument("--scale", type=float, default=None)
+    p.add_argument(
+        "--describe", action="store_true",
+        help="print each experiment's parameter schema instead of running",
+    )
+    _add_param_arg(p)
     p.set_defaults(fn=_cmd_experiment)
 
     p = sub.add_parser(
@@ -392,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=_seed_arg, default=None)
     p.add_argument("--quiet", action="store_true",
                    help="print only the run summary, not the report text")
+    _add_param_arg(p)
     _add_exec_args(p)
     p.set_defaults(fn=_cmd_run)
 
@@ -446,6 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-result", action="store_true",
         help="also print the experiment's report text",
     )
+    _add_param_arg(p)
     _add_exec_args(p)
     p.set_defaults(fn=_cmd_profile)
 
@@ -481,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="discard any existing checkpoint first")
     p.add_argument("--repetitions", type=int, default=None)
     p.add_argument("--scale", type=float, default=None)
+    _add_param_arg(p)
     _add_exec_args(p)
     p.set_defaults(fn=_cmd_faults)
 
@@ -498,9 +543,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.registry import ParameterError
+
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except ParameterError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output was piped into something like `head`; exit quietly.
         try:

@@ -1,12 +1,20 @@
-"""Experiment registry: one runner per paper table/figure/study.
+"""Experiment registry facade: the historical id -> runner surface.
+
+The experiment implementations live in :mod:`repro.registry` as
+declarative :class:`~repro.registry.spec.ExperimentSpec` modules
+(``src/repro/registry/experiments/``); this module keeps the seed-era
+import surface alive on top of them:
+
+- :data:`EXPERIMENTS` — a live read-only mapping of experiment id to a
+  legacy-style runner callable,
+- :func:`run` / :func:`experiment_points` — re-exported from the
+  registry (identical ids, kwargs, point keys and results),
+- :func:`scheduled_trace` and the trace-derived constants shared by
+  spec modules and tests.
 
 Every runner returns an :class:`ExperimentResult` whose ``text`` is a
 printable report with the same rows/series the paper presents, and
 whose ``data`` carries the raw numbers for tests and benchmarks.
-
-Runners accept ``scale`` (trace-driven experiments) and/or
-``repetitions`` (barrier-model experiments) so benchmarks can run at
-paper fidelity while tests run miniatures.
 
 Command line:
 
@@ -16,1480 +24,57 @@ Command line:
 
 from __future__ import annotations
 
-import inspect
 import sys
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Iterator, Mapping, Sequence
 
-from repro.analysis.figures import render_ascii_plot, render_series, savings_column
-from repro.analysis.tables import render_table
-from repro.barrier.hardware import hardware_baselines
-from repro.barrier.models import (
-    model1_accesses,
-    model2_accesses,
+from repro.registry.common import (
+    _TRACE_CACHE,
+    APP_NAMES,
+    PAPER_SYNC_FRACTIONS,
+    TABLE_POINTERS,
+    coherence_stats as _coherence_stats,
+    scheduled_trace,
 )
-from repro.barrier.queueing import (
-    simulate_blocking_barrier,
-    simulate_threshold_barrier,
-)
-from repro.barrier.resource import simulate_resource
-from repro.barrier.simulator import simulate_barrier
-from repro.barrier.sweep import (
-    PAPER_A_VALUES,
-    PAPER_N_VALUES,
-    sweep,
-    sweep_accesses,
-    sweep_both,
-    sweep_waiting_time,
-)
-from repro.barrier.tree import simulate_tree_barrier
-from repro.barrier.validation import validate_uniform_model
-from repro.core.backoff import (
-    ExponentialFlagBackoff,
-    NoBackoff,
-    RandomizedExponentialBackoff,
-    paper_policies,
-)
-from repro.core.locks import BackoffLock, TestAndSetLock, TestAndTestAndSetLock
-from repro.memory.coherence import CoherenceConfig, CoherenceSimulator
-from repro.network.hotspot import hotspot_sweep
-from repro.network.netbackoff import (
-    ConstantRoundTripBackoff,
-    DepthProportionalBackoff,
-    ExponentialRetryBackoff,
-    ImmediateRetry,
-    InverseDepthBackoff,
-    QueueFeedbackBackoff,
-)
-from repro.obs.tracer import get_tracer
-from repro.sim.stats import Series
-from repro.trace.apps import build_app
-from repro.trace.scheduler import PostMortemScheduler, ScheduledTrace
+from repro.registry.result import ExperimentResult
+from repro.registry.runner import experiment_points, run
+from repro.registry.spec import experiment_ids, get_spec
+
+__all__ = [
+    "APP_NAMES",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "PAPER_SYNC_FRACTIONS",
+    "TABLE_POINTERS",
+    "experiment_points",
+    "main",
+    "run",
+    "scheduled_trace",
+]
 
 
-@dataclass
-class ExperimentResult:
-    """Output of one experiment runner."""
+class _ExperimentsView(Mapping[str, Callable[..., ExperimentResult]]):
+    """The registry presented as the historical ``{id: run_*}`` dict.
 
-    experiment_id: str
-    title: str
-    text: str
-    data: dict = field(default_factory=dict)
-
-    def __str__(self) -> str:
-        return f"== {self.experiment_id}: {self.title} ==\n{self.text}"
-
-
-# ----------------------------------------------------------------------
-# Shared trace generation (cached: scheduling a 64-cpu app is the
-# expensive step and several experiments reuse the same trace).
-# ----------------------------------------------------------------------
-
-_TRACE_CACHE: Dict[Tuple[str, int, float], ScheduledTrace] = {}
-
-APP_NAMES = ("FFT", "SIMPLE", "WEATHER")
-
-#: Paper values for cross-reference in reports (Table 1 caption).
-PAPER_SYNC_FRACTIONS = {"FFT": 0.2, "SIMPLE": 5.3, "WEATHER": 7.9}
-
-
-def scheduled_trace(app: str, num_cpus: int, scale: float = 1.0) -> ScheduledTrace:
-    """The multiprocessor trace for (app, P, scale), cached per process."""
-    key = (app.upper(), num_cpus, scale)
-    if key not in _TRACE_CACHE:
-        program = build_app(app, scale=scale)
-        _TRACE_CACHE[key] = PostMortemScheduler(program, num_cpus).run()
-    return _TRACE_CACHE[key]
-
-
-def _coherence_stats(
-    app: str,
-    num_cpus: int,
-    num_pointers: int,
-    cache_sync: bool,
-    scale: float,
-):
-    trace = scheduled_trace(app, num_cpus, scale)
-    simulator = CoherenceSimulator(
-        CoherenceConfig(
-            num_cpus=num_cpus,
-            num_pointers=num_pointers,
-            cache_sync=cache_sync,
-        )
-    )
-    return simulator.run(trace)
-
-
-# ----------------------------------------------------------------------
-# Section 2: Tables 1-2, Figure 1.
-# ----------------------------------------------------------------------
-
-TABLE_POINTERS = (2, 3, 4, 5, 64)
-
-
-def run_table1(
-    scale: float = 1.0,
-    num_cpus: int = 64,
-    pointers: Sequence[int] = TABLE_POINTERS,
-    apps: Sequence[str] = APP_NAMES,
-) -> ExperimentResult:
-    """Table 1: % of sync / non-sync references causing invalidations."""
-    rows = []
-    data: Dict[str, Dict[int, Tuple[float, float]]] = {}
-    for app in apps:
-        per_app: Dict[int, Tuple[float, float]] = {}
-        for pointer_count in pointers:
-            stats = _coherence_stats(app, num_cpus, pointer_count, True, scale)
-            per_app[pointer_count] = (
-                stats.data_invalidation_pct,
-                stats.sync_invalidation_pct,
-            )
-            rows.append(
-                [
-                    app,
-                    pointer_count,
-                    stats.data_invalidation_pct,
-                    stats.sync_invalidation_pct,
-                ]
-            )
-        data[app] = per_app
-    sync_fraction_rows = [
-        [
-            app,
-            100 * scheduled_trace(app, num_cpus, scale).sync_fraction,
-            PAPER_SYNC_FRACTIONS[app.upper()],
-        ]
-        for app in apps
-    ]
-    text = render_table(
-        ["Application", "Pointers", "Non-Synch. %", "Synch. %"],
-        rows,
-        title=(
-            "Table 1: references causing invalidations, Dir_i_NB, "
-            f"{num_cpus} CPUs"
-        ),
-        float_format="%.1f",
-    )
-    text += "\n\n" + render_table(
-        ["Application", "sync refs % (measured)", "sync refs % (paper)"],
-        sync_fraction_rows,
-        float_format="%.2f",
-    )
-    return ExperimentResult("table1", "invalidations by reference class", text, data)
-
-
-def run_table2(
-    scale: float = 1.0,
-    num_cpus: int = 64,
-    pointers: Sequence[int] = TABLE_POINTERS,
-    apps: Sequence[str] = APP_NAMES,
-) -> ExperimentResult:
-    """Table 2: sync traffic % of total, sync variables uncached."""
-    rows = []
-    data: Dict[str, Dict[int, float]] = {}
-    for app in apps:
-        per_app: Dict[int, float] = {}
-        for pointer_count in pointers:
-            stats = _coherence_stats(app, num_cpus, pointer_count, False, scale)
-            per_app[pointer_count] = stats.sync_traffic_pct
-            rows.append([app, pointer_count, stats.sync_traffic_pct])
-        data[app] = per_app
-    text = render_table(
-        ["Application", "Pointers", "Sync traffic %"],
-        rows,
-        title=(
-            "Table 2: uncached synchronization traffic as % of total, "
-            f"{num_cpus} CPUs"
-        ),
-        float_format="%.1f",
-    )
-    return ExperimentResult("table2", "uncached sync traffic share", text, data)
-
-
-def run_figure1(
-    scale: float = 1.0, num_cpus: int = 64, app: str = "SIMPLE"
-) -> ExperimentResult:
-    """Figure 1: invalidation histogram for SIMPLE, DirNNB, 64 CPUs."""
-    stats = _coherence_stats(app, num_cpus, num_cpus, True, scale)
-    histogram = stats.write_invalidation_histogram
-    invalidating = [(k, c) for k, c in histogram.items() if k >= 1]
-    total = sum(c for __, c in invalidating) or 1
-    rows = []
-    fractions: Dict[int, float] = {}
-    for k, c in invalidating:
-        fractions[k] = c / total
-    for k in sorted(fractions):
-        if k <= 12 or fractions[k] >= 0.001:
-            rows.append([k, 100 * fractions[k]])
-    at_most_3 = 100 * sum(f for k, f in fractions.items() if k <= 3)
-    text = render_table(
-        ["Invalidations x", "% of invalidating writes"],
-        rows,
-        title=f"Figure 1: invalidation histogram, {app}, {num_cpus} CPUs (DirNNB)",
-        float_format="%.2f",
-    )
-    text += (
-        f"\nInvalidating writes touching <= 3 caches: {at_most_3:.1f}% "
-        "(paper: > 95%)"
-    )
-    return ExperimentResult(
-        "figure1",
-        "cache invalidation histogram",
-        text,
-        {"fractions": fractions, "at_most_3_pct": at_most_3},
-    )
-
-
-# ----------------------------------------------------------------------
-# Section 5: Table 3, Figure 3.
-# ----------------------------------------------------------------------
-
-
-def run_table3(
-    scale: float = 1.0,
-    cpu_counts: Sequence[int] = (16, 64),
-    apps: Sequence[str] = APP_NAMES,
-) -> ExperimentResult:
-    """Table 3: mean A and E intervals per application and CPU count."""
-    rows = []
-    data: Dict[str, Dict[int, Tuple[float, float]]] = {}
-    for app in apps:
-        per_app: Dict[int, Tuple[float, float]] = {}
-        for num_cpus in cpu_counts:
-            trace = scheduled_trace(app, num_cpus, scale)
-            a_mean = trace.mean_interval_a()
-            e_mean = trace.mean_interval_e()
-            per_app[num_cpus] = (a_mean, e_mean)
-            rows.append([app, num_cpus, a_mean, e_mean])
-        data[app] = per_app
-    text = render_table(
-        ["Application", "Processors", "A", "E"],
-        rows,
-        title="Table 3: mean cycles between first/last arrivals (A) and barriers (E)",
-        float_format="%.0f",
-    )
-    return ExperimentResult("table3", "barrier interval statistics", text, data)
-
-
-def run_figure3(
-    scale: float = 1.0,
-    num_cpus: int = 16,
-    apps: Sequence[str] = APP_NAMES,
-    bins: int = 10,
-) -> ExperimentResult:
-    """Figure 3: arrival distribution within the interval A."""
-    series: Dict[str, Series] = {}
-    data: Dict[str, List[float]] = {}
-    for app in apps:
-        trace = scheduled_trace(app, num_cpus, scale)
-        offsets = trace.arrival_offsets()
-        span = max(offsets) if offsets else 1
-        span = max(span, 1)
-        counts = [0] * bins
-        for offset in offsets:
-            index = min(offset * bins // (span + 1), bins - 1)
-            counts[index] += 1
-        total = sum(counts) or 1
-        curve = Series(label=f"{app}{num_cpus}")
-        for b, count in enumerate(counts):
-            curve.add((b + 0.5) / bins, count / total)
-        series[f"{app}{num_cpus}"] = curve
-        data[app] = [count / total for count in counts]
-    text = render_series(
-        series,
-        x_label="fraction of A",
-        title=f"Figure 3: arrival distribution within A ({num_cpus} CPUs)",
-        float_format="%.3f",
-    )
-    return ExperimentResult("figure3", "arrival distribution within A", text, data)
-
-
-# ----------------------------------------------------------------------
-# Section 6: Figures 4-7 (network accesses).
-# ----------------------------------------------------------------------
-
-
-def run_figure4(
-    repetitions: int = 100,
-    n_values: Sequence[int] = PAPER_N_VALUES,
-    a_values: Sequence[int] = PAPER_A_VALUES,
-    seed: int = 0,
-) -> ExperimentResult:
-    """Figure 4: analytic models vs no-backoff simulation."""
-    series: Dict[str, Series] = {}
-    data: Dict[str, Dict[int, float]] = {}
-    for interval_a in a_values:
-        sim_curve = Series(label=f"A={interval_a} (Sim)")
-        for n in n_values:
-            point = simulate_barrier(
-                n, interval_a, NoBackoff(), repetitions=repetitions, seed=seed
-            )
-            sim_curve.add(n, point.mean_accesses)
-        series[sim_curve.label] = sim_curve
-        data[f"sim_A{interval_a}"] = dict(zip(sim_curve.xs, sim_curve.ys))
-    model1_curve = Series(label="Model 1 (A<<N)")
-    for n in n_values:
-        model1_curve.add(n, model1_accesses(n))
-    series[model1_curve.label] = model1_curve
-    for interval_a in a_values:
-        if interval_a == 0:
-            continue
-        model_curve = Series(label=f"A={interval_a} (Model 2)")
-        for n in n_values:
-            model_curve.add(n, model2_accesses(n, interval_a))
-        series[model_curve.label] = model_curve
-        data[f"model2_A{interval_a}"] = dict(zip(model_curve.xs, model_curve.ys))
-    data["model1"] = dict(zip(model1_curve.xs, model1_curve.ys))
-    text = render_series(
-        series,
-        title="Figure 4: model predictions vs simulation (network accesses/process)",
-    )
-    return ExperimentResult("figure4", "model vs simulation", text, data)
-
-
-def _figure_accesses(
-    figure_id: str, interval_a: int, repetitions: int, n_values, seed: int
-) -> ExperimentResult:
-    series = sweep_accesses(
-        n_values=n_values,
-        interval_a=interval_a,
-        repetitions=repetitions,
-        seed=seed,
-    )
-    baseline = series["Without Backoff"]
-    extras = {
-        label: savings_column(baseline, curve)
-        for label, curve in series.items()
-        if label != "Without Backoff"
-    }
-    text = render_series(
-        series,
-        title=(
-            f"{figure_id}: network accesses per process, A = {interval_a}"
-        ),
-    )
-    savings_series = {
-        f"{label} savings %": curve for label, curve in extras.items()
-    }
-    text += "\n\n" + render_series(savings_series, float_format="%.1f")
-    text += "\n\n" + render_ascii_plot(
-        series, title="(accesses/process vs N, log2 x-axis)"
-    )
-    data = {
-        label: dict(zip(curve.xs, curve.ys)) for label, curve in series.items()
-    }
-    return ExperimentResult(
-        figure_id.lower().replace(" ", ""),
-        f"backoff accesses, A={interval_a}",
-        text,
-        data,
-    )
-
-
-def run_figure5(
-    repetitions: int = 100, n_values=PAPER_N_VALUES, seed: int = 0
-) -> ExperimentResult:
-    """Figure 5: accesses vs N at A = 0."""
-    return _figure_accesses("Figure 5", 0, repetitions, n_values, seed)
-
-
-def run_figure6(
-    repetitions: int = 100, n_values=PAPER_N_VALUES, seed: int = 0
-) -> ExperimentResult:
-    """Figure 6: accesses vs N at A = 100."""
-    return _figure_accesses("Figure 6", 100, repetitions, n_values, seed)
-
-
-def run_figure7(
-    repetitions: int = 100, n_values=PAPER_N_VALUES, seed: int = 0
-) -> ExperimentResult:
-    """Figure 7: accesses vs N at A = 1000."""
-    return _figure_accesses("Figure 7", 1000, repetitions, n_values, seed)
-
-
-# ----------------------------------------------------------------------
-# Section 7: Figures 8-10 (waiting times).
-# ----------------------------------------------------------------------
-
-
-def _figure_waiting(
-    figure_id: str, interval_a: int, repetitions: int, n_values, seed: int
-) -> ExperimentResult:
-    results = sweep(n_values, interval_a, None, repetitions, seed)
-    series: Dict[str, Series] = {}
-    tails: Dict[str, Series] = {}
-    for label, points in results.items():
-        curve = Series(label=label)
-        tail = Series(label=f"{label} p95")
-        for point in points:
-            curve.add(point.num_processors, point.mean_waiting_time)
-            tail.add(point.num_processors, point.mean_waiting_p95)
-        series[label] = curve
-        tails[f"{label} p95"] = tail
-    text = render_series(
-        series,
-        title=f"{figure_id}: waiting time per process (cycles), A = {interval_a}",
-    )
-    text += "\n\n" + render_series(
-        tails,
-        title="95th-percentile waiting times (overshoot lives in the tail)",
-    )
-    text += "\n\n" + render_ascii_plot(
-        series, title="(waiting cycles vs N, log2 x-axis)"
-    )
-    data = {
-        label: dict(zip(curve.xs, curve.ys)) for label, curve in series.items()
-    }
-    return ExperimentResult(
-        figure_id.lower().replace(" ", ""),
-        f"waiting times, A={interval_a}",
-        text,
-        data,
-    )
-
-
-def run_figure8(
-    repetitions: int = 100, n_values=PAPER_N_VALUES, seed: int = 0
-) -> ExperimentResult:
-    """Figure 8: waiting time vs N at A = 0."""
-    return _figure_waiting("Figure 8", 0, repetitions, n_values, seed)
-
-
-def run_figure9(
-    repetitions: int = 100, n_values=PAPER_N_VALUES, seed: int = 0
-) -> ExperimentResult:
-    """Figure 9: waiting time vs N at A = 100."""
-    return _figure_waiting("Figure 9", 100, repetitions, n_values, seed)
-
-
-def run_figure10(
-    repetitions: int = 100, n_values=PAPER_N_VALUES, seed: int = 0
-) -> ExperimentResult:
-    """Figure 10: waiting time vs N at A = 1000."""
-    return _figure_waiting("Figure 10", 1000, repetitions, n_values, seed)
-
-
-# ----------------------------------------------------------------------
-# Section 5.1: hardware-supported barrier comparison.
-# ----------------------------------------------------------------------
-
-
-def run_hardware(
-    repetitions: int = 100,
-    n_values: Sequence[int] = (4, 8, 16, 32, 64, 128),
-    a_values: Sequence[int] = PAPER_A_VALUES,
-    seed: int = 0,
-) -> ExperimentResult:
-    """Section 5.1: base-2 flag backoff vs hardware barrier baselines."""
-    rows = []
-    data: Dict[str, Dict[int, float]] = {"backoff": {}}
-    for n in n_values:
-        baselines = hardware_baselines(n)
-        for name, value in baselines.items():
-            data.setdefault(name, {})[n] = value
-        best_backoff = None
-        for interval_a in a_values:
-            point = simulate_barrier(
-                n,
-                interval_a,
-                ExponentialFlagBackoff(base=2),
-                repetitions=repetitions,
-                seed=seed,
-            )
-            if best_backoff is None or point.mean_accesses < best_backoff[1]:
-                best_backoff = (interval_a, point.mean_accesses)
-        assert best_backoff is not None
-        data["backoff"][n] = best_backoff[1]
-        rows.append(
-            [
-                n,
-                best_backoff[1],
-                baselines["invalidating bus"],
-                baselines["updating bus"],
-                baselines["full-map directory"],
-                baselines["Hoshino gate"],
-            ]
-        )
-    text = render_table(
-        [
-            "N",
-            "base-2 backoff (best A)",
-            "inval. bus",
-            "update bus",
-            "directory",
-            "Hoshino",
-        ],
-        rows,
-        title="Section 5.1: accesses/processor vs hardware-supported barriers",
-        float_format="%.1f",
-    )
-    return ExperimentResult("hardware", "hardware barrier comparison", text, data)
-
-
-# ----------------------------------------------------------------------
-# Section 7.1: FFT average-traffic case study.
-# ----------------------------------------------------------------------
-
-
-def run_fft_traffic(
-    scale: float = 1.0,
-    num_cpus: int = 64,
-    repetitions: int = 100,
-    seed: int = 0,
-) -> ExperimentResult:
-    """Section 7.1: FFT average network traffic with and without backoff.
-
-    The paper: base data traffic 0.133 accesses/cycle/processor;
-    adding uncached barrier traffic raises it to 0.136; base-8
-    exponential backoff brings it back to 0.134, and the barrier-model
-    prediction (0.136) matches the trace measurement (0.135).
+    Lookups resolve live against :mod:`repro.registry`, so experiments
+    registered later (e.g. by plugins or tests) appear here without any
+    synchronisation step.
     """
-    trace = scheduled_trace("FFT", num_cpus, scale)
-    stats = _coherence_stats("FFT", num_cpus, num_cpus, True, scale)
-    cycles = max(trace.cycles, 1)
-    base_rate = stats.data_traffic / (cycles * num_cpus)
 
-    # Barrier period: one barrier every (A + E) cycles in the trace.
-    period = max(trace.mean_interval_a() + trace.mean_interval_e(), 1.0)
-    interval_a = max(int(round(trace.mean_interval_a())), 1)
+    def __getitem__(self, experiment_id: str) -> Callable[..., ExperimentResult]:
+        return get_spec(experiment_id).runner()
 
-    def barrier_rate(policy) -> float:
-        point = simulate_barrier(
-            num_cpus, interval_a, policy, repetitions=repetitions, seed=seed
-        )
-        return point.mean_accesses / period
+    def __iter__(self) -> Iterator[str]:
+        return iter(experiment_ids())
 
-    no_backoff_rate = barrier_rate(NoBackoff())
-    base8_rate = barrier_rate(ExponentialFlagBackoff(base=8))
+    def __len__(self) -> int:
+        return len(experiment_ids())
 
-    # Trace-measured synchronization traffic rate (sync uncached: two
-    # transactions per sync reference), for model validation.
-    measured_sync_rate = 2 * trace.sync_refs / (cycles * num_cpus)
+    def __repr__(self) -> str:
+        return f"<EXPERIMENTS: {', '.join(experiment_ids())}>"
 
-    rows = [
-        ["base data traffic (no sync)", base_rate],
-        ["+ barriers, no backoff (model)", base_rate + no_backoff_rate],
-        ["+ barriers, base-8 backoff (model)", base_rate + base8_rate],
-        ["+ sync refs, trace-measured", base_rate + measured_sync_rate],
-    ]
-    text = render_table(
-        ["Configuration", "accesses/cycle/processor"],
-        rows,
-        title=f"Section 7.1: FFT average network traffic ({num_cpus} CPUs)",
-        float_format="%.4f",
-    )
-    text += (
-        "\nPaper: 0.133 base -> 0.136 with barriers -> 0.134 with base-8 "
-        "backoff; model 0.136 vs measured 0.135."
-    )
-    data = {
-        "base_rate": base_rate,
-        "with_barriers": base_rate + no_backoff_rate,
-        "with_base8": base_rate + base8_rate,
-        "measured": base_rate + measured_sync_rate,
-    }
-    return ExperimentResult("fft_traffic", "FFT average traffic", text, data)
 
-
-# ----------------------------------------------------------------------
-# Section 8 extensions.
-# ----------------------------------------------------------------------
-
-
-def run_resource(
-    repetitions: int = 50,
-    n_values: Sequence[int] = (4, 8, 16, 32, 64),
-    hold_time: int = 8,
-    seed: int = 0,
-) -> ExperimentResult:
-    """Section 8: resource waiting — TAS vs TTAS vs proportional backoff."""
-    strategies = [
-        TestAndSetLock(),
-        TestAndTestAndSetLock(),
-        BackoffLock(hold_time=hold_time),
-    ]
-    rows = []
-    data: Dict[str, Dict[int, Tuple[float, float]]] = {}
-    for strategy in strategies:
-        per_n: Dict[int, Tuple[float, float]] = {}
-        for n in n_values:
-            aggregate = simulate_resource(
-                n,
-                strategy,
-                hold_time=hold_time,
-                repetitions=repetitions,
-                seed=seed,
-            )
-            per_n[n] = (aggregate.mean_accesses, aggregate.mean_makespan)
-            rows.append(
-                [strategy.name, n, aggregate.mean_accesses, aggregate.mean_makespan]
-            )
-        data[strategy.name] = per_n
-    text = render_table(
-        ["Strategy", "N", "accesses/proc", "makespan"],
-        rows,
-        title=f"Section 8: resource waiting (hold time {hold_time})",
-        float_format="%.1f",
-    )
-    return ExperimentResult("resource", "resource waiting backoff", text, data)
-
-
-def run_netbackoff(
-    num_ports: int = 64,
-    hot_fractions: Sequence[float] = (0.0, 0.05, 0.1, 0.2),
-    horizon: int = 20_000,
-    seed: int = 0,
-) -> ExperimentResult:
-    """Section 8: network-access backoff in a circuit-switched net."""
-    policies = [
-        ImmediateRetry(),
-        DepthProportionalBackoff(),
-        InverseDepthBackoff(),
-        ConstantRoundTripBackoff(),
-        ExponentialRetryBackoff(),
-        QueueFeedbackBackoff(),
-    ]
-    results = hotspot_sweep(
-        num_ports=num_ports,
-        hot_fractions=hot_fractions,
-        policies=policies,
-        horizon=horizon,
-        seed=seed,
-    )
-    rows = []
-    data: Dict[str, Dict[float, Tuple[float, float]]] = {}
-    for policy_name, per_fraction in results.items():
-        per: Dict[float, Tuple[float, float]] = {}
-        for fraction, outcome in per_fraction.items():
-            per[fraction] = (outcome.throughput, outcome.attempts_per_message.mean)
-            rows.append(
-                [
-                    policy_name,
-                    fraction,
-                    outcome.throughput,
-                    outcome.attempts_per_message.mean,
-                    outcome.latency.mean,
-                ]
-            )
-        data[policy_name] = per
-    text = render_table(
-        ["Policy", "hot frac", "throughput", "attempts/msg", "latency"],
-        rows,
-        title=(
-            f"Section 8: network backoff under hot-spot traffic "
-            f"({num_ports}-port Omega)"
-        ),
-        float_format="%.3f",
-    )
-    return ExperimentResult("netbackoff", "network access backoff", text, data)
-
-
-def run_combining(
-    repetitions: int = 50,
-    n_values: Sequence[int] = (64, 256),
-    a_values: Sequence[int] = (0, 100),
-    degrees: Sequence[int] = (2, 4, 8),
-    seed: int = 0,
-) -> ExperimentResult:
-    """Sections 4/6: combining-tree barriers vs the flat barrier."""
-    rows = []
-    data: Dict[str, Dict[Tuple[int, int], float]] = {"flat": {}}
-    for n in n_values:
-        for interval_a in a_values:
-            flat = simulate_barrier(
-                n, interval_a, NoBackoff(), repetitions=repetitions, seed=seed
-            )
-            data["flat"][(n, interval_a)] = flat.mean_accesses
-            rows.append(["flat", n, interval_a, flat.mean_accesses,
-                         flat.mean_waiting_time])
-            for degree in degrees:
-                tree = simulate_tree_barrier(
-                    n,
-                    interval_a,
-                    degree=degree,
-                    repetitions=repetitions,
-                    seed=seed,
-                )
-                key = f"tree-{degree}"
-                data.setdefault(key, {})[(n, interval_a)] = tree.mean_accesses
-                rows.append(
-                    [key, n, interval_a, tree.mean_accesses, tree.mean_waiting_time]
-                )
-    text = render_table(
-        ["Barrier", "N", "A", "accesses/proc", "waiting"],
-        rows,
-        title="Combining-tree vs flat barrier (no backoff at nodes)",
-        float_format="%.1f",
-    )
-    return ExperimentResult("combining", "combining-tree barriers", text, data)
-
-
-def run_queueing(
-    repetitions: int = 50,
-    num_processors: int = 64,
-    a_values: Sequence[int] = (0, 100, 1000, 10_000),
-    threshold: int = 256,
-    overhead: int = 100,
-    seed: int = 0,
-) -> ExperimentResult:
-    """Sections 4/7: spin vs block vs spin-then-queue hybrid."""
-    rows = []
-    data: Dict[str, Dict[int, Tuple[float, float]]] = {}
-    for interval_a in a_values:
-        spin = simulate_barrier(
-            num_processors,
-            interval_a,
-            ExponentialFlagBackoff(base=2),
-            repetitions=repetitions,
-            seed=seed,
-        )
-        block = simulate_blocking_barrier(
-            num_processors,
-            interval_a,
-            enqueue_overhead=overhead,
-            wakeup_overhead=overhead,
-            repetitions=repetitions,
-            seed=seed,
-        )
-        hybrid = simulate_threshold_barrier(
-            num_processors,
-            interval_a,
-            ExponentialFlagBackoff(base=2),
-            threshold=threshold,
-            enqueue_overhead=overhead,
-            wakeup_overhead=overhead,
-            repetitions=repetitions,
-            seed=seed,
-        )
-        for label, point in (("spin-b2", spin), ("block", block), ("hybrid", hybrid)):
-            data.setdefault(label, {})[interval_a] = (
-                point.mean_accesses,
-                point.mean_waiting_time,
-            )
-            rows.append(
-                [label, interval_a, point.mean_accesses, point.mean_waiting_time]
-            )
-    text = render_table(
-        ["Scheme", "A", "accesses/proc", "waiting"],
-        rows,
-        title=(
-            f"Spin vs block vs threshold-queue hybrid "
-            f"(N={num_processors}, overhead={overhead}, threshold={threshold})"
-        ),
-        float_format="%.1f",
-    )
-    return ExperimentResult("queueing", "spin vs block vs hybrid", text, data)
-
-
-def run_application(
-    repetitions: int = 20,
-    num_processors: int = 64,
-    work_interval: int = 2000,
-    rounds: int = 10,
-    jitter: float = 0.2,
-    seed: int = 0,
-) -> ExperimentResult:
-    """End-to-end application model: rounds of work + barriers.
-
-    Closes the loop on the per-barrier figures: with arrival spread
-    *emerging* from work jitter, how much does each policy slow the
-    whole application down, and how much traffic does it remove?
-    """
-    from repro.barrier.application import simulate_application
-
-    rows = []
-    data: Dict[str, Dict[str, float]] = {}
-    for label, policy in paper_policies().items():
-        aggregate = simulate_application(
-            num_processors,
-            work_interval,
-            policy=policy,
-            rounds=rounds,
-            jitter=jitter,
-            repetitions=repetitions,
-            seed=seed,
-        )
-        data[label] = {
-            "completion": aggregate.completion.mean,
-            "accesses": aggregate.accesses.mean,
-            "traffic_rate": aggregate.traffic_rate.mean,
-            "overhead": aggregate.overhead.mean,
-            "arrival_span": aggregate.arrival_span.mean,
-        }
-        rows.append(
-            [
-                label,
-                aggregate.completion.mean,
-                100 * aggregate.overhead.mean,
-                aggregate.accesses.mean,
-                1000 * aggregate.traffic_rate.mean,
-                aggregate.arrival_span.mean,
-            ]
-        )
-    text = render_table(
-        [
-            "Policy",
-            "completion",
-            "overhead %",
-            "accesses/proc",
-            "sync traffic (per 1000 cyc)",
-            "emergent A",
-        ],
-        rows,
-        title=(
-            f"Application model: N={num_processors}, E~{work_interval} "
-            f"(+/-{int(100 * jitter)}%), {rounds} rounds"
-        ),
-        float_format="%.1f",
-    )
-    return ExperimentResult(
-        "application", "end-to-end application slowdown", text, data
-    )
-
-
-def run_coupling(
-    repetitions: int = 50,
-    num_processors: int = 64,
-    interval_a: int = 100,
-    barrier_period: float = 2000.0,
-    background_rate: float = 0.3,
-    seed: int = 0,
-) -> ExperimentResult:
-    """Section 3: feed barrier traffic rates into the Patel model.
-
-    For each policy: simulate the barrier, amortise its accesses over
-    the barrier period, add the background request rate, and report the
-    Patel acceptance probability — the analytic estimate of how much
-    the network relieves when backoff removes synchronization traffic.
-    """
-    from repro.network.coupling import couple_barrier_traffic
-
-    rows = []
-    data: Dict[str, Dict[str, float]] = {}
-    estimates = {}
-    for label, policy in paper_policies().items():
-        aggregate = simulate_barrier(
-            num_processors,
-            interval_a,
-            policy,
-            repetitions=repetitions,
-            seed=seed,
-        )
-        estimate = couple_barrier_traffic(
-            num_ports=num_processors,
-            background_rate=background_rate,
-            barrier_accesses_per_process=aggregate.mean_accesses,
-            barrier_period=barrier_period,
-        )
-        estimates[label] = estimate
-        data[label] = {
-            "barrier_rate": estimate.barrier_rate,
-            "offered": estimate.offered_rate,
-            "acceptance": estimate.acceptance_probability,
-            "bandwidth": estimate.effective_bandwidth,
-        }
-        rows.append(
-            [
-                label,
-                estimate.barrier_rate,
-                estimate.offered_rate,
-                estimate.acceptance_probability,
-                estimate.effective_bandwidth,
-            ]
-        )
-    baseline = estimates["Without Backoff"]
-    relief = {
-        label: -estimate.slowdown_vs(baseline)
-        for label, estimate in estimates.items()
-        if label != "Without Backoff"
-    }
-    text = render_table(
-        ["Policy", "barrier rate", "offered rate", "acceptance", "bandwidth"],
-        rows,
-        title=(
-            f"Patel-coupled network estimate: N={num_processors}, A="
-            f"{interval_a}, background {background_rate}/cycle, period "
-            f"{barrier_period:.0f}"
-        ),
-        float_format="%.4f",
-    )
-    best = max(relief.items(), key=lambda item: item[1])
-    text += (
-        f"\nAcceptance-probability relief vs no backoff: best "
-        f"{best[0]!r} at +{100 * best[1]:.2f}% (the paper cautions the "
-        "Patel model ignores hot-spots, so this uniform-traffic relief "
-        "is a lower bound)."
-    )
-    data["relief"] = relief
-    return ExperimentResult("coupling", "Patel-coupled network estimate", text, data)
-
-
-def run_schedules(
-    repetitions: int = 50,
-    num_processors: int = 64,
-    a_values: Sequence[int] = (100, 1000, 10_000),
-    seed: int = 0,
-) -> ExperimentResult:
-    """Ablation: linear vs exponential flag-backoff schedules.
-
-    Section 4.2 allows "a linear or exponential amount"; the figures
-    evaluate only the exponential family.  This ablation fills in the
-    linear schedules for comparison.
-    """
-    from repro.core.backoff import LinearFlagBackoff
-
-    policies = {
-        "none": NoBackoff(),
-        "linear c=1": LinearFlagBackoff(step=1),
-        "linear c=4": LinearFlagBackoff(step=4),
-        "linear c=16": LinearFlagBackoff(step=16),
-        "exp b=2": ExponentialFlagBackoff(base=2),
-        "exp b=8": ExponentialFlagBackoff(base=8),
-    }
-    rows = []
-    data: Dict[str, Dict[int, Tuple[float, float]]] = {}
-    for label, policy in policies.items():
-        per_a: Dict[int, Tuple[float, float]] = {}
-        for interval_a in a_values:
-            aggregate = simulate_barrier(
-                num_processors,
-                interval_a,
-                policy,
-                repetitions=repetitions,
-                seed=seed,
-            )
-            per_a[interval_a] = (
-                aggregate.mean_accesses,
-                aggregate.mean_waiting_time,
-            )
-            rows.append(
-                [
-                    label,
-                    interval_a,
-                    aggregate.mean_accesses,
-                    aggregate.mean_waiting_time,
-                ]
-            )
-        data[label] = per_a
-    text = render_table(
-        ["Schedule", "A", "accesses/proc", "waiting"],
-        rows,
-        title=(
-            f"Backoff schedule ablation (N={num_processors}): linear vs "
-            "exponential flag backoff"
-        ),
-        float_format="%.1f",
-    )
-    text += (
-        "\nLinear schedules cut polling by ~sqrt of the span; the "
-        "exponential family reaches the log-of-span floor the paper's "
-        "Model 2 analysis predicts."
-    )
-    return ExperimentResult("schedules", "linear vs exponential schedules", text, data)
-
-
-def run_bus_vs_directory(
-    scale: float = 0.5,
-    num_cpus: int = 32,
-    app: str = "SIMPLE",
-    pointers: Sequence[int] = (2, 4),
-) -> ExperimentResult:
-    """Section 2.1's contrast: snoopy bus vs limited-pointer directory.
-
-    "Because snoopy-cache-based protocols perform broadcast invalidates
-    or updates, a variable shared among all processors generates no
-    more traffic on the shared bus than a variable shared among only
-    two processors" — whereas the directory pays per-copy invalidations
-    and pointer-overflow evictions.  Run the same trace through both and
-    compare the synchronization share of the traffic.
-    """
-    from repro.memory.snoopy import SnoopyConfig, SnoopySimulator
-
-    trace = scheduled_trace(app, num_cpus, scale)
-    rows = []
-    data: Dict[str, Tuple[float, float]] = {}
-
-    for protocol in ("invalidate", "update"):
-        simulator = SnoopySimulator(
-            SnoopyConfig(num_cpus=num_cpus, protocol=protocol)
-        )
-        stats = simulator.run(trace)
-        sync_share = (
-            100.0 * stats.sync_bus_transactions / stats.bus_transactions
-            if stats.bus_transactions
-            else 0.0
-        )
-        per_ref = stats.bus_transactions / max(stats.refs, 1)
-        label = f"snoopy-{protocol}"
-        data[label] = (sync_share, per_ref)
-        rows.append([label, sync_share, per_ref])
-
-    for pointer_count in pointers:
-        simulator = CoherenceSimulator(
-            CoherenceConfig(num_cpus=num_cpus, num_pointers=pointer_count)
-        )
-        stats = simulator.run(trace)
-        sync_share = (
-            100.0 * stats.sync_traffic / stats.total_traffic
-            if stats.total_traffic
-            else 0.0
-        )
-        per_ref = stats.total_traffic / max(stats.refs, 1)
-        label = f"directory-{pointer_count}ptr"
-        data[label] = (sync_share, per_ref)
-        rows.append([label, sync_share, per_ref])
-
-    text = render_table(
-        ["Protocol", "sync share of traffic %", "transactions/ref"],
-        rows,
-        title=(
-            f"Section 2.1: snoopy bus vs directory on {app} "
-            f"({num_cpus} CPUs, scale {scale})"
-        ),
-        float_format="%.2f",
-    )
-    text += (
-        "\nThe bus broadcasts: one transaction per write no matter how "
-        "many copies exist, so synchronization's share of bus traffic "
-        "stays modest.  The limited-pointer directory pays per-copy "
-        "invalidations and pointer-overflow evictions on the widely "
-        "shared synchronization words — which is the paper's case for "
-        "scaling trouble."
-    )
-    return ExperimentResult(
-        "bus_vs_directory", "snoopy bus vs directory", text, data
-    )
-
-
-def run_coherent_barrier(
-    num_processors: int = 64,
-    interval_a: int = 100,
-    repetitions: int = 20,
-    seed: int = 0,
-) -> ExperimentResult:
-    """Section 5.1 by simulation: barriers through coherence protocols.
-
-    The paper prices hardware barriers analytically (invalidating bus
-    ~3 accesses/processor, updating bus ~2, full-map directory ~4);
-    here each scheme executes a real barrier episode through the
-    corresponding protocol simulator.  The simulated counts exceed the
-    paper's idealized constants by the post-release re-fetch the paper
-    drops, but the ordering and the headline — uncached spinning costs
-    ~2.5N transactions per processor and backoff brings it down to the
-    hardware schemes' neighbourhood — are simulated, not assumed.
-    """
-    from repro.barrier.coherent import simulate_coherent_barrier
-
-    schemes = [
-        ("snoopy-update", "updating bus (paper ~2)"),
-        ("snoopy-invalidate-fiw", "inval. bus + fetch-intent-write (paper ~2)"),
-        ("snoopy-invalidate", "invalidating bus (paper ~3)"),
-        ("directory", "full-map directory (paper ~4)"),
-        ("uncached", "uncached, continuous spin"),
-    ]
-    rows = []
-    data: Dict[str, float] = {}
-    for scheme, label in schemes:
-        stats = simulate_coherent_barrier(
-            num_processors,
-            scheme,
-            interval_a=interval_a,
-            repetitions=repetitions,
-            seed=seed,
-        )
-        data[scheme] = stats.mean
-        rows.append([label, stats.mean])
-    backoff_stats = simulate_coherent_barrier(
-        num_processors,
-        "uncached",
-        interval_a=interval_a,
-        policy=ExponentialFlagBackoff(base=2),
-        repetitions=repetitions,
-        seed=seed,
-    )
-    data["uncached-b2"] = backoff_stats.mean
-    rows.append(["uncached + base-2 backoff (the paper's proposal)",
-                 backoff_stats.mean])
-    text = render_table(
-        ["Scheme", "transactions/processor"],
-        rows,
-        title=(
-            f"Section 5.1 by simulation: one barrier episode, N="
-            f"{num_processors}, A={interval_a}"
-        ),
-        float_format="%.2f",
-    )
-    text += (
-        "\nSimulated counts sit ~1-2 above the paper's idealized "
-        "constants because the paper's accounting drops the "
-        "post-release re-fetch; the ordering (update < invalidating "
-        "bus < directory << uncached) and the software-backoff "
-        "rapprochement are reproduced by simulation."
-    )
-    return ExperimentResult(
-        "coherent_barrier", "barriers through coherence protocols", text, data
-    )
-
-
-def run_tree_saturation(
-    num_ports: int = 64,
-    hot_fractions: Sequence[float] = (0.0, 0.01, 0.02, 0.04, 0.08, 0.16),
-    injection_rate: float = 0.4,
-    horizon: int = 5_000,
-    seed: int = 0,
-) -> ExperimentResult:
-    """Hot-spot tree saturation in a buffered network (the motivation).
-
-    Reproduces the Pfister & Norton phenomenon the paper builds on:
-    "only a small percentage of all data accesses to the same 'hot'
-    module can cause tree saturation in the interconnection network and
-    a corresponding severe drop in the effective memory bandwidth" —
-    and evaluates the Section 8(5) Scott & Sohi queue-feedback throttle
-    reactively (after a blocked injection) and proactively (before
-    sending, using the destination queue occupancy).
-    """
-    from repro.network.netbackoff import QueueFeedbackBackoff
-    from repro.network.packet import tree_saturation_sweep
-
-    variants = {
-        "immediate": dict(backoff=None, proactive=False),
-        "feedback-reactive": dict(
-            backoff=QueueFeedbackBackoff(factor=2), proactive=False
-        ),
-        "feedback-proactive": dict(
-            backoff=QueueFeedbackBackoff(factor=2), proactive=True
-        ),
-    }
-    rows = []
-    data: Dict[str, Dict[float, Tuple[float, float]]] = {}
-    for label, options in variants.items():
-        sweep_result = tree_saturation_sweep(
-            num_ports=num_ports,
-            hot_fractions=hot_fractions,
-            injection_rate=injection_rate,
-            horizon=horizon,
-            seed=seed,
-            **options,
-        )
-        per: Dict[float, Tuple[float, float]] = {}
-        for fraction, outcome in sweep_result.items():
-            per[fraction] = (outcome.cold_throughput, outcome.latency_cold.mean)
-            rows.append(
-                [
-                    label,
-                    fraction,
-                    outcome.cold_throughput,
-                    outcome.hot_throughput,
-                    outcome.latency_cold.mean,
-                    outcome.blocked_fraction,
-                ]
-            )
-        data[label] = per
-    text = render_table(
-        [
-            "Policy",
-            "hot frac",
-            "cold thr/port",
-            "hot thr",
-            "cold latency",
-            "blocked frac",
-        ],
-        rows,
-        title=(
-            f"Tree saturation ({num_ports}-port buffered Omega, "
-            f"injection {injection_rate}/cycle)"
-        ),
-        float_format="%.3f",
-    )
-    text += (
-        "\nCold bandwidth collapses as a few percent of references go "
-        "hot (Pfister-Norton); queue feedback cannot restore bandwidth "
-        "(the hot module's service rate is the bottleneck) but the "
-        "proactive throttle sharply cuts the latency everyone suffers."
-    )
-    return ExperimentResult(
-        "tree_saturation", "hot-spot tree saturation", text, data
-    )
-
-
-def run_determinism(
-    repetitions: int = 50,
-    points: Sequence[Tuple[int, int]] = ((16, 1000), (64, 1000), (256, 1000)),
-    base: int = 2,
-    seed: int = 0,
-) -> ExperimentResult:
-    """Ablation: deterministic vs randomized exponential backoff.
-
-    Section 4.2 argues for determinism: "Since all the processors
-    backoff by equal amounts the serialization is preserved.  However,
-    if the processors retry probabilistically, the serialization is
-    destroyed and could result in contention again."  This ablation
-    measures exactly that.
-    """
-    rows = []
-    data: Dict[Tuple[int, int], Dict[str, Tuple[float, float]]] = {}
-    for n, interval_a in points:
-        deterministic = simulate_barrier(
-            n,
-            interval_a,
-            ExponentialFlagBackoff(base=base),
-            repetitions=repetitions,
-            seed=seed,
-        )
-        randomized = simulate_barrier(
-            n,
-            interval_a,
-            RandomizedExponentialBackoff(base=base, seed=seed),
-            repetitions=repetitions,
-            seed=seed,
-        )
-        data[(n, interval_a)] = {
-            "deterministic": (
-                deterministic.mean_accesses,
-                deterministic.mean_waiting_time,
-            ),
-            "randomized": (
-                randomized.mean_accesses,
-                randomized.mean_waiting_time,
-            ),
-        }
-        rows.append(
-            [
-                n,
-                interval_a,
-                deterministic.mean_accesses,
-                randomized.mean_accesses,
-                deterministic.mean_waiting_time,
-                randomized.mean_waiting_time,
-            ]
-        )
-    text = render_table(
-        ["N", "A", "det. accesses", "rand. accesses", "det. wait", "rand. wait"],
-        rows,
-        title=(
-            f"Determinism ablation: base-{base} exponential flag backoff, "
-            "deterministic vs randomized windows"
-        ),
-        float_format="%.1f",
-    )
-    text += (
-        "\nPaper argument (Section 4.2): randomized retries destroy the "
-        "serialization established by the first contention episode."
-    )
-    return ExperimentResult(
-        "determinism", "deterministic vs randomized backoff", text, data
-    )
-
-
-def run_tree_coherence(
-    scale: float = 0.5,
-    num_cpus: int = 64,
-    num_pointers: int = 4,
-    degrees: Sequence[int] = (3, 8),
-    app: str = "SIMPLE",
-) -> ExperimentResult:
-    """Ablation: combining-tree barriers under a limited-pointer directory.
-
-    Section 1: "A potential solution for the cache directories would be
-    to implement software combining trees for synchronization
-    variables.  As long as the degree of the nodes in the combining
-    tree is less than the number of pointers in the cache-directory,
-    then synchronization variables will not result in extra
-    invalidation traffic."
-    """
-    from repro.trace.scheduler import PostMortemScheduler
-
-    rows = []
-    data: Dict[str, Tuple[float, float]] = {}
-
-    def measure(label: str, style: str, degree: int) -> None:
-        program = build_app(app, scale=scale)
-        trace = PostMortemScheduler(
-            program, num_cpus, barrier_style=style, tree_degree=degree
-        ).run()
-        simulator = CoherenceSimulator(
-            CoherenceConfig(num_cpus=num_cpus, num_pointers=num_pointers)
-        )
-        stats = simulator.run(trace)
-        data[label] = (stats.sync_invalidation_pct, stats.data_invalidation_pct)
-        rows.append(
-            [
-                label,
-                stats.sync_invalidation_pct,
-                stats.data_invalidation_pct,
-                100 * trace.sync_fraction,
-            ]
-        )
-
-    measure("flat", "flat", num_cpus)
-    for degree in degrees:
-        measure(f"tree-{degree}", "tree", degree)
-    text = render_table(
-        ["Barrier", "sync inval %", "data inval %", "sync refs %"],
-        rows,
-        title=(
-            f"Combining-tree coherence ablation: {app}, {num_cpus} CPUs, "
-            f"Dir_{num_pointers}_NB"
-        ),
-        float_format="%.1f",
-    )
-    text += (
-        f"\nWith node degree < {num_pointers} pointers the synchronization "
-        "words never overflow the directory, so the sync invalidation "
-        "rate collapses — the paper's Section 1 prescription."
-    )
-    return ExperimentResult(
-        "tree_coherence", "combining trees vs directory pointers", text, data
-    )
-
-
-def run_validation(
-    scale: float = 1.0,
-    num_cpus: int = 64,
-    repetitions: int = 100,
-    apps: Sequence[str] = APP_NAMES,
-    seed: int = 0,
-) -> ExperimentResult:
-    """Validate the uniform-arrival model against measured arrivals.
-
-    Section 5/7.1: the uniform assumption "is not expected to
-    significantly change our results", confirmed by the 0.136-vs-0.135
-    traffic cross-check.  Here: run the barrier simulator under uniform
-    arrivals and under arrivals resampled from each application's
-    measured offsets, and compare.
-    """
-    rows = []
-    data: Dict[str, float] = {}
-    for app in apps:
-        trace = scheduled_trace(app, num_cpus, scale)
-        result = validate_uniform_model(
-            trace, repetitions=repetitions, seed=seed
-        )
-        data[app] = result.access_error_pct
-        rows.append(
-            [
-                app,
-                result.uniform.mean_accesses,
-                result.empirical.mean_accesses,
-                result.access_error_pct,
-            ]
-        )
-    text = render_table(
-        ["Application", "uniform model", "measured arrivals", "error %"],
-        rows,
-        title=(
-            "Uniform-arrival model validation (accesses/process, "
-            f"{num_cpus} CPUs, no backoff)"
-        ),
-        float_format="%.1f",
-    )
-    return ExperimentResult("validation", "uniform-model validation", text, data)
-
-
-# ----------------------------------------------------------------------
-# Registry and CLI.
-# ----------------------------------------------------------------------
-
-EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
-    "table1": run_table1,
-    "table2": run_table2,
-    "table3": run_table3,
-    "figure1": run_figure1,
-    "figure3": run_figure3,
-    "figure4": run_figure4,
-    "figure5": run_figure5,
-    "figure6": run_figure6,
-    "figure7": run_figure7,
-    "figure8": run_figure8,
-    "figure9": run_figure9,
-    "figure10": run_figure10,
-    "hardware": run_hardware,
-    "fft_traffic": run_fft_traffic,
-    "resource": run_resource,
-    "netbackoff": run_netbackoff,
-    "combining": run_combining,
-    "queueing": run_queueing,
-    "determinism": run_determinism,
-    "tree_coherence": run_tree_coherence,
-    "validation": run_validation,
-    "application": run_application,
-    "coupling": run_coupling,
-    "schedules": run_schedules,
-    "tree_saturation": run_tree_saturation,
-    "coherent_barrier": run_coherent_barrier,
-    "bus_vs_directory": run_bus_vs_directory,
-}
-
-
-def _lookup(experiment_id: str) -> Callable[..., ExperimentResult]:
-    try:
-        return EXPERIMENTS[experiment_id]
-    except KeyError:
-        known = ", ".join(sorted(EXPERIMENTS))
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; known: {known}"
-        ) from None
-
-
-#: Sweep axes :func:`experiment_points` can decompose, in priority
-#: order, with the label each single value gets in point keys.
-_POINT_AXES: Tuple[Tuple[str, Callable[[Any], str]], ...] = (
-    ("n_values", lambda v: f"N={v}"),
-    ("a_values", lambda v: f"A={v}"),
-    ("cpu_counts", lambda v: f"P={v}"),
-    ("hot_fractions", lambda v: f"hot={v}"),
-    ("apps", lambda v: f"app={v}"),
-    ("points", lambda v: f"N={v[0]},A={v[1]}"),
-)
-
-
-def experiment_points(experiment_id: str, **overrides) -> Dict[str, dict]:
-    """Decompose an experiment into independently runnable sweep points.
-
-    Returns an ordered mapping ``{point_key: runner_kwargs}`` such that
-    running the runner once per entry covers the same parameter space
-    as one full run.  The first sweep axis the runner's signature
-    exposes (see ``_POINT_AXES``) is split into single-value points
-    (keys like ``"N=64"``); experiments with no recognised axis run as
-    one point keyed ``"all"``.  ``overrides`` are forwarded to every
-    point (an override for the split axis re-scopes the sweep).
-
-    This is the unit of checkpointing for the resilient runner
-    (:func:`repro.faults.runner.run_experiment_resilient`): each point
-    is retried, timed out, and persisted independently.
-    """
-    runner = _lookup(experiment_id)
-    parameters = inspect.signature(runner).parameters
-    base = dict(overrides)
-    for axis, key_of in _POINT_AXES:
-        if axis not in parameters:
-            continue
-        values = base.pop(axis, None)
-        if values is None:
-            values = parameters[axis].default
-        values = list(values)
-        if not values:
-            raise ValueError(
-                f"experiment {experiment_id!r}: axis {axis!r} has no values"
-            )
-        return {
-            key_of(value): {**base, axis: (value,)} for value in values
-        }
-    return {"all": base}
-
-
-def run(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by id (see :data:`EXPERIMENTS`)."""
-    runner = _lookup(experiment_id)
-    tracer = get_tracer()
-    if not tracer.enabled:
-        return runner(**kwargs)
-    tracer.emit("experiment.start", experiment=experiment_id, config=kwargs)
-    with tracer.timer(f"experiment.{experiment_id}"):
-        result = runner(**kwargs)
-    tracer.count("experiment.runs")
-    tracer.emit("experiment.end", experiment=experiment_id, title=result.title)
-    return result
+#: Experiment id -> runner callable (live view of the registry).
+EXPERIMENTS: Mapping[str, Callable[..., ExperimentResult]] = _ExperimentsView()
 
 
 def main(argv: Sequence[str]) -> int:

@@ -78,6 +78,19 @@ def canonical_params(params: Any) -> Any:
     return json.loads(json.dumps(params, sort_keys=True, default=str))
 
 
+def canonical_payload(payload: Any) -> Any:
+    """Round-trip a point payload through strict JSON.
+
+    Unlike :func:`canonical_params` there is no ``default=`` escape
+    hatch: a ``run_point`` payload that is not JSON-native (a numpy
+    scalar, a dataclass, a tuple dict key) fails loudly here instead of
+    silently stringifying — the payload must survive the cache and the
+    process boundary unchanged, or aggregates would differ between a
+    cold run and a warm one.
+    """
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
 def payload_digest(payload: Any) -> str:
     """SHA-256 of a value's canonical JSON (the ``run`` CLI's digest)."""
     blob = json.dumps(canonical_params(payload), sort_keys=True, default=str)

@@ -42,13 +42,26 @@ from repro.barrier.metrics import (
     EpisodeSummary,
     aggregate_from_summaries,
 )
-from repro.exec.cache import ResultCache, cache_key
-from repro.exec.context import ExecConfig, get_exec_config, get_stats
-from repro.exec.shards import make_shard_task, run_barrier_shard, shard_bounds
+from repro.exec.cache import ResultCache, cache_key, canonical_payload
+from repro.exec.context import (
+    ExecConfig,
+    get_exec_config,
+    get_stats,
+    set_exec_config,
+)
+from repro.exec.shards import (
+    make_shard_task,
+    run_barrier_shard,
+    run_experiment_point,
+    shard_bounds,
+)
 from repro.obs.tracer import NULL_TRACER, get_tracer, tracing
 
 #: Experiment id under which barrier sweep points are cached.
 BARRIER_KIND = "barrier"
+
+#: Cache-key namespace prefix for registry experiment points.
+EXPERIMENT_KIND = "experiment"
 
 
 @dataclass
@@ -268,3 +281,116 @@ def execute_barrier_points(
         _emit_point(tracer, spec, "inline", 1)
 
     return results  # type: ignore[return-value]
+
+
+# -- registry experiment points -----------------------------------------
+
+
+def _emit_experiment_point(
+    tracer, experiment_id: str, point_key: str, source: str
+) -> None:
+    if not tracer.enabled:
+        return
+    # As with _emit_point: one event per point in every mode, with the
+    # non-digested fields recording how the point was satisfied, so a
+    # profile's deterministic digest is the same for any --jobs/--cache
+    # combination.
+    tracer.emit(
+        "exec.experiment_point",
+        experiment=experiment_id,
+        point=point_key,
+        source=source,
+    )
+
+
+def _run_experiment_point_inline(experiment_id: str, kwargs: dict) -> Any:
+    """Run one point in-process exactly as a pool worker would.
+
+    The ambient exec config is dropped for the duration (so a sweep
+    inside ``run_point`` cannot recursively re-enter the engine) and
+    simulator tracing is suppressed — the same environment
+    ``reset_worker_state`` gives a forked worker, which is what keeps
+    ``jobs=1`` and ``jobs=N`` runs event-identical.
+    """
+    from repro.registry.spec import get_spec
+
+    spec = get_spec(experiment_id)
+    previous = set_exec_config(None)
+    try:
+        with tracing(NULL_TRACER):
+            return canonical_payload(spec.run_point(**kwargs))
+    finally:
+        set_exec_config(previous)
+
+
+def execute_experiment_points(
+    experiment_id: str,
+    points: Dict[str, dict],
+    seed: int,
+    config: Optional[ExecConfig] = None,
+) -> Dict[str, Any]:
+    """Execute registry points under ``config``; results in ``points`` order.
+
+    The registry analogue of :func:`execute_barrier_points`, at point
+    granularity: each ``{point_key: run_point_kwargs}`` entry is looked
+    up in the cache (key: experiment id, point key, canonical kwargs,
+    seed, code digest), missed points fan out whole across the worker
+    pool when ``jobs > 1``, and cache-only mode runs them inline under
+    the null tracer.  Payloads are strict-JSON in every path, so the
+    aggregate sees identical inputs cold, warm, serial or parallel.
+    """
+    if config is None:
+        config = get_exec_config()
+    stats = get_stats()
+    tracer = get_tracer()
+    cache = ResultCache(config.cache_dir) if config.cache else None
+
+    results: Dict[str, Any] = {}
+    #: (point key, kwargs, cache address or None) still needing a run.
+    pending: List[Tuple[str, dict, Optional[str]]] = []
+
+    for point_key, kwargs in points.items():
+        stats.points += 1
+        address: Optional[str] = None
+        if cache is not None:
+            address = cache_key(
+                f"{EXPERIMENT_KIND}:{experiment_id}",
+                {"point": point_key, "params": kwargs},
+                seed,
+            )
+            payload = cache.get(address)
+            if payload is not None:
+                stats.cache_hits += 1
+                results[point_key] = payload
+                _emit_experiment_point(tracer, experiment_id, point_key, "cache")
+                continue
+            stats.cache_misses += 1
+        pending.append((point_key, kwargs, address))
+
+    if config.jobs > 1 and pending:
+        pool = _get_pool(config.jobs)
+        futures = {
+            pool.submit(
+                run_experiment_point,
+                {"experiment_id": experiment_id, "kwargs": kwargs},
+            ): (point_key, address)
+            for point_key, kwargs, address in pending
+        }
+        for future, (point_key, address) in futures.items():
+            payload = future.result()
+            results[point_key] = payload
+            stats.parallel_points += 1
+            if address is not None and cache is not None:
+                cache.put(address, payload)
+                stats.cache_stores += 1
+            _emit_experiment_point(tracer, experiment_id, point_key, "pool")
+    else:
+        for point_key, kwargs, address in pending:
+            payload = _run_experiment_point_inline(experiment_id, kwargs)
+            results[point_key] = payload
+            if address is not None and cache is not None:
+                cache.put(address, payload)
+                stats.cache_stores += 1
+            _emit_experiment_point(tracer, experiment_id, point_key, "inline")
+
+    return {point_key: results[point_key] for point_key in points}

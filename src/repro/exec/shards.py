@@ -75,6 +75,24 @@ def reset_worker_state() -> None:
     set_exec_config(None)
 
 
+def run_experiment_point(task: Dict[str, Any]) -> Any:
+    """Execute one registry experiment point; returns its JSON payload.
+
+    The unit of work for :func:`repro.exec.engine
+    .execute_experiment_points`: the worker looks the spec up in its
+    own registry (specs hold callables, so the task ships only the
+    experiment id and the point kwargs) and returns the JSON-native
+    payload ``run_point`` produced, round-tripped through strict JSON
+    so pool, cache and inline paths hand the aggregate the same object.
+    """
+    reset_worker_state()
+    from repro.exec.cache import canonical_payload
+    from repro.registry.spec import get_spec
+
+    spec = get_spec(task["experiment_id"])
+    return canonical_payload(spec.run_point(**task["kwargs"]))
+
+
 def run_barrier_shard(task: Dict[str, Any]) -> List[tuple]:
     """Simulate one barrier shard; returns episode-summary tuples.
 

@@ -404,7 +404,7 @@ def _execute_fault_point(
     """Run one sweep point under its derived plan; shared by both the
     serial closure and the pool worker, so the two paths cannot drift.
     """
-    from repro.analysis.experiments import run as run_one
+    from repro.registry import run as run_one
 
     # A fresh plan per point, seeded by the point key: fault schedules
     # do not depend on which points ran before, so a resumed (or
@@ -588,7 +588,7 @@ def run_experiment_resilient(
 
     The engine behind ``python -m repro faults <experiment-id>``: the
     experiment is decomposed into sweep points (see
-    :func:`repro.analysis.experiments.experiment_points`), each point
+    :func:`repro.registry.experiment_points`), each point
     runs under its own deterministic plan instance, finished points are
     checkpointed, and the whole sweep resumes from disk after a crash
     or interrupt.
@@ -602,9 +602,10 @@ def run_experiment_resilient(
     checkpoint but never the cache (its key already encodes code and
     configuration).
     """
-    # Imported lazily: repro.analysis imports the simulators, which
-    # import repro.faults — a module-level import here would cycle.
-    from repro.analysis.experiments import experiment_points
+    # Imported lazily: the registry's spec modules import the
+    # simulators, which import repro.faults — a module-level import
+    # here would cycle.
+    from repro.registry import experiment_points
 
     # Validate the plan spec once, up front: a typo'd injector name
     # should be one usage error, not N failed points plus retries and

@@ -43,9 +43,31 @@ def git_revision(cwd: Optional[str] = None) -> str:
     return completed.stdout.strip() or "unknown"
 
 
+def _stringify_keys(value: Any) -> Any:
+    """Recursively replace dict keys ``json.dumps`` cannot serialise.
+
+    ``json.dumps(..., default=str)`` only applies ``default`` to
+    *values*; a dict keyed by tuples (e.g. the ``combining`` and
+    ``determinism`` experiment data, keyed by ``(N, A)``) raises
+    ``TypeError``.  Keys json handles natively (str/int/float/bool/None)
+    are left alone so existing digests are unchanged.
+    """
+    if isinstance(value, dict):
+        return {
+            k if isinstance(k, (str, int, float, bool)) or k is None
+            else str(k): _stringify_keys(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_stringify_keys(v) for v in value]
+    return value
+
+
 def _jsonable(value: Any) -> Any:
     """Round-trip ``value`` through JSON so tuples/lists etc. normalise."""
-    return json.loads(json.dumps(value, sort_keys=True, default=str))
+    return json.loads(
+        json.dumps(_stringify_keys(value), sort_keys=True, default=str)
+    )
 
 
 def jsonable(value: Any) -> Any:

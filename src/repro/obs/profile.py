@@ -60,10 +60,11 @@ def profile_experiment(
         **kwargs: forwarded to the experiment runner (``repetitions``,
             ``scale``, ``seed``, ...).
     """
-    # Imported lazily: repro.analysis imports the instrumented layers,
-    # which import repro.obs — a module-level import here would cycle.
+    # Imported lazily: the registry's spec modules import the
+    # instrumented layers, which import repro.obs — a module-level
+    # import here would cycle.
     if runner is None:
-        from repro.analysis.experiments import run as runner  # type: ignore
+        from repro.registry import run as runner  # type: ignore
 
     if output_dir is None:
         output_dir = os.path.join("profiles", experiment_id)

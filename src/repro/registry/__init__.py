@@ -1,0 +1,48 @@
+"""repro.registry — the declarative experiment registry.
+
+Every paper artifact (Tables 1-3, Figures 1-10, the extension studies)
+is declared as an :class:`ExperimentSpec` in a thin module under
+:mod:`repro.registry.experiments`: a typed parameter schema, a sweep
+axis decomposing the experiment into independent points, a per-point
+``run_point`` callable, and an ``aggregate`` step rebuilding the
+report.  :func:`run` executes a spec through the shared
+:mod:`repro.exec` engine when an execution config is active, so every
+experiment supports ``--jobs``, ``--cache``, fault plans and obs
+manifests uniformly.
+
+The core types import before the spec modules on purpose:
+``repro.analysis.experiments`` (the compatibility shim) imports only
+the names below, and the spec modules import analysis rendering
+helpers, so loading the actual experiment definitions is deferred to
+:func:`load_specs` / first registry access.
+"""
+
+from repro.registry.result import ExperimentResult
+from repro.registry.runner import experiment_points, main, run
+from repro.registry.spec import (
+    AXIS_KEY_FORMATS,
+    ExperimentSpec,
+    Param,
+    ParameterError,
+    all_specs,
+    experiment_ids,
+    get_spec,
+    load_specs,
+    register,
+)
+
+__all__ = [
+    "AXIS_KEY_FORMATS",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "Param",
+    "ParameterError",
+    "all_specs",
+    "experiment_ids",
+    "experiment_points",
+    "get_spec",
+    "load_specs",
+    "main",
+    "register",
+    "run",
+]

@@ -1,0 +1,54 @@
+"""Shared state and helpers used by several spec modules.
+
+The trace cache is the load-bearing piece: scheduling a 64-cpu
+application is the expensive step of every trace-driven experiment, and
+several experiments (and several points of one experiment) reuse the
+same trace.  The cache is per-process, so pool workers each build their
+own — point payloads stay pure data and the cache never crosses a
+process boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.memory.coherence import CoherenceConfig, CoherenceSimulator
+from repro.trace.apps import build_app
+from repro.trace.scheduler import PostMortemScheduler, ScheduledTrace
+
+_TRACE_CACHE: Dict[Tuple[str, int, float], ScheduledTrace] = {}
+
+APP_NAMES = ("FFT", "SIMPLE", "WEATHER")
+
+#: Paper values for cross-reference in reports (Table 1 caption).
+PAPER_SYNC_FRACTIONS = {"FFT": 0.2, "SIMPLE": 5.3, "WEATHER": 7.9}
+
+TABLE_POINTERS = (2, 3, 4, 5, 64)
+
+
+def scheduled_trace(app: str, num_cpus: int, scale: float = 1.0) -> ScheduledTrace:
+    """The multiprocessor trace for (app, P, scale), cached per process."""
+    key = (app.upper(), num_cpus, scale)
+    if key not in _TRACE_CACHE:
+        program = build_app(app, scale=scale)
+        _TRACE_CACHE[key] = PostMortemScheduler(program, num_cpus).run()
+    return _TRACE_CACHE[key]
+
+
+def coherence_stats(
+    app: str,
+    num_cpus: int,
+    num_pointers: int,
+    cache_sync: bool,
+    scale: float,
+):
+    """Run the directory-coherence simulator over a cached trace."""
+    trace = scheduled_trace(app, num_cpus, scale)
+    simulator = CoherenceSimulator(
+        CoherenceConfig(
+            num_cpus=num_cpus,
+            num_pointers=num_pointers,
+            cache_sync=cache_sync,
+        )
+    )
+    return simulator.run(trace)

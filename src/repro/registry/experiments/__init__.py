@@ -1,0 +1,27 @@
+"""Spec modules: every paper artifact, one declarative registration each.
+
+Importing this package registers every experiment
+(:func:`repro.registry.spec.register` runs at module import).  Grouped
+by substrate:
+
+- :mod:`~repro.registry.experiments.coherence` — directory/snoopy
+  coherence studies over scheduled traces (Tables 1-2, Figure 1, the
+  combining-tree and bus-vs-directory ablations).
+- :mod:`~repro.registry.experiments.traces` — trace statistics and
+  model validation (Table 3, Figure 3, the FFT traffic case study).
+- :mod:`~repro.registry.experiments.barrier` — barrier-simulator
+  sweeps (Figures 4-10, hardware baselines, coherent barriers).
+- :mod:`~repro.registry.experiments.network` — network contention
+  studies (netbackoff, tree saturation, Patel coupling).
+- :mod:`~repro.registry.experiments.extensions` — Section 8 and
+  ablation extensions (resource, combining, queueing, determinism,
+  schedules, application).
+"""
+
+from repro.registry.experiments import (  # noqa: F401
+    barrier,
+    coherence,
+    extensions,
+    network,
+    traces,
+)

@@ -1,0 +1,402 @@
+"""Barrier-simulator experiments: Figures 4-10, hardware, coherent.
+
+Figures 5-10 share one point function (:func:`barrier_sweep_point`):
+a single (N, A) slice of the paper-policy sweep carrying every metric
+both figure families need.  The accesses figures (5-7) and the
+waiting-time figures (8-10) differ only in their aggregate step, which
+replaces the two near-identical ``_figure_accesses`` /
+``_figure_waiting`` helpers the monolithic runner maintained.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.figures import render_ascii_plot, render_series, savings_column
+from repro.analysis.tables import render_table
+from repro.barrier.hardware import hardware_baselines
+from repro.barrier.models import model1_accesses, model2_accesses
+from repro.barrier.simulator import simulate_barrier
+from repro.barrier.sweep import PAPER_A_VALUES, PAPER_N_VALUES, sweep
+from repro.core.backoff import ExponentialFlagBackoff, NoBackoff
+from repro.registry.result import ExperimentResult
+from repro.registry.spec import ExperimentSpec, Param, register
+from repro.sim.stats import Series
+
+# -- figure4 -------------------------------------------------------------
+
+
+def _figure4_point(repetitions, n_values, a_values, seed):
+    (n,) = n_values
+    sim = []
+    for interval_a in a_values:
+        point = simulate_barrier(
+            n, interval_a, NoBackoff(), repetitions=repetitions, seed=seed
+        )
+        sim.append(point.mean_accesses)
+    return {"sim": sim}
+
+
+def _figure4_aggregate(points, params):
+    n_values = params["n_values"]
+    series: Dict[str, Series] = {}
+    data: Dict[str, Dict[int, float]] = {}
+    for a_index, interval_a in enumerate(params["a_values"]):
+        sim_curve = Series(label=f"A={interval_a} (Sim)")
+        for n in n_values:
+            sim_curve.add(n, points[f"N={n}"]["sim"][a_index])
+        series[sim_curve.label] = sim_curve
+        data[f"sim_A{interval_a}"] = dict(zip(sim_curve.xs, sim_curve.ys))
+    model1_curve = Series(label="Model 1 (A<<N)")
+    for n in n_values:
+        model1_curve.add(n, model1_accesses(n))
+    series[model1_curve.label] = model1_curve
+    for interval_a in params["a_values"]:
+        if interval_a == 0:
+            continue
+        model_curve = Series(label=f"A={interval_a} (Model 2)")
+        for n in n_values:
+            model_curve.add(n, model2_accesses(n, interval_a))
+        series[model_curve.label] = model_curve
+        data[f"model2_A{interval_a}"] = dict(zip(model_curve.xs, model_curve.ys))
+    data["model1"] = dict(zip(model1_curve.xs, model1_curve.ys))
+    text = render_series(
+        series,
+        title="Figure 4: model predictions vs simulation (network accesses/process)",
+    )
+    return ExperimentResult("figure4", "model vs simulation", text, data)
+
+
+register(
+    ExperimentSpec(
+        id="figure4",
+        title="model vs simulation",
+        section="Section 6, Figure 4",
+        summary="Figure 4: analytic models vs no-backoff simulation.",
+        params=(
+            Param("repetitions", "int", 100),
+            Param("n_values", "ints", PAPER_N_VALUES),
+            Param("a_values", "ints", PAPER_A_VALUES),
+            Param("seed", "int", 0),
+        ),
+        axis="n_values",
+        run_point=_figure4_point,
+        aggregate=_figure4_aggregate,
+    )
+)
+
+
+# -- figures 5-10: one shared point function ----------------------------
+
+
+def barrier_sweep_point(
+    n: int, interval_a: int, repetitions: int, seed: int
+) -> List[list]:
+    """One (N, A) slice of the paper-policy sweep, every figure metric.
+
+    Returns ``[label, mean_accesses, mean_waiting_time,
+    mean_waiting_p95]`` per policy, in :func:`repro.core.backoff
+    .paper_policies` order — the shared payload of Figures 5-7
+    (accesses) and Figures 8-10 (waiting times).
+    """
+    results = sweep((n,), interval_a, None, repetitions, seed)
+    return [
+        [
+            label,
+            aggregates[0].mean_accesses,
+            aggregates[0].mean_waiting_time,
+            aggregates[0].mean_waiting_p95,
+        ]
+        for label, aggregates in results.items()
+    ]
+
+
+def _policy_series(points, n_values, metric_index: int) -> Dict[str, Series]:
+    """Rebuild per-policy curves from point payloads, label-major."""
+    first = points[f"N={n_values[0]}"]["policies"]
+    series: Dict[str, Series] = {}
+    for policy_index, entry in enumerate(first):
+        curve = Series(label=entry[0])
+        for n in n_values:
+            curve.add(n, points[f"N={n}"]["policies"][policy_index][metric_index])
+        series[entry[0]] = curve
+    return series
+
+
+def _accesses_aggregate(figure_id, interval_a, points, params):
+    series = _policy_series(points, params["n_values"], 1)
+    baseline = series["Without Backoff"]
+    extras = {
+        label: savings_column(baseline, curve)
+        for label, curve in series.items()
+        if label != "Without Backoff"
+    }
+    text = render_series(
+        series,
+        title=(
+            f"{figure_id}: network accesses per process, A = {interval_a}"
+        ),
+    )
+    savings_series = {
+        f"{label} savings %": curve for label, curve in extras.items()
+    }
+    text += "\n\n" + render_series(savings_series, float_format="%.1f")
+    text += "\n\n" + render_ascii_plot(
+        series, title="(accesses/process vs N, log2 x-axis)"
+    )
+    data = {
+        label: dict(zip(curve.xs, curve.ys)) for label, curve in series.items()
+    }
+    return ExperimentResult(
+        figure_id.lower().replace(" ", ""),
+        f"backoff accesses, A={interval_a}",
+        text,
+        data,
+    )
+
+
+def _waiting_aggregate(figure_id, interval_a, points, params):
+    series = _policy_series(points, params["n_values"], 2)
+    tail_curves = _policy_series(points, params["n_values"], 3)
+    tails = {
+        f"{label} p95": Series(
+            label=f"{label} p95", xs=curve.xs, ys=curve.ys
+        )
+        for label, curve in tail_curves.items()
+    }
+    text = render_series(
+        series,
+        title=f"{figure_id}: waiting time per process (cycles), A = {interval_a}",
+    )
+    text += "\n\n" + render_series(
+        tails,
+        title="95th-percentile waiting times (overshoot lives in the tail)",
+    )
+    text += "\n\n" + render_ascii_plot(
+        series, title="(waiting cycles vs N, log2 x-axis)"
+    )
+    data = {
+        label: dict(zip(curve.xs, curve.ys)) for label, curve in series.items()
+    }
+    return ExperimentResult(
+        figure_id.lower().replace(" ", ""),
+        f"waiting times, A={interval_a}",
+        text,
+        data,
+    )
+
+
+def _register_sweep_figure(number: int, interval_a: int, family: str) -> None:
+    figure_id = f"Figure {number}"
+
+    def run_point(repetitions, n_values, seed):
+        (n,) = n_values
+        return {"policies": barrier_sweep_point(n, interval_a, repetitions, seed)}
+
+    if family == "accesses":
+        summary = f"Figure {number}: accesses vs N at A = {interval_a}."
+        title = f"backoff accesses, A={interval_a}"
+        section = "Section 6, Figures 5-7"
+
+        def aggregate(points, params):
+            return _accesses_aggregate(figure_id, interval_a, points, params)
+
+    else:
+        summary = f"Figure {number}: waiting time vs N at A = {interval_a}."
+        title = f"waiting times, A={interval_a}"
+        section = "Section 7, Figures 8-10"
+
+        def aggregate(points, params):
+            return _waiting_aggregate(figure_id, interval_a, points, params)
+
+    register(
+        ExperimentSpec(
+            id=figure_id.lower().replace(" ", ""),
+            title=title,
+            section=section,
+            summary=summary,
+            params=(
+                Param("repetitions", "int", 100),
+                Param("n_values", "ints", PAPER_N_VALUES),
+                Param("seed", "int", 0),
+            ),
+            axis="n_values",
+            run_point=run_point,
+            aggregate=aggregate,
+        )
+    )
+
+
+_register_sweep_figure(5, 0, "accesses")
+_register_sweep_figure(6, 100, "accesses")
+_register_sweep_figure(7, 1000, "accesses")
+_register_sweep_figure(8, 0, "waiting")
+_register_sweep_figure(9, 100, "waiting")
+_register_sweep_figure(10, 1000, "waiting")
+
+
+# -- hardware ------------------------------------------------------------
+
+
+def _hardware_point(repetitions, n_values, a_values, seed):
+    (n,) = n_values
+    baselines = hardware_baselines(n)
+    best_backoff = None
+    for interval_a in a_values:
+        point = simulate_barrier(
+            n,
+            interval_a,
+            ExponentialFlagBackoff(base=2),
+            repetitions=repetitions,
+            seed=seed,
+        )
+        if best_backoff is None or point.mean_accesses < best_backoff:
+            best_backoff = point.mean_accesses
+    return {
+        "baselines": [[name, value] for name, value in baselines.items()],
+        "best_backoff": best_backoff,
+    }
+
+
+def _hardware_aggregate(points, params):
+    rows = []
+    data: Dict[str, Dict[int, float]] = {"backoff": {}}
+    for n in params["n_values"]:
+        payload = points[f"N={n}"]
+        baselines = {name: value for name, value in payload["baselines"]}
+        for name, value in baselines.items():
+            data.setdefault(name, {})[n] = value
+        data["backoff"][n] = payload["best_backoff"]
+        rows.append(
+            [
+                n,
+                payload["best_backoff"],
+                baselines["invalidating bus"],
+                baselines["updating bus"],
+                baselines["full-map directory"],
+                baselines["Hoshino gate"],
+            ]
+        )
+    text = render_table(
+        [
+            "N",
+            "base-2 backoff (best A)",
+            "inval. bus",
+            "update bus",
+            "directory",
+            "Hoshino",
+        ],
+        rows,
+        title="Section 5.1: accesses/processor vs hardware-supported barriers",
+        float_format="%.1f",
+    )
+    return ExperimentResult("hardware", "hardware barrier comparison", text, data)
+
+
+register(
+    ExperimentSpec(
+        id="hardware",
+        title="hardware barrier comparison",
+        section="Section 5.1",
+        summary="Section 5.1: base-2 flag backoff vs hardware barrier baselines.",
+        params=(
+            Param("repetitions", "int", 100),
+            Param("n_values", "ints", (4, 8, 16, 32, 64, 128)),
+            Param("a_values", "ints", PAPER_A_VALUES, "candidate A values"),
+            Param("seed", "int", 0),
+        ),
+        axis="n_values",
+        run_point=_hardware_point,
+        aggregate=_hardware_aggregate,
+    )
+)
+
+
+# -- coherent_barrier ----------------------------------------------------
+
+
+def _coherent_barrier_point(num_processors, interval_a, repetitions, seed):
+    from repro.barrier.coherent import simulate_coherent_barrier
+
+    schemes = [
+        "snoopy-update",
+        "snoopy-invalidate-fiw",
+        "snoopy-invalidate",
+        "directory",
+        "uncached",
+    ]
+    means = []
+    for scheme in schemes:
+        stats = simulate_coherent_barrier(
+            num_processors,
+            scheme,
+            interval_a=interval_a,
+            repetitions=repetitions,
+            seed=seed,
+        )
+        means.append([scheme, stats.mean])
+    backoff_stats = simulate_coherent_barrier(
+        num_processors,
+        "uncached",
+        interval_a=interval_a,
+        policy=ExponentialFlagBackoff(base=2),
+        repetitions=repetitions,
+        seed=seed,
+    )
+    return {"schemes": means, "backoff_mean": backoff_stats.mean}
+
+
+def _coherent_barrier_aggregate(points, params):
+    labels = {
+        "snoopy-update": "updating bus (paper ~2)",
+        "snoopy-invalidate-fiw": "inval. bus + fetch-intent-write (paper ~2)",
+        "snoopy-invalidate": "invalidating bus (paper ~3)",
+        "directory": "full-map directory (paper ~4)",
+        "uncached": "uncached, continuous spin",
+    }
+    payload = points["all"]
+    rows = []
+    data: Dict[str, float] = {}
+    for scheme, mean in payload["schemes"]:
+        data[scheme] = mean
+        rows.append([labels[scheme], mean])
+    data["uncached-b2"] = payload["backoff_mean"]
+    rows.append(["uncached + base-2 backoff (the paper's proposal)",
+                 payload["backoff_mean"]])
+    text = render_table(
+        ["Scheme", "transactions/processor"],
+        rows,
+        title=(
+            f"Section 5.1 by simulation: one barrier episode, N="
+            f"{params['num_processors']}, A={params['interval_a']}"
+        ),
+        float_format="%.2f",
+    )
+    text += (
+        "\nSimulated counts sit ~1-2 above the paper's idealized "
+        "constants because the paper's accounting drops the "
+        "post-release re-fetch; the ordering (update < invalidating "
+        "bus < directory << uncached) and the software-backoff "
+        "rapprochement are reproduced by simulation."
+    )
+    return ExperimentResult(
+        "coherent_barrier", "barriers through coherence protocols", text, data
+    )
+
+
+register(
+    ExperimentSpec(
+        id="coherent_barrier",
+        title="barriers through coherence protocols",
+        section="Section 5.1 (simulation)",
+        summary="Section 5.1 by simulation: barriers through coherence protocols.",
+        params=(
+            Param("num_processors", "int", 64),
+            Param("interval_a", "int", 100),
+            Param("repetitions", "int", 20),
+            Param("seed", "int", 0),
+        ),
+        run_point=_coherent_barrier_point,
+        aggregate=_coherent_barrier_aggregate,
+    )
+)

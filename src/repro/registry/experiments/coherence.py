@@ -1,0 +1,369 @@
+"""Coherence-substrate experiments: Tables 1-2, Figure 1, ablations.
+
+Each spec's ``run_point`` produces pure data (lists of scalars); the
+``aggregate`` step rebuilds the exact rows, dict shapes and rendered
+text of the seed ``run_*`` functions, so results are byte-identical to
+the monolithic implementation these specs replaced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.analysis.tables import render_table
+from repro.memory.coherence import CoherenceConfig, CoherenceSimulator
+from repro.registry.common import (
+    APP_NAMES,
+    PAPER_SYNC_FRACTIONS,
+    TABLE_POINTERS,
+    coherence_stats,
+    scheduled_trace,
+)
+from repro.registry.result import ExperimentResult
+from repro.registry.spec import ExperimentSpec, Param, register
+from repro.trace.apps import build_app
+from repro.trace.scheduler import PostMortemScheduler
+
+# -- table1 --------------------------------------------------------------
+
+
+def _table1_point(scale, num_cpus, pointers, apps):
+    (app,) = apps
+    invalidations = []
+    for pointer_count in pointers:
+        stats = coherence_stats(app, num_cpus, pointer_count, True, scale)
+        invalidations.append(
+            [stats.data_invalidation_pct, stats.sync_invalidation_pct]
+        )
+    measured = 100 * scheduled_trace(app, num_cpus, scale).sync_fraction
+    return {"invalidations": invalidations, "sync_pct_measured": measured}
+
+
+def _table1_aggregate(points, params):
+    rows = []
+    data: Dict[str, Dict[int, Tuple[float, float]]] = {}
+    for app in params["apps"]:
+        payload = points[f"app={app}"]
+        per_app: Dict[int, Tuple[float, float]] = {}
+        for pointer_count, cell in zip(
+            params["pointers"], payload["invalidations"]
+        ):
+            per_app[pointer_count] = (cell[0], cell[1])
+            rows.append([app, pointer_count, cell[0], cell[1]])
+        data[app] = per_app
+    sync_fraction_rows = [
+        [
+            app,
+            points[f"app={app}"]["sync_pct_measured"],
+            PAPER_SYNC_FRACTIONS[app.upper()],
+        ]
+        for app in params["apps"]
+    ]
+    text = render_table(
+        ["Application", "Pointers", "Non-Synch. %", "Synch. %"],
+        rows,
+        title=(
+            "Table 1: references causing invalidations, Dir_i_NB, "
+            f"{params['num_cpus']} CPUs"
+        ),
+        float_format="%.1f",
+    )
+    text += "\n\n" + render_table(
+        ["Application", "sync refs % (measured)", "sync refs % (paper)"],
+        sync_fraction_rows,
+        float_format="%.2f",
+    )
+    return ExperimentResult("table1", "invalidations by reference class", text, data)
+
+
+register(
+    ExperimentSpec(
+        id="table1",
+        title="invalidations by reference class",
+        section="Section 2, Table 1",
+        summary="Table 1: % of sync / non-sync references causing invalidations.",
+        params=(
+            Param("scale", "float", 1.0, "trace size multiplier"),
+            Param("num_cpus", "int", 64),
+            Param("pointers", "ints", TABLE_POINTERS, "directory pointer counts"),
+            Param("apps", "strs", APP_NAMES),
+        ),
+        axis="apps",
+        run_point=_table1_point,
+        aggregate=_table1_aggregate,
+    )
+)
+
+
+# -- table2 --------------------------------------------------------------
+
+
+def _table2_point(scale, num_cpus, pointers, apps):
+    (app,) = apps
+    traffic = []
+    for pointer_count in pointers:
+        stats = coherence_stats(app, num_cpus, pointer_count, False, scale)
+        traffic.append(stats.sync_traffic_pct)
+    return {"sync_traffic_pct": traffic}
+
+
+def _table2_aggregate(points, params):
+    rows = []
+    data: Dict[str, Dict[int, float]] = {}
+    for app in params["apps"]:
+        payload = points[f"app={app}"]
+        per_app: Dict[int, float] = {}
+        for pointer_count, traffic_pct in zip(
+            params["pointers"], payload["sync_traffic_pct"]
+        ):
+            per_app[pointer_count] = traffic_pct
+            rows.append([app, pointer_count, traffic_pct])
+        data[app] = per_app
+    text = render_table(
+        ["Application", "Pointers", "Sync traffic %"],
+        rows,
+        title=(
+            "Table 2: uncached synchronization traffic as % of total, "
+            f"{params['num_cpus']} CPUs"
+        ),
+        float_format="%.1f",
+    )
+    return ExperimentResult("table2", "uncached sync traffic share", text, data)
+
+
+register(
+    ExperimentSpec(
+        id="table2",
+        title="uncached sync traffic share",
+        section="Section 2, Table 2",
+        summary="Table 2: sync traffic % of total, sync variables uncached.",
+        params=(
+            Param("scale", "float", 1.0, "trace size multiplier"),
+            Param("num_cpus", "int", 64),
+            Param("pointers", "ints", TABLE_POINTERS, "directory pointer counts"),
+            Param("apps", "strs", APP_NAMES),
+        ),
+        axis="apps",
+        run_point=_table2_point,
+        aggregate=_table2_aggregate,
+    )
+)
+
+
+# -- figure1 -------------------------------------------------------------
+
+
+def _figure1_point(scale, num_cpus, app):
+    stats = coherence_stats(app, num_cpus, num_cpus, True, scale)
+    histogram = stats.write_invalidation_histogram
+    invalidating = [(k, c) for k, c in histogram.items() if k >= 1]
+    total = sum(c for __, c in invalidating) or 1
+    fractions = [[int(k), c / total] for k, c in invalidating]
+    at_most_3 = 100 * sum(c / total for k, c in invalidating if k <= 3)
+    return {"fractions": fractions, "at_most_3_pct": at_most_3}
+
+
+def _figure1_aggregate(points, params):
+    payload = points["all"]
+    fractions: Dict[int, float] = {
+        int(k): fraction for k, fraction in payload["fractions"]
+    }
+    at_most_3 = payload["at_most_3_pct"]
+    rows = []
+    for k in sorted(fractions):
+        if k <= 12 or fractions[k] >= 0.001:
+            rows.append([k, 100 * fractions[k]])
+    text = render_table(
+        ["Invalidations x", "% of invalidating writes"],
+        rows,
+        title=(
+            f"Figure 1: invalidation histogram, {params['app']}, "
+            f"{params['num_cpus']} CPUs (DirNNB)"
+        ),
+        float_format="%.2f",
+    )
+    text += (
+        f"\nInvalidating writes touching <= 3 caches: {at_most_3:.1f}% "
+        "(paper: > 95%)"
+    )
+    return ExperimentResult(
+        "figure1",
+        "cache invalidation histogram",
+        text,
+        {"fractions": fractions, "at_most_3_pct": at_most_3},
+    )
+
+
+register(
+    ExperimentSpec(
+        id="figure1",
+        title="cache invalidation histogram",
+        section="Section 2, Figure 1",
+        summary="Figure 1: invalidation histogram for SIMPLE, DirNNB, 64 CPUs.",
+        params=(
+            Param("scale", "float", 1.0, "trace size multiplier"),
+            Param("num_cpus", "int", 64),
+            Param("app", "str", "SIMPLE"),
+        ),
+        run_point=_figure1_point,
+        aggregate=_figure1_aggregate,
+    )
+)
+
+
+# -- tree_coherence ------------------------------------------------------
+
+
+def _tree_coherence_point(scale, num_cpus, num_pointers, degrees, app):
+    barriers = []
+
+    def measure(label: str, style: str, degree: int) -> None:
+        program = build_app(app, scale=scale)
+        trace = PostMortemScheduler(
+            program, num_cpus, barrier_style=style, tree_degree=degree
+        ).run()
+        simulator = CoherenceSimulator(
+            CoherenceConfig(num_cpus=num_cpus, num_pointers=num_pointers)
+        )
+        stats = simulator.run(trace)
+        barriers.append(
+            [
+                label,
+                stats.sync_invalidation_pct,
+                stats.data_invalidation_pct,
+                100 * trace.sync_fraction,
+            ]
+        )
+
+    measure("flat", "flat", num_cpus)
+    for degree in degrees:
+        measure(f"tree-{degree}", "tree", degree)
+    return {"barriers": barriers}
+
+
+def _tree_coherence_aggregate(points, params):
+    rows = []
+    data: Dict[str, Tuple[float, float]] = {}
+    for label, sync_inv, data_inv, sync_refs in points["all"]["barriers"]:
+        data[label] = (sync_inv, data_inv)
+        rows.append([label, sync_inv, data_inv, sync_refs])
+    text = render_table(
+        ["Barrier", "sync inval %", "data inval %", "sync refs %"],
+        rows,
+        title=(
+            f"Combining-tree coherence ablation: {params['app']}, "
+            f"{params['num_cpus']} CPUs, Dir_{params['num_pointers']}_NB"
+        ),
+        float_format="%.1f",
+    )
+    text += (
+        f"\nWith node degree < {params['num_pointers']} pointers the "
+        "synchronization words never overflow the directory, so the sync "
+        "invalidation rate collapses — the paper's Section 1 prescription."
+    )
+    return ExperimentResult(
+        "tree_coherence", "combining trees vs directory pointers", text, data
+    )
+
+
+register(
+    ExperimentSpec(
+        id="tree_coherence",
+        title="combining trees vs directory pointers",
+        section="Section 1 (ablation)",
+        summary="Ablation: combining-tree barriers under a limited-pointer directory.",
+        params=(
+            Param("scale", "float", 0.5, "trace size multiplier"),
+            Param("num_cpus", "int", 64),
+            Param("num_pointers", "int", 4, "directory pointer budget"),
+            Param("degrees", "ints", (3, 8), "combining-tree node degrees"),
+            Param("app", "str", "SIMPLE"),
+        ),
+        run_point=_tree_coherence_point,
+        aggregate=_tree_coherence_aggregate,
+    )
+)
+
+
+# -- bus_vs_directory ----------------------------------------------------
+
+
+def _bus_vs_directory_point(scale, num_cpus, app, pointers):
+    from repro.memory.snoopy import SnoopyConfig, SnoopySimulator
+
+    trace = scheduled_trace(app, num_cpus, scale)
+    protocols = []
+
+    for protocol in ("invalidate", "update"):
+        simulator = SnoopySimulator(
+            SnoopyConfig(num_cpus=num_cpus, protocol=protocol)
+        )
+        stats = simulator.run(trace)
+        sync_share = (
+            100.0 * stats.sync_bus_transactions / stats.bus_transactions
+            if stats.bus_transactions
+            else 0.0
+        )
+        per_ref = stats.bus_transactions / max(stats.refs, 1)
+        protocols.append([f"snoopy-{protocol}", sync_share, per_ref])
+
+    for pointer_count in pointers:
+        simulator = CoherenceSimulator(
+            CoherenceConfig(num_cpus=num_cpus, num_pointers=pointer_count)
+        )
+        stats = simulator.run(trace)
+        sync_share = (
+            100.0 * stats.sync_traffic / stats.total_traffic
+            if stats.total_traffic
+            else 0.0
+        )
+        per_ref = stats.total_traffic / max(stats.refs, 1)
+        protocols.append([f"directory-{pointer_count}ptr", sync_share, per_ref])
+
+    return {"protocols": protocols}
+
+
+def _bus_vs_directory_aggregate(points, params):
+    rows = []
+    data: Dict[str, Tuple[float, float]] = {}
+    for label, sync_share, per_ref in points["all"]["protocols"]:
+        data[label] = (sync_share, per_ref)
+        rows.append([label, sync_share, per_ref])
+    text = render_table(
+        ["Protocol", "sync share of traffic %", "transactions/ref"],
+        rows,
+        title=(
+            f"Section 2.1: snoopy bus vs directory on {params['app']} "
+            f"({params['num_cpus']} CPUs, scale {params['scale']})"
+        ),
+        float_format="%.2f",
+    )
+    text += (
+        "\nThe bus broadcasts: one transaction per write no matter how "
+        "many copies exist, so synchronization's share of bus traffic "
+        "stays modest.  The limited-pointer directory pays per-copy "
+        "invalidations and pointer-overflow evictions on the widely "
+        "shared synchronization words — which is the paper's case for "
+        "scaling trouble."
+    )
+    return ExperimentResult(
+        "bus_vs_directory", "snoopy bus vs directory", text, data
+    )
+
+
+register(
+    ExperimentSpec(
+        id="bus_vs_directory",
+        title="snoopy bus vs directory",
+        section="Section 2.1",
+        summary="Section 2.1's contrast: snoopy bus vs limited-pointer directory.",
+        params=(
+            Param("scale", "float", 0.5, "trace size multiplier"),
+            Param("num_cpus", "int", 32),
+            Param("app", "str", "SIMPLE"),
+            Param("pointers", "ints", (2, 4), "directory pointer counts"),
+        ),
+        run_point=_bus_vs_directory_point,
+        aggregate=_bus_vs_directory_aggregate,
+    )
+)

@@ -1,0 +1,257 @@
+"""Trace-statistics experiments: Table 3, Figure 3, validation, traffic."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.figures import render_series
+from repro.analysis.tables import render_table
+from repro.barrier.simulator import simulate_barrier
+from repro.barrier.validation import validate_uniform_model
+from repro.core.backoff import ExponentialFlagBackoff, NoBackoff
+from repro.registry.common import APP_NAMES, coherence_stats, scheduled_trace
+from repro.registry.result import ExperimentResult
+from repro.registry.spec import ExperimentSpec, Param, register
+from repro.sim.stats import Series
+
+# -- table3 --------------------------------------------------------------
+
+
+def _table3_point(scale, cpu_counts, apps):
+    (num_cpus,) = cpu_counts
+    intervals = []
+    for app in apps:
+        trace = scheduled_trace(app, num_cpus, scale)
+        intervals.append([trace.mean_interval_a(), trace.mean_interval_e()])
+    return {"intervals": intervals}
+
+
+def _table3_aggregate(points, params):
+    rows = []
+    data: Dict[str, Dict[int, Tuple[float, float]]] = {}
+    for app_index, app in enumerate(params["apps"]):
+        per_app: Dict[int, Tuple[float, float]] = {}
+        for num_cpus in params["cpu_counts"]:
+            a_mean, e_mean = points[f"P={num_cpus}"]["intervals"][app_index]
+            per_app[num_cpus] = (a_mean, e_mean)
+            rows.append([app, num_cpus, a_mean, e_mean])
+        data[app] = per_app
+    text = render_table(
+        ["Application", "Processors", "A", "E"],
+        rows,
+        title="Table 3: mean cycles between first/last arrivals (A) and barriers (E)",
+        float_format="%.0f",
+    )
+    return ExperimentResult("table3", "barrier interval statistics", text, data)
+
+
+register(
+    ExperimentSpec(
+        id="table3",
+        title="barrier interval statistics",
+        section="Section 5, Table 3",
+        summary="Table 3: mean A and E intervals per application and CPU count.",
+        params=(
+            Param("scale", "float", 1.0, "trace size multiplier"),
+            Param("cpu_counts", "ints", (16, 64)),
+            Param("apps", "strs", APP_NAMES),
+        ),
+        axis="cpu_counts",
+        run_point=_table3_point,
+        aggregate=_table3_aggregate,
+    )
+)
+
+
+# -- figure3 -------------------------------------------------------------
+
+
+def _figure3_point(scale, num_cpus, apps, bins):
+    (app,) = apps
+    trace = scheduled_trace(app, num_cpus, scale)
+    offsets = trace.arrival_offsets()
+    span = max(offsets) if offsets else 1
+    span = max(span, 1)
+    counts = [0] * bins
+    for offset in offsets:
+        index = min(offset * bins // (span + 1), bins - 1)
+        counts[index] += 1
+    total = sum(counts) or 1
+    return {"fractions": [count / total for count in counts]}
+
+
+def _figure3_aggregate(points, params):
+    num_cpus = params["num_cpus"]
+    bins = params["bins"]
+    series: Dict[str, Series] = {}
+    data: Dict[str, List[float]] = {}
+    for app in params["apps"]:
+        fractions = points[f"app={app}"]["fractions"]
+        curve = Series(label=f"{app}{num_cpus}")
+        for b, fraction in enumerate(fractions):
+            curve.add((b + 0.5) / bins, fraction)
+        series[f"{app}{num_cpus}"] = curve
+        data[app] = list(fractions)
+    text = render_series(
+        series,
+        x_label="fraction of A",
+        title=f"Figure 3: arrival distribution within A ({num_cpus} CPUs)",
+        float_format="%.3f",
+    )
+    return ExperimentResult("figure3", "arrival distribution within A", text, data)
+
+
+register(
+    ExperimentSpec(
+        id="figure3",
+        title="arrival distribution within A",
+        section="Section 5, Figure 3",
+        summary="Figure 3: arrival distribution within the interval A.",
+        params=(
+            Param("scale", "float", 1.0, "trace size multiplier"),
+            Param("num_cpus", "int", 16),
+            Param("apps", "strs", APP_NAMES),
+            Param("bins", "int", 10, "histogram bins across A"),
+        ),
+        axis="apps",
+        run_point=_figure3_point,
+        aggregate=_figure3_aggregate,
+    )
+)
+
+
+# -- validation ----------------------------------------------------------
+
+
+def _validation_point(scale, num_cpus, repetitions, apps, seed):
+    (app,) = apps
+    trace = scheduled_trace(app, num_cpus, scale)
+    result = validate_uniform_model(trace, repetitions=repetitions, seed=seed)
+    return {
+        "uniform": result.uniform.mean_accesses,
+        "empirical": result.empirical.mean_accesses,
+        "error_pct": result.access_error_pct,
+    }
+
+
+def _validation_aggregate(points, params):
+    rows = []
+    data: Dict[str, float] = {}
+    for app in params["apps"]:
+        payload = points[f"app={app}"]
+        data[app] = payload["error_pct"]
+        rows.append(
+            [app, payload["uniform"], payload["empirical"], payload["error_pct"]]
+        )
+    text = render_table(
+        ["Application", "uniform model", "measured arrivals", "error %"],
+        rows,
+        title=(
+            "Uniform-arrival model validation (accesses/process, "
+            f"{params['num_cpus']} CPUs, no backoff)"
+        ),
+        float_format="%.1f",
+    )
+    return ExperimentResult("validation", "uniform-model validation", text, data)
+
+
+register(
+    ExperimentSpec(
+        id="validation",
+        title="uniform-model validation",
+        section="Sections 5 / 7.1",
+        summary="Validate the uniform-arrival model against measured arrivals.",
+        params=(
+            Param("scale", "float", 1.0, "trace size multiplier"),
+            Param("num_cpus", "int", 64),
+            Param("repetitions", "int", 100),
+            Param("apps", "strs", APP_NAMES),
+            Param("seed", "int", 0),
+        ),
+        axis="apps",
+        run_point=_validation_point,
+        aggregate=_validation_aggregate,
+    )
+)
+
+
+# -- fft_traffic ---------------------------------------------------------
+
+
+def _fft_traffic_point(scale, num_cpus, repetitions, seed):
+    trace = scheduled_trace("FFT", num_cpus, scale)
+    stats = coherence_stats("FFT", num_cpus, num_cpus, True, scale)
+    cycles = max(trace.cycles, 1)
+    base_rate = stats.data_traffic / (cycles * num_cpus)
+
+    # Barrier period: one barrier every (A + E) cycles in the trace.
+    period = max(trace.mean_interval_a() + trace.mean_interval_e(), 1.0)
+    interval_a = max(int(round(trace.mean_interval_a())), 1)
+
+    def barrier_rate(policy) -> float:
+        point = simulate_barrier(
+            num_cpus, interval_a, policy, repetitions=repetitions, seed=seed
+        )
+        return point.mean_accesses / period
+
+    no_backoff_rate = barrier_rate(NoBackoff())
+    base8_rate = barrier_rate(ExponentialFlagBackoff(base=8))
+
+    # Trace-measured synchronization traffic rate (sync uncached: two
+    # transactions per sync reference), for model validation.
+    measured_sync_rate = 2 * trace.sync_refs / (cycles * num_cpus)
+
+    return {
+        "base_rate": base_rate,
+        "with_barriers": base_rate + no_backoff_rate,
+        "with_base8": base_rate + base8_rate,
+        "measured": base_rate + measured_sync_rate,
+    }
+
+
+def _fft_traffic_aggregate(points, params):
+    payload = points["all"]
+    data = {
+        "base_rate": payload["base_rate"],
+        "with_barriers": payload["with_barriers"],
+        "with_base8": payload["with_base8"],
+        "measured": payload["measured"],
+    }
+    rows = [
+        ["base data traffic (no sync)", data["base_rate"]],
+        ["+ barriers, no backoff (model)", data["with_barriers"]],
+        ["+ barriers, base-8 backoff (model)", data["with_base8"]],
+        ["+ sync refs, trace-measured", data["measured"]],
+    ]
+    text = render_table(
+        ["Configuration", "accesses/cycle/processor"],
+        rows,
+        title=(
+            f"Section 7.1: FFT average network traffic "
+            f"({params['num_cpus']} CPUs)"
+        ),
+        float_format="%.4f",
+    )
+    text += (
+        "\nPaper: 0.133 base -> 0.136 with barriers -> 0.134 with base-8 "
+        "backoff; model 0.136 vs measured 0.135."
+    )
+    return ExperimentResult("fft_traffic", "FFT average traffic", text, data)
+
+
+register(
+    ExperimentSpec(
+        id="fft_traffic",
+        title="FFT average traffic",
+        section="Section 7.1",
+        summary="Section 7.1: FFT average network traffic with and without backoff.",
+        params=(
+            Param("scale", "float", 1.0, "trace size multiplier"),
+            Param("num_cpus", "int", 64),
+            Param("repetitions", "int", 100),
+            Param("seed", "int", 0),
+        ),
+        run_point=_fft_traffic_point,
+        aggregate=_fft_traffic_aggregate,
+    )
+)

@@ -1,0 +1,319 @@
+"""Declarative experiment specs and the registry that holds them.
+
+An :class:`ExperimentSpec` declares everything the repo needs to know
+about one paper artifact:
+
+- identity (``id``, ``title``, the paper ``section`` it reproduces,
+  and a one-line ``summary``),
+- a typed parameter schema (:class:`Param`) with defaults, so the CLI
+  can parse values and reject unknown names instead of silently
+  dropping them,
+- the sweep ``axis`` whose values decompose the experiment into
+  independently runnable points (the unit of parallelism, caching and
+  fault checkpointing),
+- ``run_point``, a callable producing one point's JSON-native payload,
+- ``aggregate``, which folds the payload mapping back into the
+  :class:`~repro.registry.result.ExperimentResult` the seed runners
+  produced — byte-identical text and data.
+
+Spec modules under :mod:`repro.registry.experiments` call
+:func:`register` at import time; :func:`load_specs` imports them
+lazily so ``import repro`` stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.registry.result import ExperimentResult
+
+
+class ParameterError(ValueError):
+    """An unknown or malformed experiment parameter."""
+
+
+#: Parameter kinds the schema understands: scalars, comma-separated
+#: sequences, and ``N:A`` pair lists (the ``determinism`` sweep axis).
+PARAM_KINDS = ("int", "float", "str", "ints", "floats", "strs", "pairs")
+
+_SEQUENCE_KINDS = ("ints", "floats", "strs", "pairs")
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared experiment parameter."""
+
+    name: str
+    kind: str
+    default: Any
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in PARAM_KINDS:
+            raise ValueError(
+                f"parameter {self.name!r}: unknown kind {self.kind!r}; "
+                f"valid kinds: {', '.join(PARAM_KINDS)}"
+            )
+
+    def parse(self, text: str) -> Any:
+        """Parse a CLI string into this parameter's type."""
+        try:
+            if self.kind == "int":
+                return int(text)
+            if self.kind == "float":
+                return float(text)
+            if self.kind == "str":
+                return text
+            parts = [part for part in text.split(",") if part]
+            if self.kind == "ints":
+                return tuple(int(part) for part in parts)
+            if self.kind == "floats":
+                return tuple(float(part) for part in parts)
+            if self.kind == "strs":
+                return tuple(parts)
+            pairs = []
+            for part in parts:
+                first, _, second = part.partition(":")
+                pairs.append((int(first), int(second)))
+            return tuple(pairs)
+        except ValueError:
+            raise ParameterError(
+                f"parameter {self.name!r} expects {self.kind} "
+                f"(e.g. {self.example()}), got {text!r}"
+            ) from None
+
+    def example(self) -> str:
+        """A sample CLI value, for error messages and ``--describe``."""
+        return {
+            "int": "64",
+            "float": "0.5",
+            "str": "FFT",
+            "ints": "4,8,16",
+            "floats": "0.0,0.1",
+            "strs": "FFT,SIMPLE",
+            "pairs": "16:1000,64:1000",
+        }[self.kind]
+
+    def coerce(self, value: Any) -> Any:
+        """Normalise an API-supplied value (sequences become tuples)."""
+        if self.kind not in _SEQUENCE_KINDS:
+            return value
+        try:
+            items = tuple(value)
+        except TypeError:
+            raise ParameterError(
+                f"parameter {self.name!r} expects a sequence ({self.kind}), "
+                f"got {value!r}"
+            ) from None
+        if self.kind == "pairs":
+            return tuple(tuple(item) for item in items)
+        return items
+
+
+#: Key label for each recognised sweep axis, mirroring the historical
+#: ``experiment_points`` keys the fault checkpoints are stored under.
+AXIS_KEY_FORMATS: Dict[str, Callable[[Any], str]] = {
+    "n_values": lambda v: f"N={v}",
+    "a_values": lambda v: f"A={v}",
+    "cpu_counts": lambda v: f"P={v}",
+    "hot_fractions": lambda v: f"hot={v}",
+    "apps": lambda v: f"app={v}",
+    "points": lambda v: f"N={v[0]},A={v[1]}",
+}
+
+
+@dataclass
+class ExperimentSpec:
+    """A declaratively registered experiment."""
+
+    id: str
+    title: str
+    section: str
+    summary: str
+    params: Tuple[Param, ...]
+    run_point: Callable[..., dict]
+    aggregate: Callable[[Dict[str, dict], Dict[str, Any]], ExperimentResult]
+    axis: Optional[str] = None
+    _runner: Optional[Callable[..., ExperimentResult]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        names = [param.name for param in self.params]
+        if len(set(names)) != len(names):
+            raise ValueError(f"experiment {self.id!r}: duplicate parameters")
+        if self.axis is not None:
+            if self.axis not in names:
+                raise ValueError(
+                    f"experiment {self.id!r}: axis {self.axis!r} is not a "
+                    "declared parameter"
+                )
+            if self.axis not in AXIS_KEY_FORMATS:
+                raise ValueError(
+                    f"experiment {self.id!r}: axis {self.axis!r} has no "
+                    "point-key format"
+                )
+
+    # -- parameter schema ------------------------------------------------
+
+    def param_names(self) -> List[str]:
+        return [param.name for param in self.params]
+
+    def get_param(self, name: str) -> Param:
+        for param in self.params:
+            if param.name == name:
+                return param
+        raise ParameterError(
+            f"experiment {self.id!r} has no parameter {name!r}; "
+            f"valid parameters: {', '.join(sorted(self.param_names()))}"
+        )
+
+    def resolve(self, overrides: Dict[str, Any]) -> Dict[str, Any]:
+        """Defaults merged with ``overrides``; unknown names rejected."""
+        resolved = {param.name: param.coerce(param.default)
+                    for param in self.params}
+        for name, value in overrides.items():
+            resolved[name] = self.get_param(name).coerce(value)
+        return resolved
+
+    # -- sweep decomposition ---------------------------------------------
+
+    def axis_key(self, value: Any) -> str:
+        assert self.axis is not None
+        return AXIS_KEY_FORMATS[self.axis](value)
+
+    def points(self, full_params: Dict[str, Any]) -> Dict[str, dict]:
+        """Decompose fully resolved params into per-point kwargs.
+
+        Returns an ordered ``{point_key: run_point_kwargs}`` mapping;
+        each entry pins the sweep axis to a single value.  Experiments
+        with no axis run as one point keyed ``"all"``.
+        """
+        if self.axis is None:
+            return {"all": dict(full_params)}
+        values = list(full_params[self.axis])
+        if not values:
+            raise ValueError(
+                f"experiment {self.id!r}: axis {self.axis!r} has no values"
+            )
+        return {
+            self.axis_key(value): {**full_params, self.axis: (value,)}
+            for value in values
+        }
+
+    def sparse_points(self, overrides: Dict[str, Any]) -> Dict[str, dict]:
+        """Decompose into points carrying only the caller's overrides.
+
+        The historical :func:`repro.analysis.experiments.experiment_points`
+        contract, preserved because fault checkpoints digest their point
+        kwargs: every point's kwargs are ``overrides`` with the sweep
+        axis pinned to one value, defaults left implicit.
+        """
+        base = {
+            name: self.get_param(name).coerce(value)
+            for name, value in overrides.items()
+        }
+        if self.axis is None:
+            return {"all": base}
+        values = base.pop(self.axis, None)
+        if values is None:
+            values = self.get_param(self.axis).coerce(
+                self.get_param(self.axis).default
+            )
+        values = list(values)
+        if not values:
+            raise ValueError(
+                f"experiment {self.id!r}: axis {self.axis!r} has no values"
+            )
+        return {
+            self.axis_key(value): {**base, self.axis: (value,)}
+            for value in values
+        }
+
+    # -- presentation ----------------------------------------------------
+
+    def describe(self) -> str:
+        """A human-readable schema dump for ``--describe``."""
+        lines = [
+            f"experiment : {self.id}",
+            f"title      : {self.title}",
+            f"section    : {self.section}",
+            f"summary    : {self.summary}",
+            "sweep axis : "
+            + (f"{self.axis} (one point per value)"
+               if self.axis else "none (single point)"),
+            "parameters :",
+        ]
+        width = max(len(param.name) for param in self.params)
+        for param in self.params:
+            line = (
+                f"  {param.name.ljust(width)}  {param.kind:<7}"
+                f" default={param.default!r}"
+            )
+            if param.doc:
+                line += f"  — {param.doc}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def runner(self) -> Callable[..., ExperimentResult]:
+        """A legacy-style ``run_*`` callable (memoised per spec)."""
+        if self._runner is None:
+            spec = self
+
+            def run_experiment(**kwargs: Any) -> ExperimentResult:
+                from repro.registry.runner import run
+
+                return run(spec.id, **kwargs)
+
+            run_experiment.__name__ = f"run_{self.id}"
+            run_experiment.__qualname__ = run_experiment.__name__
+            run_experiment.__doc__ = self.summary
+            self._runner = run_experiment
+        return self._runner
+
+
+# -- the registry --------------------------------------------------------
+
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+_LOADED = False
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add ``spec`` to the registry (spec modules call this on import)."""
+    if spec.id in _REGISTRY:
+        raise ValueError(f"duplicate experiment id {spec.id!r}")
+    _REGISTRY[spec.id] = spec
+    return spec
+
+
+def load_specs() -> None:
+    """Import every spec module exactly once (idempotent, reentrant)."""
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    import repro.registry.experiments  # noqa: F401  (registers on import)
+
+
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """Look up a spec by id; raises ``KeyError`` listing known ids."""
+    load_specs()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def experiment_ids() -> List[str]:
+    """Sorted ids of every registered experiment."""
+    load_specs()
+    return sorted(_REGISTRY)
+
+
+def all_specs() -> List[ExperimentSpec]:
+    """Every registered spec, sorted by id."""
+    return [_REGISTRY[experiment_id] for experiment_id in experiment_ids()]

@@ -37,6 +37,7 @@ def collect(reports_dir: str) -> Dict[str, Any]:
     """Read every ``<id>.json`` record under ``reports_dir``."""
     experiments: Dict[str, Any] = {}
     comparison: Dict[str, Any] = {}
+    registry_overhead: Dict[str, Any] = {}
     for path in sorted(glob.glob(os.path.join(reports_dir, "*.json"))):
         name = os.path.splitext(os.path.basename(path))[0]
         try:
@@ -48,11 +49,14 @@ def collect(reports_dir: str) -> Dict[str, Any]:
             continue
         if name == "parallel_sweep":
             comparison = record
+        elif name == "registry_overhead":
+            registry_overhead = record
         else:
             experiments[name] = record
     return {
         "cpu_count": os.cpu_count(),
         "experiments": experiments,
+        "registry_overhead": registry_overhead,
         "serial_vs_jobs": comparison,
     }
 
@@ -86,6 +90,16 @@ def main(argv=None) -> int:
         jobs = record.get("jobs", 1)
         if isinstance(wall, (int, float)):
             print(f"  {name:<24} {wall:8.3f}s  jobs={jobs}")
+    overhead = report["registry_overhead"]
+    if overhead:
+        fraction = overhead.get("overhead_fraction")
+        if isinstance(fraction, (int, float)):
+            print(
+                f"  registry dispatch overhead: {100 * fraction:.2f}% "
+                f"of {overhead.get('registry_seconds', 0.0):.3f}s "
+                f"({overhead.get('experiment_id')}, budget "
+                f"{100 * overhead.get('max_overhead_fraction', 0.02):.0f}%)"
+            )
     if comparison:
         speedup = comparison.get("speedup")
         print(

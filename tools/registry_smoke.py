@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Run every registered experiment at tiny scale through the registry.
+
+For each experiment id this drives three executions at the miniature
+``FAST_KWARGS`` configuration the tests use:
+
+1. **serial** — the plain registry path (no exec engine),
+2. **cold**   — through the exec engine with ``--jobs N --cache`` into
+   a fresh cache directory,
+3. **warm**   — the same engine run again, which must be served
+   entirely from the cache.
+
+It fails (exit 1) when any mode's data digest differs from the
+pre-refactor golden (``tests/goldens/registry_parity.json``), when cold
+and warm disagree, or when the warm run is not pure cache hits — the
+exact regressions a registry or engine change could introduce.
+
+Usage::
+
+    python tools/registry_smoke.py [--jobs 2] [--ids figure5 table1 ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, REPO_ROOT)
+
+GOLDENS_PATH = os.path.join(
+    REPO_ROOT, "tests", "goldens", "registry_parity.json"
+)
+
+
+def _stringify(value):
+    if isinstance(value, dict):
+        return {str(k): _stringify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_stringify(v) for v in value]
+    return value
+
+
+def data_digest(data) -> str:
+    canonical = json.dumps(_stringify(data), sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Digest-check every experiment through the registry",
+    )
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes for the engine runs")
+    parser.add_argument("--ids", nargs="*", default=None,
+                        help="experiment ids (default: all)")
+    args = parser.parse_args(argv)
+
+    from repro.exec.context import (
+        ExecConfig,
+        execution,
+        get_stats,
+        reset_stats,
+    )
+    from repro.registry import experiment_ids, run
+    from tests.test_experiments import FAST_KWARGS
+
+    with open(GOLDENS_PATH, encoding="utf-8") as handle:
+        goldens = json.load(handle)
+
+    ids = args.ids or experiment_ids()
+    failures = 0
+    for experiment_id in ids:
+        kwargs = FAST_KWARGS[experiment_id]
+        golden = goldens[experiment_id]["data_sha256"]
+        problems = []
+
+        serial = data_digest(run(experiment_id, **kwargs).data)
+        if serial != golden:
+            problems.append("serial digest != golden")
+
+        with tempfile.TemporaryDirectory(prefix="registry-smoke-") as cache:
+            config = ExecConfig(jobs=args.jobs, cache=True, cache_dir=cache,
+                                force_engine=True)
+            reset_stats()
+            with execution(config):
+                cold = data_digest(run(experiment_id, **kwargs).data)
+            cold_stats = get_stats()
+            reset_stats()
+            with execution(config):
+                warm = data_digest(run(experiment_id, **kwargs).data)
+            warm_stats = get_stats()
+
+        if cold != golden:
+            problems.append("cold engine digest != golden")
+        if warm != cold:
+            problems.append("warm cache digest != cold")
+        if warm_stats.cache_hits != cold_stats.points or warm_stats.cache_misses:
+            problems.append(
+                f"warm run not pure cache hits "
+                f"({warm_stats.cache_hits}/{cold_stats.points} hits, "
+                f"{warm_stats.cache_misses} misses)"
+            )
+
+        if problems:
+            failures += 1
+            print(f"{experiment_id:18} FAIL: {'; '.join(problems)}")
+        else:
+            print(
+                f"{experiment_id:18} ok "
+                f"({cold_stats.points} point(s), digest {serial[:12]})"
+            )
+
+    if failures:
+        print(f"\n{failures} experiment(s) failed", file=sys.stderr)
+        return 1
+    print(f"\nall {len(ids)} experiments bit-identical across "
+          f"serial / jobs={args.jobs} / cache-warm")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
