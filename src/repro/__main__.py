@@ -31,6 +31,18 @@ Commands:
                               checkpoint/resume, timeouts, bounded
                               retry, resilience summary (see
                               docs/faults.md).
+- ``check``                 — verify the reproduction itself: invariant
+                              conservation laws, differential oracles
+                              (analytic vs simulated, execution-mode
+                              parity, metamorphic relations) and
+                              schema-derived fuzzing over every
+                              registered experiment (see
+                              docs/testing.md).
+
+Experiment ids are validated against the registry, not hard-coded into
+the parser: an unknown id exits with status 2 and a did-you-mean
+suggestion, consistently across ``experiment``/``run``/``profile``/
+``faults``/``check``.
 """
 
 from __future__ import annotations
@@ -384,6 +396,31 @@ def _cmd_faults(args) -> int:
     return 0 if summary.ok else 1
 
 
+def _cmd_check(args) -> int:
+    import os
+
+    from repro.check import run_checks
+
+    try:
+        report = run_checks(
+            suites=args.suite,
+            budget=args.budget,
+            seed=args.seed,
+            ids=args.ids,
+            out_dir=args.output,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.output:
+        print()
+        print(f"report   : {os.path.join(args.output, 'report.json')}")
+        print(f"manifest : {os.path.join(args.output, 'manifest.json')} "
+              f"(digest {report.manifest_digest[:16]}…)")
+    return 0 if report.ok else 1
+
+
 def _cmd_advise(args) -> int:
     from repro.trace.apps import build_app
     from repro.trace.scheduler import PostMortemScheduler
@@ -413,7 +450,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list experiment ids").set_defaults(fn=_cmd_list)
 
     p = sub.add_parser("experiment", help="run experiments by id")
-    p.add_argument("ids", nargs="+", choices=sorted(EXPERIMENTS))
+    p.add_argument("ids", nargs="+", metavar="ID",
+                   help="experiment id(s); see 'python -m repro list'")
     p.add_argument("--repetitions", type=int, default=None)
     p.add_argument("--scale", type=float, default=None)
     p.add_argument(
@@ -428,7 +466,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one experiment, optionally parallel/cached, and print "
              "its results digest",
     )
-    p.add_argument("id", choices=sorted(EXPERIMENTS))
+    p.add_argument("id", metavar="ID",
+                   help="experiment id; see 'python -m repro list'")
     p.add_argument("--repetitions", type=int, default=None)
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--seed", type=_seed_arg, default=None)
@@ -474,7 +513,8 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         help="run one experiment with tracing on; write manifest + events",
     )
-    p.add_argument("id", choices=sorted(EXPERIMENTS))
+    p.add_argument("id", metavar="ID",
+                   help="experiment id; see 'python -m repro list'")
     p.add_argument(
         "--output", default=None,
         help="output directory (default: profiles/<experiment-id>)",
@@ -497,7 +537,8 @@ def build_parser() -> argparse.ArgumentParser:
         "faults",
         help="run an experiment resiliently under a fault-injection plan",
     )
-    p.add_argument("id", choices=sorted(EXPERIMENTS))
+    p.add_argument("id", metavar="ID",
+                   help="experiment id; see 'python -m repro list'")
     p.add_argument(
         "--plan", default="none",
         help="named plan (none, stragglers, hot-module, lossy-net, "
@@ -529,6 +570,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_args(p)
     p.set_defaults(fn=_cmd_faults)
 
+    p = sub.add_parser(
+        "check",
+        help="verify the reproduction: invariants, differential oracles, "
+             "schema-derived fuzzing",
+    )
+    p.add_argument(
+        "--suite", action="append", default=None,
+        choices=("invariants", "differential", "fuzz"),
+        help="run only this suite (repeatable; default: all three)",
+    )
+    p.add_argument(
+        "--budget", default="default",
+        help="effort profile: small, default, large, or an integer "
+             "case count",
+    )
+    p.add_argument("--seed", type=_seed_arg, default=0,
+                   help="root seed; every randomized case derives from it")
+    p.add_argument(
+        "--ids", nargs="+", default=None, metavar="ID",
+        help="restrict fuzzing (and exec-parity sampling) to these "
+             "experiment ids",
+    )
+    p.add_argument(
+        "--output", default="checks",
+        help="directory for report.json + manifest.json artifacts",
+    )
+    p.set_defaults(fn=_cmd_check)
+
     p = sub.add_parser("advise", help="recommend a backoff policy from a profile")
     p.add_argument("--app", choices=("FFT", "SIMPLE", "WEATHER"), default="SIMPLE")
     p.add_argument("--cpus", type=int, default=64)
@@ -543,12 +612,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    from repro.registry import ParameterError
+    from repro.registry import ParameterError, UnknownExperimentError
 
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except ParameterError as error:
+    except (ParameterError, UnknownExperimentError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except BrokenPipeError:

@@ -1,0 +1,77 @@
+"""repro.check — correctness verification: invariants, oracles, fuzzing.
+
+The verification subsystem behind ``python -m repro check``.  Three
+suites, each attacking the reproduction from a different angle:
+
+- :mod:`repro.check.invariants` — conservation laws cross-checking the
+  obs event stream, the memory-module accounting and the simulator's
+  result records against each other (one grant per module per cycle,
+  episode traffic conservation, wait-cycle reconstruction, Dir_i_NB
+  pointer-state consistency).
+- :mod:`repro.check.oracles` — differential oracles: simulator vs
+  analytic Models 1-2 within paper tolerances at randomized points,
+  serial vs ``--jobs N`` vs cached digest parity on randomized configs,
+  and metamorphic relations on backoff policies.
+- :mod:`repro.check.fuzz` — schema-derived fuzzing: every registered
+  experiment's typed Param schema resolves to hypothesis strategies,
+  so all experiment ids get seeded, shrinking, budgeted fuzzing; shrunk
+  failures come back as single-line ``python -m repro run`` commands.
+
+Typical programmatic use::
+
+    from repro.check import run_checks
+
+    report = run_checks(suites=["invariants"], budget="small", seed=0)
+    assert report.ok, report.render()
+"""
+
+from repro.check.fuzz import (
+    backoff_policy_strategy,
+    fuzz_experiment,
+    fuzz_registry,
+    kwargs_strategy,
+    param_strategy,
+    run_repro_command,
+    sample_kwargs,
+    strategy_for_domain,
+)
+from repro.check.invariants import INVARIANT_CHECKS, invariant, random_policy
+from repro.check.oracles import DIFFERENTIAL_CHECKS, differential
+from repro.check.report import (
+    BUDGETS,
+    Budget,
+    CheckContext,
+    CheckFailure,
+    CheckOutcome,
+    CheckReport,
+    resolve_budget,
+    run_registered_checks,
+)
+from repro.check.runner import DEFAULT_OUT_DIR, SUITES, run_checks
+
+__all__ = [
+    "BUDGETS",
+    "Budget",
+    "CheckContext",
+    "CheckFailure",
+    "CheckOutcome",
+    "CheckReport",
+    "DEFAULT_OUT_DIR",
+    "DIFFERENTIAL_CHECKS",
+    "INVARIANT_CHECKS",
+    "SUITES",
+    "backoff_policy_strategy",
+    "differential",
+    "fuzz_experiment",
+    "fuzz_registry",
+    "invariant",
+    "kwargs_strategy",
+    "param_strategy",
+    "random_policy",
+    "resolve_budget",
+    "run_checks",
+    "run_registered_checks",
+    "run_repro_command",
+    "sample_kwargs",
+    "strategy_for_domain",
+]

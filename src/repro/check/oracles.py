@@ -1,0 +1,313 @@
+"""Differential oracles: two ways of computing the same thing must agree.
+
+Three families:
+
+- **Analytic vs simulated** (`model-agreement`): the cycle-exact
+  simulator must land within the paper's tolerances of Models 1 and 2
+  in the regimes where each model is solid — at *randomized* operating
+  points, not just the golden ones the claims suite pins.
+- **Execution-mode parity** (`exec-parity`): the serial path, the
+  ``--jobs N`` pool path and a cold/warm content-addressed cache must
+  produce digest-identical results on randomized experiment configs
+  drawn from the schema fuzz domains.
+- **Metamorphic relations** (`metamorphic-*`): transformations of a
+  backoff policy with a known effect — zero backoff degenerates to the
+  base polling loop bit-for-bit; traffic predictions are monotone in N;
+  exponential waits are monotone in polls, base and cap and never
+  exceed the cap; flag backoff strictly beats no backoff when A >> N.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Callable, Dict
+
+from repro.barrier.models import model1_accesses, model2_accesses
+from repro.barrier.simulator import build_simulator, simulate_barrier
+from repro.check.fuzz import run_repro_command, sample_kwargs
+from repro.check.report import CheckContext, CheckFailure
+from repro.core.backoff import (
+    ExponentialFlagBackoff,
+    NoBackoff,
+    VariableBackoff,
+)
+from repro.sim.rng import spawn_stream
+
+#: The differential-oracle registry: name -> check function.
+DIFFERENTIAL_CHECKS: Dict[str, Callable[[CheckContext], int]] = {}
+
+#: Experiments the exec-parity oracle samples from by default: cheap at
+#: fuzz-domain sizes and covering every dispatch shape (axis sweeps,
+#: single-point experiments, and the stateful-policy ``determinism``
+#: study that must bypass the cache).
+DEFAULT_PARITY_IDS = (
+    "combining",
+    "coupling",
+    "determinism",
+    "figure4",
+    "figure5",
+    "figure6",
+    "queueing",
+    "resource",
+)
+
+
+def differential(name: str):
+    """Decorator registering a differential oracle under ``name``."""
+
+    def register(fn: Callable[[CheckContext], int]):
+        if name in DIFFERENTIAL_CHECKS:
+            raise ValueError(f"duplicate differential check {name!r}")
+        DIFFERENTIAL_CHECKS[name] = fn
+        return fn
+
+    return register
+
+
+@differential("model-agreement")
+def check_model_agreement(ctx: CheckContext) -> int:
+    """Simulator vs analytic Models 1-2 at randomized solid-regime points.
+
+    Model 1 (A << N): simultaneous arrivals, prediction ``2.5 N``; the
+    claims suite pins error < 5% at N=128, so randomized large-N points
+    get a small cushion.  Model 2 (A >> N): prediction
+    ``A(N-1)/(N+1)/2 + 1.5 N``; the paper reports ~8% error at the
+    golden point, and the check budget averages far fewer episodes than
+    the paper's 100, so the tolerance adds sampling slack.
+    """
+    rng = ctx.rng("model-agreement")
+    cases = 0
+    for __ in range(ctx.budget.cases):
+        # -- Model 1 regime: A = 0 (deterministic simulation).
+        n = int(rng.choice([48, 64, 96, 128]))
+        aggregate = simulate_barrier(n, 0, NoBackoff(), repetitions=2)
+        predicted = model1_accesses(n)
+        error = abs(aggregate.mean_accesses - predicted) / predicted
+        if error >= 0.06:
+            raise CheckFailure(
+                f"Model 1 disagreement at N={n}, A=0: simulated "
+                f"{aggregate.mean_accesses:.2f} vs predicted "
+                f"{predicted:.2f} ({100 * error:.1f}% error)"
+            )
+        # -- Model 2 regime: A >> N.
+        n = int(rng.integers(8, 25))
+        interval_a = int(rng.integers(800, 3001))
+        seed = int(rng.integers(0, 2**32))
+        aggregate = simulate_barrier(
+            n,
+            interval_a,
+            NoBackoff(),
+            repetitions=ctx.budget.repetitions,
+            seed=seed,
+        )
+        predicted = model2_accesses(n, interval_a)
+        error = abs(aggregate.mean_accesses - predicted) / predicted
+        if error >= 0.15:
+            raise CheckFailure(
+                f"Model 2 disagreement at N={n}, A={interval_a}, "
+                f"seed={seed}: simulated {aggregate.mean_accesses:.2f} vs "
+                f"predicted {predicted:.2f} ({100 * error:.1f}% error)"
+            )
+        cases += 1
+    return cases
+
+
+@differential("exec-parity")
+def check_exec_parity(ctx: CheckContext) -> int:
+    """Serial vs ``--jobs 2`` vs cold/warm cache on randomized configs.
+
+    The digest covers the canonicalized result data alone, so all four
+    execution modes of the same (experiment, config, seed) must agree
+    exactly; a cold cache run that stored entries must make the warm
+    rerun hit them.
+    """
+    from repro.exec import (
+        ExecConfig,
+        execution,
+        get_stats,
+        payload_digest,
+        reset_stats,
+    )
+    from repro.obs.manifest import jsonable
+    from repro.registry import get_spec, run
+
+    rng = ctx.rng("exec-parity")
+    candidates = [
+        experiment_id
+        for experiment_id in (ctx.ids or DEFAULT_PARITY_IDS)
+    ]
+    cases = 0
+    for __ in range(ctx.budget.cases):
+        experiment_id = candidates[int(rng.integers(0, len(candidates)))]
+        spec = get_spec(experiment_id)
+        kwargs = sample_kwargs(spec, rng)
+        repro = run_repro_command(experiment_id, kwargs, spec) + " --jobs 2"
+
+        digests = {}
+        digests["serial"] = payload_digest(
+            jsonable(run(experiment_id, **kwargs).data)
+        )
+        with execution(ExecConfig(jobs=2, force_engine=True)):
+            digests["jobs=2"] = payload_digest(
+                jsonable(run(experiment_id, **kwargs).data)
+            )
+        with tempfile.TemporaryDirectory(prefix="repro-check-cache-") as tmp:
+            cached = ExecConfig(cache=True, cache_dir=tmp, force_engine=True)
+            reset_stats()
+            with execution(cached):
+                digests["cache-cold"] = payload_digest(
+                    jsonable(run(experiment_id, **kwargs).data)
+                )
+            stores = get_stats().cache_stores
+            reset_stats()
+            with execution(cached):
+                digests["cache-warm"] = payload_digest(
+                    jsonable(run(experiment_id, **kwargs).data)
+                )
+            warm_hits = get_stats().cache_hits
+        if len(set(digests.values())) != 1:
+            raise CheckFailure(
+                f"execution modes disagree on {experiment_id} "
+                f"with {kwargs}: {digests}",
+                repro=repro,
+            )
+        if stores and not warm_hits:
+            raise CheckFailure(
+                f"cold run stored {stores} cache entr(ies) for "
+                f"{experiment_id} but the warm rerun hit none",
+                repro=repro + " --cache",
+            )
+        cases += 1
+    return cases
+
+
+@differential("metamorphic-zero-backoff")
+def check_zero_backoff_degenerates(ctx: CheckContext) -> int:
+    """Zero-amount backoff is bit-identical to the base polling loop.
+
+    ``VariableBackoff(multiplier=0, offset=0)`` waits zero cycles
+    everywhere, exactly like ``NoBackoff``; episodes simulated with
+    identical seeds must match in every per-process field.
+    """
+    rng = ctx.rng("metamorphic-zero-backoff")
+    cases = 0
+    for __ in range(ctx.budget.cases * 2):
+        n = int(rng.integers(2, 33))
+        interval_a = int(rng.integers(0, 501))
+        seed = int(rng.integers(0, 2**32))
+        single = bool(rng.integers(0, 2))
+        results = []
+        for policy in (NoBackoff(), VariableBackoff(multiplier=0, offset=0)):
+            simulator = build_simulator(
+                n, interval_a, policy, seed=seed, single_variable=single
+            )
+            results.append(
+                simulator.run_once(spawn_stream(seed, "barrier-rep-0"))
+            )
+        base, degenerate = results
+        same = (
+            base.accesses_per_process == degenerate.accesses_per_process
+            and base.waiting_times == degenerate.waiting_times
+            and base.completion_time == degenerate.completion_time
+            and base.flag_set_time == degenerate.flag_set_time
+        )
+        if not same:
+            raise CheckFailure(
+                f"zero backoff diverged from base polling at N={n}, "
+                f"A={interval_a}, seed={seed}, single_variable={single}: "
+                f"accesses {base.accesses_per_process} vs "
+                f"{degenerate.accesses_per_process}"
+            )
+        cases += 1
+    return cases
+
+
+@differential("metamorphic-monotonicity")
+def check_monotonicity(ctx: CheckContext) -> int:
+    """Monotone relations in N and in the backoff bound.
+
+    More processors can never predict less traffic (Models 1-2 are
+    monotone in N; the A=0 deterministic simulation agrees); an
+    exponential flag wait is monotone in polls, base and cap, and never
+    exceeds its cap; and flag backoff saves traffic vs no backoff in
+    the A >> N regime where the paper claims the largest wins.
+    """
+    rng = ctx.rng("metamorphic-monotonicity")
+    cases = 0
+    for __ in range(ctx.budget.cases):
+        # -- analytic monotonicity in N.
+        interval_a = int(rng.integers(0, 2001))
+        smaller = int(rng.integers(1, 128))
+        larger = smaller + int(rng.integers(1, 65))
+        for model, label in (
+            (model1_accesses, "Model 1"),
+            (lambda n: model2_accesses(n, interval_a), "Model 2"),
+        ):
+            if model(larger) < model(smaller):
+                raise CheckFailure(
+                    f"{label} not monotone in N: f({smaller})="
+                    f"{model(smaller):.2f} > f({larger})={model(larger):.2f} "
+                    f"at A={interval_a}"
+                )
+        # -- simulated monotonicity at A=0 (deterministic).
+        small_sim = simulate_barrier(smaller % 48 + 2, 0, NoBackoff(),
+                                     repetitions=1)
+        large_sim = simulate_barrier(smaller % 48 + 2 + 8, 0, NoBackoff(),
+                                     repetitions=1)
+        if large_sim.mean_accesses < small_sim.mean_accesses:
+            raise CheckFailure(
+                "simulated A=0 traffic decreased when N grew: "
+                f"N={smaller % 48 + 2} -> {small_sim.mean_accesses:.2f}, "
+                f"N={smaller % 48 + 10} -> {large_sim.mean_accesses:.2f}"
+            )
+        # -- exponential wait bounded by cap, monotone in polls/base/cap.
+        base = int(rng.choice([2, 4, 8]))
+        cap = int(rng.integers(4, 1 << 12))
+        policy = ExponentialFlagBackoff(base=base, cap=cap)
+        wider = ExponentialFlagBackoff(base=base, cap=2 * cap)
+        steeper = ExponentialFlagBackoff(base=2 * base, cap=cap)
+        previous = 0
+        for polls in range(1, 20):
+            wait = policy.flag_wait(polls)
+            if wait > cap:
+                raise CheckFailure(
+                    f"exponential wait {wait} exceeds cap {cap} "
+                    f"(base={base}, polls={polls})"
+                )
+            if wait < previous:
+                raise CheckFailure(
+                    f"exponential wait not monotone in polls at "
+                    f"base={base}, cap={cap}, polls={polls}"
+                )
+            if wider.flag_wait(polls) < wait:
+                raise CheckFailure(
+                    f"raising the cap lowered the wait at base={base}, "
+                    f"polls={polls}"
+                )
+            if steeper.flag_wait(polls) < wait:
+                raise CheckFailure(
+                    f"raising the base lowered the wait at cap={cap}, "
+                    f"polls={polls}"
+                )
+            previous = wait
+        # -- backoff saves traffic in the A >> N regime.
+        n = int(rng.integers(16, 65))
+        interval_a = int(rng.integers(1000, 3001))
+        seed = int(rng.integers(0, 2**32))
+        baseline = simulate_barrier(
+            n, interval_a, NoBackoff(),
+            repetitions=ctx.budget.repetitions, seed=seed,
+        )
+        backed_off = simulate_barrier(
+            n, interval_a, ExponentialFlagBackoff(base=2),
+            repetitions=ctx.budget.repetitions, seed=seed,
+        )
+        if backed_off.mean_accesses >= baseline.mean_accesses:
+            raise CheckFailure(
+                f"base-2 flag backoff saved nothing at N={n}, "
+                f"A={interval_a}, seed={seed}: "
+                f"{backed_off.mean_accesses:.2f} vs baseline "
+                f"{baseline.mean_accesses:.2f}"
+            )
+        cases += 1
+    return cases

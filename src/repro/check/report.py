@@ -1,0 +1,242 @@
+"""Check budgets, outcomes and the JSON report ``python -m repro check`` emits.
+
+A check run executes named checks grouped into suites (``invariants``,
+``differential``, ``fuzz``).  Each check gets a :class:`CheckContext`
+carrying the root seed and the resolved :class:`Budget`, runs some
+number of randomized cases, and either returns its case count or raises
+:class:`CheckFailure` with a human-readable detail and a *single-line
+repro command* that re-runs exactly the failing configuration.
+
+The report is plain data (:meth:`CheckReport.as_dict`) so CI can upload
+it as an artifact and tools can diff two runs.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.rng import spawn_stream
+
+#: Named budget profiles.  ``cases`` drives the randomized invariant /
+#: differential checks; ``examples`` is hypothesis examples per fuzzed
+#: experiment; ``repetitions`` is episodes per simulated aggregate in
+#: the statistical oracles.
+BUDGETS: Dict[str, "Budget"] = {}
+
+
+@dataclass(frozen=True)
+class Budget:
+    """How much work one check run may spend."""
+
+    name: str
+    cases: int
+    examples: int
+    repetitions: int
+
+    def __post_init__(self) -> None:
+        if min(self.cases, self.examples, self.repetitions) < 1:
+            raise ValueError("budget values must all be >= 1")
+
+
+BUDGETS["small"] = Budget("small", cases=2, examples=1, repetitions=8)
+BUDGETS["default"] = Budget("default", cases=4, examples=2, repetitions=16)
+BUDGETS["large"] = Budget("large", cases=10, examples=6, repetitions=40)
+
+
+def resolve_budget(value: Any) -> Budget:
+    """A :class:`Budget` from a profile name, an int, or a Budget.
+
+    An integer ``n`` means "n cases / n examples" with repetitions
+    scaled to keep the statistical oracles meaningful.
+    """
+    if isinstance(value, Budget):
+        return value
+    text = str(value)
+    if text in BUDGETS:
+        return BUDGETS[text]
+    try:
+        n = int(text)
+    except ValueError:
+        raise ValueError(
+            f"unknown budget {value!r}; use one of "
+            f"{', '.join(sorted(BUDGETS))} or a positive integer"
+        ) from None
+    if n < 1:
+        raise ValueError(f"budget must be >= 1, got {n}")
+    return Budget(str(n), cases=n, examples=n, repetitions=max(8, 4 * n))
+
+
+class CheckFailure(AssertionError):
+    """A check found a violated property.
+
+    Args:
+        detail: what was violated, with the observed values.
+        repro: a single-line shell command reproducing the failure.
+    """
+
+    def __init__(self, detail: str, repro: str = "") -> None:
+        super().__init__(detail)
+        self.detail = detail
+        self.repro = repro
+
+
+@dataclass
+class CheckContext:
+    """Ambient state handed to every check function."""
+
+    seed: int
+    budget: Budget
+    #: Experiment-id filter (fuzz suite; also narrows the exec-parity
+    #: oracle's candidate pool).  None means all experiments.
+    ids: Optional[List[str]] = None
+
+    def rng(self, name: str) -> np.random.Generator:
+        """A named RNG stream derived from the run's root seed."""
+        return spawn_stream(self.seed, f"check:{name}")
+
+    def suite_repro(self, suite: str) -> str:
+        """The single-line command that re-runs one suite of this run."""
+        return (
+            f"PYTHONPATH=src python -m repro check --suite {suite} "
+            f"--seed {self.seed} --budget {self.budget.name}"
+        )
+
+
+@dataclass
+class CheckOutcome:
+    """The result of one named check."""
+
+    suite: str
+    check: str
+    passed: bool
+    cases: int = 0
+    detail: str = ""
+    repro: str = ""
+    seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "suite": self.suite,
+            "check": self.check,
+            "passed": self.passed,
+            "cases": self.cases,
+            "detail": self.detail,
+            "repro": self.repro,
+            "seconds": round(self.seconds, 4),
+        }
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``repro check`` invocation produced."""
+
+    seed: int
+    budget: str
+    suites: List[str]
+    outcomes: List[CheckOutcome] = field(default_factory=list)
+    manifest_digest: str = ""
+    wall_time_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.passed for outcome in self.outcomes)
+
+    @property
+    def failures(self) -> List[CheckOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.passed]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "suites": list(self.suites),
+            "ok": self.ok,
+            "checks_run": len(self.outcomes),
+            "checks_failed": len(self.failures),
+            "wall_time_seconds": round(self.wall_time_seconds, 3),
+            "manifest_digest": self.manifest_digest,
+            "outcomes": [outcome.as_dict() for outcome in self.outcomes],
+        }
+
+    def render(self) -> str:
+        """Human-readable summary (the CLI's stdout)."""
+        lines = []
+        for outcome in self.outcomes:
+            status = "PASS" if outcome.passed else "FAIL"
+            lines.append(
+                f"{status}  {outcome.suite}/{outcome.check} "
+                f"({outcome.cases} case(s), {outcome.seconds:.2f}s)"
+            )
+            if not outcome.passed:
+                for detail_line in outcome.detail.strip().splitlines():
+                    lines.append(f"      {detail_line}")
+                if outcome.repro:
+                    lines.append(f"      repro: {outcome.repro}")
+        failed = len(self.failures)
+        lines.append(
+            f"{'FAIL' if failed else 'PASS'}: {len(self.outcomes)} check(s), "
+            f"{failed} failure(s), seed={self.seed}, "
+            f"budget={self.budget}, {self.wall_time_seconds:.2f}s"
+        )
+        return "\n".join(lines)
+
+
+def run_registered_checks(
+    suite: str,
+    registry: Dict[str, Callable[[CheckContext], int]],
+    ctx: CheckContext,
+    only: Optional[Sequence[str]] = None,
+) -> List[CheckOutcome]:
+    """Run every check in ``registry`` (sorted by name) under ``ctx``.
+
+    A :class:`CheckFailure` becomes a failed outcome carrying the
+    check's own repro command; any other exception is a failed outcome
+    carrying the suite-level repro and a trimmed traceback — a crashing
+    check must never take down the whole run.
+    """
+    outcomes: List[CheckOutcome] = []
+    for name in sorted(registry):
+        if only is not None and name not in only:
+            continue
+        check = registry[name]
+        start = time.perf_counter()
+        try:
+            cases = check(ctx)
+            outcomes.append(
+                CheckOutcome(
+                    suite=suite,
+                    check=name,
+                    passed=True,
+                    cases=int(cases),
+                    seconds=time.perf_counter() - start,
+                )
+            )
+        except CheckFailure as failure:
+            outcomes.append(
+                CheckOutcome(
+                    suite=suite,
+                    check=name,
+                    passed=False,
+                    detail=failure.detail,
+                    repro=failure.repro or ctx.suite_repro(suite),
+                    seconds=time.perf_counter() - start,
+                )
+            )
+        except Exception:
+            tail = traceback.format_exc().strip().splitlines()[-3:]
+            outcomes.append(
+                CheckOutcome(
+                    suite=suite,
+                    check=name,
+                    passed=False,
+                    detail="check crashed:\n" + "\n".join(tail),
+                    repro=ctx.suite_repro(suite),
+                    seconds=time.perf_counter() - start,
+                )
+            )
+    return outcomes

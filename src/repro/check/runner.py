@@ -1,0 +1,133 @@
+"""The check runner behind ``python -m repro check``.
+
+Resolves the requested suites, runs them under an obs tracer, and
+writes two artifacts next to each other:
+
+- ``report.json`` — the :class:`~repro.check.report.CheckReport` (what
+  ran, what failed, per-check repro commands); CI uploads this.
+- ``manifest.json`` — a standard obs :class:`~repro.obs.manifest.RunManifest`
+  over the check run's own event stream and counters, so a check run is
+  introspectable exactly like any traced experiment run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import List, Optional, Sequence
+
+from repro.check.fuzz import fuzz_registry
+from repro.check.invariants import INVARIANT_CHECKS
+from repro.check.oracles import DIFFERENTIAL_CHECKS
+from repro.check.report import (
+    CheckContext,
+    CheckReport,
+    resolve_budget,
+    run_registered_checks,
+)
+from repro.obs.manifest import build_manifest
+from repro.obs.tracer import Tracer, tracing
+
+#: Suites in execution order.
+SUITES = ("invariants", "differential", "fuzz")
+
+#: Default directory for report + manifest artifacts.
+DEFAULT_OUT_DIR = "checks"
+
+
+def resolve_ids(ids: Optional[Sequence[str]]) -> Optional[List[str]]:
+    """Validate experiment ids early (did-you-mean on unknown ones)."""
+    if ids is None:
+        return None
+    from repro.registry import get_spec
+
+    return [get_spec(experiment_id).id for experiment_id in ids]
+
+
+def run_checks(
+    suites: Optional[Sequence[str]] = None,
+    budget: object = "default",
+    seed: int = 0,
+    ids: Optional[Sequence[str]] = None,
+    out_dir: Optional[str] = DEFAULT_OUT_DIR,
+) -> CheckReport:
+    """Run the requested check suites; returns the populated report.
+
+    Args:
+        suites: subset of :data:`SUITES` (default: all three).
+        budget: a named profile (small/default/large) or an integer.
+        seed: root seed; every randomized case derives from it.
+        ids: experiment-id filter for the fuzz suite (and the
+            exec-parity candidate pool).  Unknown ids raise
+            :class:`repro.registry.UnknownExperimentError`.
+        out_dir: where to write ``report.json`` / ``manifest.json``;
+            None skips writing.
+    """
+    selected = list(suites) if suites else list(SUITES)
+    for suite in selected:
+        if suite not in SUITES:
+            raise ValueError(
+                f"unknown suite {suite!r}; valid suites: {', '.join(SUITES)}"
+            )
+    resolved_budget = resolve_budget(budget)
+    resolved_ids = resolve_ids(ids)
+    ctx = CheckContext(seed=seed, budget=resolved_budget, ids=resolved_ids)
+    report = CheckReport(
+        seed=seed, budget=resolved_budget.name, suites=selected
+    )
+
+    tracer = Tracer(run_id=f"check-{seed}")
+    start = time.perf_counter()
+    with tracing(tracer):
+        for suite in SUITES:
+            if suite not in selected:
+                continue
+            if suite == "invariants":
+                registry = dict(INVARIANT_CHECKS)
+            elif suite == "differential":
+                registry = dict(DIFFERENTIAL_CHECKS)
+            else:
+                registry = fuzz_registry(resolved_ids)
+            tracer.emit("check.suite_start", suite=suite,
+                        checks=len(registry))
+            with tracer.timer(f"check.suite.{suite}"):
+                outcomes = run_registered_checks(suite, registry, ctx)
+            for outcome in outcomes:
+                tracer.count("check.cases", outcome.cases)
+                tracer.count(
+                    "check.passed" if outcome.passed else "check.failed"
+                )
+                tracer.emit(
+                    "check.outcome",
+                    suite=outcome.suite,
+                    check=outcome.check,
+                    passed=outcome.passed,
+                    cases=outcome.cases,
+                )
+            report.outcomes.extend(outcomes)
+            tracer.emit("check.suite_end", suite=suite)
+    report.wall_time_seconds = time.perf_counter() - start
+
+    manifest = build_manifest(
+        tracer,
+        experiment_id="check",
+        config={
+            "suites": selected,
+            "budget": resolved_budget.name,
+            "ids": resolved_ids,
+        },
+        seed=seed,
+        wall_time_seconds=report.wall_time_seconds,
+    )
+    report.manifest_digest = manifest.deterministic_digest()
+
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        manifest.write(os.path.join(out_dir, "manifest.json"))
+        with open(
+            os.path.join(out_dir, "report.json"), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report

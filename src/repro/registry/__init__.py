@@ -21,9 +21,11 @@ from repro.registry.result import ExperimentResult
 from repro.registry.runner import experiment_points, main, run
 from repro.registry.spec import (
     AXIS_KEY_FORMATS,
+    DEFAULT_FUZZ_DOMAINS,
     ExperimentSpec,
     Param,
     ParameterError,
+    UnknownExperimentError,
     all_specs,
     experiment_ids,
     get_spec,
@@ -33,10 +35,12 @@ from repro.registry.spec import (
 
 __all__ = [
     "AXIS_KEY_FORMATS",
+    "DEFAULT_FUZZ_DOMAINS",
     "ExperimentResult",
     "ExperimentSpec",
     "Param",
     "ParameterError",
+    "UnknownExperimentError",
     "all_specs",
     "experiment_ids",
     "experiment_points",

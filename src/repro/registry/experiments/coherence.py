@@ -85,7 +85,12 @@ register(
         params=(
             Param("scale", "float", 1.0, "trace size multiplier"),
             Param("num_cpus", "int", 64),
-            Param("pointers", "ints", TABLE_POINTERS, "directory pointer counts"),
+            # Include a full-map pointer count (>= the fuzzed num_cpus
+            # choices) so fuzzing exercises the no-overflow path too.
+            Param("pointers", "ints", TABLE_POINTERS, "directory pointer counts",
+                  fuzz={"type": "seq", "min_size": 1, "max_size": 2,
+                        "unique": True,
+                        "element": {"type": "choice", "values": [1, 2, 4, 16]}}),
             Param("apps", "strs", APP_NAMES),
         ),
         axis="apps",
@@ -140,7 +145,12 @@ register(
         params=(
             Param("scale", "float", 1.0, "trace size multiplier"),
             Param("num_cpus", "int", 64),
-            Param("pointers", "ints", TABLE_POINTERS, "directory pointer counts"),
+            # Include a full-map pointer count (>= the fuzzed num_cpus
+            # choices) so fuzzing exercises the no-overflow path too.
+            Param("pointers", "ints", TABLE_POINTERS, "directory pointer counts",
+                  fuzz={"type": "seq", "min_size": 1, "max_size": 2,
+                        "unique": True,
+                        "element": {"type": "choice", "values": [1, 2, 4, 16]}}),
             Param("apps", "strs", APP_NAMES),
         ),
         axis="apps",

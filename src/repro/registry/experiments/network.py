@@ -84,7 +84,10 @@ register(
         section="Section 8 (network)",
         summary="Section 8: network-access backoff in a circuit-switched net.",
         params=(
-            Param("num_ports", "int", 64),
+            # Omega networks need a power-of-two port count, which the
+            # generic name-keyed fuzz table cannot know — declare it.
+            Param("num_ports", "int", 64,
+                  fuzz={"type": "choice", "values": [4, 8, 16]}),
             Param("hot_fractions", "floats", (0.0, 0.05, 0.1, 0.2)),
             Param("horizon", "int", 20_000, "simulated cycles"),
             Param("seed", "int", 0),
@@ -182,7 +185,8 @@ register(
         section="Section 8(5) / Pfister-Norton",
         summary="Hot-spot tree saturation in a buffered network (the motivation).",
         params=(
-            Param("num_ports", "int", 64),
+            Param("num_ports", "int", 64,
+                  fuzz={"type": "choice", "values": [4, 8, 16]}),
             Param("hot_fractions", "floats", (0.0, 0.01, 0.02, 0.04, 0.08, 0.16)),
             Param("injection_rate", "float", 0.4, "requests/port/cycle"),
             Param("horizon", "int", 5_000, "simulated cycles"),
@@ -281,7 +285,10 @@ register(
         summary="Section 3: feed barrier traffic rates into the Patel model.",
         params=(
             Param("repetitions", "int", 50),
-            Param("num_processors", "int", 64),
+            # N doubles as the Patel model's port count, which must be
+            # a power of two >= 2 — narrower than the generic domain.
+            Param("num_processors", "int", 64,
+                  fuzz={"type": "choice", "values": [4, 8, 16]}),
             Param("interval_a", "int", 100),
             Param("barrier_period", "float", 2000.0),
             Param("background_rate", "float", 0.3),

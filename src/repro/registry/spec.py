@@ -23,6 +23,7 @@ lazily so ``import repro`` stays cheap and cycle-free.
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -33,21 +34,122 @@ class ParameterError(ValueError):
     """An unknown or malformed experiment parameter."""
 
 
+class UnknownExperimentError(KeyError):
+    """An experiment id that is not in the registry.
+
+    Subclasses ``KeyError`` so historical ``except KeyError`` callers
+    keep working; carries did-you-mean ``suggestions`` so the CLI can
+    print one consistent, helpful error across subcommands.
+    """
+
+    def __init__(self, experiment_id: str, known: Sequence[str]) -> None:
+        self.experiment_id = experiment_id
+        self.known = list(known)
+        self.suggestions = difflib.get_close_matches(
+            experiment_id, self.known, n=3, cutoff=0.5
+        )
+        message = f"unknown experiment {experiment_id!r}"
+        if self.suggestions:
+            message += "; did you mean " + " or ".join(
+                repr(s) for s in self.suggestions
+            ) + "?"
+        message += f"; known: {', '.join(self.known)}"
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        # KeyError wraps its message in quotes; undo that.
+        return self.args[0]
+
+
 #: Parameter kinds the schema understands: scalars, comma-separated
 #: sequences, and ``N:A`` pair lists (the ``determinism`` sweep axis).
 PARAM_KINDS = ("int", "float", "str", "ints", "floats", "strs", "pairs")
 
 _SEQUENCE_KINDS = ("ints", "floats", "strs", "pairs")
 
+#: Default fuzz domains by parameter *name*.  The registry's parameter
+#: vocabulary is deliberately shared across experiments (``seed`` is
+#: always a root seed, ``scale`` always a trace-size multiplier), so a
+#: name-keyed table gives every experiment a safe, *cheap* domain for
+#: schema-derived fuzzing (see repro.check.fuzz) without per-spec
+#: boilerplate.  A spec can override any entry via ``Param(fuzz=...)``.
+#: Values mirror the miniature configurations the tier-1 tests use.
+DEFAULT_FUZZ_DOMAINS: Dict[str, Dict[str, Any]] = {
+    "repetitions": {"type": "int", "lo": 1, "hi": 3},
+    "seed": {"type": "int", "lo": 0, "hi": 2**32 - 1},
+    # Choices (not a float range) so the per-process trace cache is
+    # shared across fuzz examples.
+    "scale": {"type": "choice", "values": [0.05, 0.1, 0.2]},
+    "num_cpus": {"type": "choice", "values": [4, 8, 16]},
+    "num_processors": {"type": "int", "lo": 1, "hi": 16},
+    "interval_a": {"type": "int", "lo": 0, "hi": 200},
+    "cpu_counts": {
+        "type": "seq", "min_size": 1, "max_size": 2, "unique": True,
+        "element": {"type": "choice", "values": [4, 8, 16]},
+    },
+    "n_values": {
+        "type": "seq", "min_size": 1, "max_size": 3, "unique": True,
+        "element": {"type": "int", "lo": 1, "hi": 16},
+    },
+    "a_values": {
+        "type": "seq", "min_size": 1, "max_size": 3, "unique": True,
+        "element": {"type": "int", "lo": 0, "hi": 200},
+    },
+    "points": {
+        "type": "pairs", "min_size": 1, "max_size": 2,
+        "first": {"type": "int", "lo": 1, "hi": 8},
+        "second": {"type": "int", "lo": 0, "hi": 200},
+    },
+    "hot_fractions": {
+        "type": "seq", "min_size": 1, "max_size": 2, "unique": True,
+        "element": {"type": "choice", "values": [0.0, 0.05, 0.1, 0.2]},
+    },
+    "apps": {
+        "type": "seq", "min_size": 1, "max_size": 2, "unique": True,
+        "element": {"type": "choice", "values": ["FFT", "SIMPLE", "WEATHER"]},
+    },
+    "app": {"type": "choice", "values": ["FFT", "SIMPLE", "WEATHER"]},
+    "pointers": {
+        "type": "seq", "min_size": 1, "max_size": 2, "unique": True,
+        "element": {"type": "int", "lo": 1, "hi": 8},
+    },
+    "degrees": {
+        "type": "seq", "min_size": 1, "max_size": 2, "unique": True,
+        "element": {"type": "int", "lo": 2, "hi": 4},
+    },
+    "bins": {"type": "int", "lo": 1, "hi": 6},
+    "horizon": {"type": "int", "lo": 200, "hi": 1000},
+    "num_ports": {"type": "choice", "values": [4, 8, 16]},
+    "injection_rate": {"type": "float", "lo": 0.05, "hi": 0.5},
+    "hold_time": {"type": "int", "lo": 1, "hi": 8},
+    "threshold": {"type": "int", "lo": 16, "hi": 256},
+    "overhead": {"type": "int", "lo": 10, "hi": 100},
+    "work_interval": {"type": "int", "lo": 50, "hi": 300},
+    "rounds": {"type": "int", "lo": 1, "hi": 3},
+    "jitter": {"type": "float", "lo": 0.0, "hi": 0.3},
+    "barrier_period": {"type": "float", "lo": 500.0, "hi": 2000.0},
+    "background_rate": {"type": "float", "lo": 0.0, "hi": 0.5},
+    "base": {"type": "int", "lo": 2, "hi": 8},
+    "num_pointers": {"type": "int", "lo": 1, "hi": 8},
+}
+
 
 @dataclass(frozen=True)
 class Param:
-    """One declared experiment parameter."""
+    """One declared experiment parameter.
+
+    ``fuzz`` optionally overrides the parameter's fuzz domain — the
+    declarative value space schema-derived fuzzing draws from (see
+    :meth:`fuzz_domain`).  It stays plain data (no hypothesis import)
+    so the registry remains dependency-free; :mod:`repro.check.fuzz`
+    turns domains into strategies.
+    """
 
     name: str
     kind: str
     default: Any
     doc: str = ""
+    fuzz: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in PARAM_KINDS:
@@ -94,6 +196,37 @@ class Param:
             "strs": "FFT,SIMPLE",
             "pairs": "16:1000,64:1000",
         }[self.kind]
+
+    def format(self, value: Any) -> str:
+        """Render ``value`` back into the CLI text :meth:`parse` accepts.
+
+        The inverse of :meth:`parse`; lets tooling (the fuzz suite's
+        shrunk-failure repro lines) turn any schema value into a
+        ``--param NAME=VALUE`` argument.
+        """
+        if self.kind in ("int", "float", "str"):
+            return str(value)
+        if self.kind == "pairs":
+            return ",".join(f"{int(a)}:{int(b)}" for a, b in value)
+        return ",".join(str(item) for item in value)
+
+    def fuzz_domain(self) -> Dict[str, Any]:
+        """The declarative fuzz domain for this parameter.
+
+        Resolution order: an explicit ``fuzz=`` override on the Param,
+        then the name-keyed :data:`DEFAULT_FUZZ_DOMAINS` table, then a
+        constant domain pinning the declared default (so fuzzing a spec
+        with a brand-new parameter name is safe-by-default until a
+        domain is declared for it).
+        """
+        if self.fuzz is not None:
+            return dict(self.fuzz)
+        domain = DEFAULT_FUZZ_DOMAINS.get(self.name)
+        if domain is not None:
+            return dict(domain)
+        if self.kind in _SEQUENCE_KINDS:
+            return {"type": "const", "value": self.coerce(self.default)}
+        return {"type": "const", "value": self.default}
 
     def coerce(self, value: Any) -> Any:
         """Normalise an API-supplied value (sequences become tuples)."""
@@ -297,15 +430,16 @@ def load_specs() -> None:
 
 
 def get_spec(experiment_id: str) -> ExperimentSpec:
-    """Look up a spec by id; raises ``KeyError`` listing known ids."""
+    """Look up a spec by id.
+
+    Raises :class:`UnknownExperimentError` (a ``KeyError``) listing the
+    known ids and carrying did-you-mean suggestions.
+    """
     load_specs()
     try:
         return _REGISTRY[experiment_id]
     except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; known: {known}"
-        ) from None
+        raise UnknownExperimentError(experiment_id, sorted(_REGISTRY)) from None
 
 
 def experiment_ids() -> List[str]:

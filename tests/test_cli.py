@@ -12,10 +12,6 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["experiment", "figure99"])
-
     def test_all_commands_registered(self):
         parser = build_parser()
         actions = [
@@ -25,7 +21,7 @@ class TestParser:
         commands = set(actions[0].choices)
         assert commands == {
             "list", "experiment", "barrier", "trace", "report", "advise",
-            "verify", "profile", "faults", "run",
+            "verify", "profile", "faults", "run", "check",
         }
 
     def test_barrier_defaults(self):
@@ -33,6 +29,33 @@ class TestParser:
         assert args.n == 64
         assert args.interval_a == 1000
         assert args.policy == "exponential"
+
+
+class TestUnknownExperimentErrors:
+    """Unknown ids exit 2 with a did-you-mean, on every subcommand.
+
+    Ids are validated against the registry, not baked into the parser
+    as argparse ``choices``, so every path reports the same error.
+    """
+
+    @pytest.mark.parametrize("argv", [
+        ["experiment", "figure99", "--describe"],
+        ["experiment", "figure99"],
+        ["run", "figure99"],
+        ["profile", "figure99"],
+        ["faults", "figure99"],
+        ["check", "--ids", "figure99"],
+    ])
+    def test_unknown_id_exits_2_with_suggestion(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'figure99'" in err
+        assert "did you mean" in err
+        assert "figure9" in err
+
+    def test_close_match_suggested_first(self, capsys):
+        main(["run", "tabel1"])
+        assert "'table1'" in capsys.readouterr().err
 
 
 class TestSeedValidation:
@@ -126,9 +149,48 @@ class TestProfileCommand:
         assert manifest["counters"]["barrier.episodes"] > 0
         assert "deterministic_digest" in manifest
 
-    def test_profile_unknown_experiment_rejected(self):
+    def test_profile_unknown_experiment_rejected(self, capsys):
+        assert main(["profile", "figure99"]) == 2
+        assert "did you mean" in capsys.readouterr().err
+
+
+class TestCheckCommand:
+    def test_check_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.suite is None
+        assert args.budget == "default"
+        assert args.seed == 0
+        assert args.ids is None
+        assert args.output == "checks"
+
+    def test_invariants_suite_passes_and_writes_artifacts(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        out = tmp_path / "checks"
+        code = main([
+            "check", "--suite", "invariants", "--budget", "small",
+            "--seed", "0", "--output", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "PASS: " in printed
+        report = json.loads((out / "report.json").read_text())
+        assert report["seed"] == 0
+        assert report["budget"] == "small"
+        assert report["suites"] == ["invariants"]
+        assert all(o["passed"] for o in report["outcomes"])
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["experiment_id"] == "check"
+
+    def test_bad_budget_exits_2(self, capsys):
+        assert main(["check", "--budget", "bogus"]) == 2
+        assert "unknown budget" in capsys.readouterr().err
+
+    def test_bad_suite_rejected_at_parse_time(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["profile", "figure99"])
+            build_parser().parse_args(["check", "--suite", "everything"])
 
 
 class TestPolicyBuilder:

@@ -1,0 +1,172 @@
+"""Degraded-mode outcomes under every named fault plan.
+
+Two bounded-give-up paths exist so fault scenarios terminate instead
+of hanging:
+
+- **barriers**: ``poll_budget`` / ``timeout_cycles`` make a waiting
+  processor depart with a partial-arrival outcome
+  (``BarrierRunResult.timed_out``, ``barrier.partial_arrival`` events);
+- **locks**: ``max_attempts`` makes a contender give up the
+  acquisition loop (``ResourceRunResult.aborted``).
+
+Both are exercised here under each named fault plan — the plans are
+exactly the conditions the degraded modes exist for.
+"""
+
+import pytest
+
+from repro.barrier.resource import ResourceSimulator
+from repro.barrier.simulator import BarrierSimulator
+from repro.barrier.arrivals import UniformArrivals
+from repro.core.backoff import ExponentialFlagBackoff, NoBackoff
+from repro.core.barrier import TangYewBarrier
+from repro.core.locks import BackoffLock, TestAndSetLock
+from repro.faults import clear_fault_plan, fault_injection, parse_plan
+from repro.obs.tracer import Tracer, tracing
+from repro.sim.rng import spawn_stream
+
+NAMED = ("stragglers", "hot-module", "lossy-net", "flaky-flags", "chaos")
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    clear_fault_plan()
+    yield
+    clear_fault_plan()
+
+
+def _run_barrier(plan_name, seed=0, **barrier_kwargs):
+    barrier_kwargs.setdefault("num_processors", 12)
+    barrier_kwargs.setdefault("backoff", NoBackoff())
+    simulator = BarrierSimulator(
+        TangYewBarrier(**barrier_kwargs),
+        arrivals=UniformArrivals(300),
+        seed=seed,
+    )
+    plan = parse_plan(plan_name, seed=seed)
+    tracer = Tracer(run_id=f"degraded-{plan_name}", ring_size=1 << 14)
+    with fault_injection(plan), tracing(tracer):
+        result = simulator.run_once(spawn_stream(seed, "barrier-rep-0"))
+    return result, tracer, plan
+
+
+class TestBarrierPollBudget:
+    @pytest.mark.parametrize("plan_name", NAMED)
+    def test_tight_poll_budget_reports_partial_arrival(self, plan_name):
+        result, tracer, plan = _run_barrier(plan_name, poll_budget=1)
+        n = result.num_processors
+        # With a one-poll budget, anything that polls at all and misses
+        # gives up — under every plan some processor does.
+        assert result.timed_out
+        assert result.degraded
+        assert sorted(set(result.timed_out)) == sorted(result.timed_out)
+        assert all(0 <= cpu < n for cpu in result.timed_out)
+        # The run still accounts for everyone: each processor departs.
+        assert len(result.waiting_times) == n
+        assert all(wait >= 0 for wait in result.waiting_times)
+        # One partial-arrival event per timed-out processor, and the
+        # plan's own counter agrees.
+        events = tracer.recent(kind="barrier.partial_arrival")
+        assert sorted(e["cpu"] for e in events) == sorted(result.timed_out)
+        assert plan.fault_counts["barrier.partial_arrival"] == len(
+            result.timed_out
+        )
+
+    @pytest.mark.parametrize("plan_name", NAMED)
+    def test_generous_budget_under_plan_completes_cleanly(self, plan_name):
+        # A huge poll budget must behave like no budget: the episode
+        # rides out the injected faults and nobody gives up.
+        result, __, __ = _run_barrier(
+            plan_name, poll_budget=1 << 20, backoff=ExponentialFlagBackoff()
+        )
+        if plan_name != "chaos":  # chaos carries its own degrade clause
+            assert not result.timed_out
+            assert not result.degraded
+
+    @pytest.mark.parametrize("plan_name", NAMED)
+    def test_degraded_runs_are_deterministic(self, plan_name):
+        first, __, __ = _run_barrier(plan_name, seed=3, poll_budget=2)
+        second, __, __ = _run_barrier(plan_name, seed=3, poll_budget=2)
+        assert first.timed_out == second.timed_out
+        assert first.accesses_per_process == second.accesses_per_process
+        assert first.waiting_times == second.waiting_times
+
+
+class TestBarrierTimeout:
+    @pytest.mark.parametrize("plan_name", NAMED)
+    def test_timeout_cycles_bound_the_wait(self, plan_name):
+        result, tracer, __ = _run_barrier(plan_name, timeout_cycles=64)
+        n = result.num_processors
+        assert len(result.waiting_times) == n
+        # Timed-out processors departed at the poll that crossed the
+        # bound, so the episode terminated despite the faults.
+        events = tracer.recent(kind="barrier.partial_arrival")
+        assert sorted(e["cpu"] for e in events) == sorted(result.timed_out)
+        # A timeout departure happens at the first poll past the bound,
+        # so a timed-out processor waited at least timeout_cycles.
+        for cpu in result.timed_out:
+            assert result.waiting_times[cpu] >= 64
+
+    def test_chaos_plan_supplies_its_own_poll_budget(self):
+        # The chaos spec carries degrade:polls=4096, picked up when the
+        # barrier itself sets no bound.
+        plan = parse_plan("chaos", seed=0)
+        assert plan.poll_budget == 4096
+        assert parse_plan("stragglers", seed=0).poll_budget is None
+
+
+class TestLockAbort:
+    def _run_locked(self, plan_name, strategy, seed=0, n=10):
+        simulator = ResourceSimulator(
+            num_processors=n,
+            strategy=strategy,
+            hold_time=32,
+            acquisitions=1,
+            arrivals=UniformArrivals(0),
+            seed=seed,
+        )
+        plan = parse_plan(plan_name, seed=seed)
+        with fault_injection(plan):
+            return simulator.run_once(spawn_stream(seed, "resource-rep-0"))
+
+    @pytest.mark.parametrize("plan_name", ("none",) + NAMED)
+    def test_bounded_test_and_set_aborts_under_contention(self, plan_name):
+        # Simultaneous arrivals + a long hold + one permitted attempt:
+        # everyone who loses the first race gives up.
+        result = self._run_locked(
+            plan_name, TestAndSetLock(max_attempts=1)
+        )
+        assert result.aborted
+        assert result.degraded
+        assert all(0 <= cpu < result.num_processors for cpu in result.aborted)
+        assert len(set(result.aborted)) == len(result.aborted)
+        # Every processor — aborted or not — has a finish time.
+        assert len(result.finish_times) == result.num_processors
+        assert result.makespan > 0
+
+    @pytest.mark.parametrize("plan_name", ("none",) + NAMED)
+    def test_bounded_backoff_lock_aborts_less(self, plan_name):
+        # The adaptive lock spaces retries by hold_time * waiters, so a
+        # small attempt bound still lets more processors through than
+        # immediate-retry test&set with the same bound.
+        tas = self._run_locked(plan_name, TestAndSetLock(max_attempts=2))
+        backoff = self._run_locked(
+            plan_name, BackoffLock(hold_time=32, max_attempts=2)
+        )
+        assert len(backoff.aborted) <= len(tas.aborted)
+
+    def test_unbounded_lock_never_aborts(self):
+        result = self._run_locked("chaos", TestAndSetLock())
+        assert not result.aborted
+        assert not result.degraded
+
+    def test_abort_paths_are_deterministic(self):
+        first = self._run_locked(
+            "chaos", TestAndSetLock(max_attempts=1), seed=9
+        )
+        second = self._run_locked(
+            "chaos", TestAndSetLock(max_attempts=1), seed=9
+        )
+        assert first.aborted == second.aborted
+        assert first.accesses_per_process == second.accesses_per_process
+        assert first.finish_times == second.finish_times

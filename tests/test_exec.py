@@ -320,3 +320,113 @@ class TestPayloadDigest:
             {"b": 2, "a": 1}
         )
         assert payload_digest({"a": 1}) != payload_digest({"a": 2})
+
+
+def _entry_paths(cache_dir):
+    """Every entry file under a cache directory, sorted."""
+    return sorted(
+        os.path.join(root, name)
+        for root, _, names in os.walk(cache_dir)
+        for name in names
+        if name.endswith(".json")
+    )
+
+
+class TestCacheRobustness:
+    """A damaged cache is a slow cache, never a wrong or crashing one.
+
+    Whatever happens to the files on disk — truncation mid-write,
+    hand-editing, version skew, emptiness, binary garbage — the warm
+    run must treat the entry as a miss, recompute, re-store, and
+    produce an aggregate identical to a clean run.
+    """
+
+    def _cold_run(self, cache_dir):
+        config = ExecConfig(cache=True, cache_dir=str(cache_dir))
+        reset_stats()
+        with execution(config):
+            aggregate = simulate_barrier(
+                4, 100, NoBackoff(), repetitions=REPS, seed=9
+            )
+        assert get_stats().cache_stores >= 1
+        return aggregate
+
+    def _warm_run(self, cache_dir):
+        config = ExecConfig(cache=True, cache_dir=str(cache_dir))
+        reset_stats()
+        with execution(config):
+            return simulate_barrier(
+                4, 100, NoBackoff(), repetitions=REPS, seed=9
+            )
+
+    @pytest.mark.parametrize("damage", [
+        pytest.param(lambda path: open(path, "w").write('{"torn":'),
+                     id="truncated-json"),
+        pytest.param(lambda path: open(path, "w").write(""),
+                     id="empty-file"),
+        pytest.param(lambda path: open(path, "wb").write(b"\x00\xff\x00"),
+                     id="binary-garbage"),
+    ])
+    def test_damaged_entry_recomputed_and_restored(
+        self, tmp_path, damage
+    ):
+        clean = self._cold_run(tmp_path)
+        entries = _entry_paths(tmp_path)
+        for path in entries:
+            damage(path)
+
+        recovered = self._warm_run(tmp_path)
+        stats = get_stats()
+        assert stats.cache_hits == 0
+        assert stats.cache_misses >= 1
+        assert stats.cache_stores == stats.cache_misses  # re-stored
+        assert _aggregate_state(recovered) == _aggregate_state(clean)
+
+        # The re-store healed the cache: the next run hits.
+        healed = self._warm_run(tmp_path)
+        assert get_stats().cache_hits >= 1
+        assert get_stats().cache_misses == 0
+        assert _aggregate_state(healed) == _aggregate_state(clean)
+
+    def test_hand_edited_payload_fails_integrity_and_recomputes(
+        self, tmp_path
+    ):
+        # Valid JSON with a tampered payload: the integrity digest no
+        # longer matches, so the entry must read as a miss — never as
+        # wrong data folded into an aggregate.
+        clean = self._cold_run(tmp_path)
+        for path in _entry_paths(tmp_path):
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            entry["payload"] = {"forged": 12345}
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+
+        recovered = self._warm_run(tmp_path)
+        assert get_stats().cache_hits == 0
+        assert _aggregate_state(recovered) == _aggregate_state(clean)
+
+    def test_version_skew_reads_as_miss(self, tmp_path):
+        clean = self._cold_run(tmp_path)
+        for path in _entry_paths(tmp_path):
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            entry["version"] = 999  # a future layout
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+
+        recovered = self._warm_run(tmp_path)
+        assert get_stats().cache_hits == 0
+        assert _aggregate_state(recovered) == _aggregate_state(clean)
+
+    def test_unreadable_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache_key("barrier", {"n": 4}, 0)
+        path = cache.put(key, {"value": 1})
+        os.chmod(path, 0o000)
+        try:
+            if os.access(path, os.R_OK):  # running as root: no EACCES
+                pytest.skip("permissions are not enforced for this user")
+            assert cache.get(key) is None
+        finally:
+            os.chmod(path, 0o644)

@@ -6,9 +6,9 @@ from hypothesis import strategies as st
 
 from repro.barrier.arrivals import FixedArrivals, UniformArrivals
 from repro.barrier.simulator import BarrierSimulator
+from repro.check import backoff_policy_strategy
 from repro.core.backoff import (
     ExponentialFlagBackoff,
-    LinearFlagBackoff,
     NoBackoff,
     VariableBackoff,
 )
@@ -19,16 +19,9 @@ from repro.network.module import MemoryModule
 from repro.sim.stats import Histogram, RunningStats
 from repro.trace.record import Op, TraceRecord
 
-policies = st.sampled_from(
-    [
-        NoBackoff(),
-        VariableBackoff(),
-        VariableBackoff(multiplier=2, offset=3),
-        LinearFlagBackoff(step=2),
-        ExponentialFlagBackoff(base=2),
-        ExponentialFlagBackoff(base=8),
-    ]
-)
+# The shared schema-derived policy generator (repro.check.fuzz): new
+# policy shapes added there are picked up by this suite automatically.
+policies = backoff_policy_strategy()
 
 
 class TestMemoryModuleProperties:

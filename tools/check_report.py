@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Inspect and compare ``repro check`` JSON reports.
+
+``python -m repro check`` writes ``checks/report.json`` (CI uploads it
+as the ``check-report`` artifact).  This tool answers the two questions
+a red check run raises without re-running anything:
+
+- **What failed, and how do I reproduce it?**  ``summarize`` prints
+  every failing check with its detail and single-line repro command.
+- **What changed between two runs?**  ``--against`` diffs a second
+  report: checks that regressed (pass -> fail), recovered, appeared,
+  or disappeared.
+
+Usage::
+
+    python tools/check_report.py checks/report.json
+    python tools/check_report.py new/report.json --against old/report.json
+
+Exits 0 when the (primary) report is all-pass and, with ``--against``,
+nothing regressed; 1 otherwise; 2 on unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    for field in ("seed", "budget", "outcomes"):
+        if field not in report:
+            raise ValueError(f"{path}: not a check report (missing {field!r})")
+    return report
+
+
+def _key(outcome: Dict[str, Any]) -> str:
+    return f"{outcome['suite']}/{outcome['check']}"
+
+
+def summarize(report: Dict[str, Any]) -> int:
+    """Print the report's headline and every failure; returns failures."""
+    failures = [o for o in report["outcomes"] if not o["passed"]]
+    print(
+        f"seed={report['seed']} budget={report['budget']} "
+        f"checks={len(report['outcomes'])} failures={len(failures)} "
+        f"wall={report.get('wall_time_seconds', 0.0):.2f}s"
+    )
+    for outcome in failures:
+        print(f"\nFAIL {_key(outcome)}")
+        for line in str(outcome.get("detail", "")).strip().splitlines():
+            print(f"  {line}")
+        if outcome.get("repro"):
+            print(f"  repro: {outcome['repro']}")
+    return len(failures)
+
+
+def diff(new: Dict[str, Any], old: Dict[str, Any]) -> int:
+    """Print pass/fail transitions old -> new; returns regressions."""
+    new_by_key = {_key(o): o for o in new["outcomes"]}
+    old_by_key = {_key(o): o for o in old["outcomes"]}
+    regressed = sorted(
+        key for key, o in new_by_key.items()
+        if not o["passed"] and old_by_key.get(key, {}).get("passed", True)
+        and key in old_by_key
+    )
+    recovered = sorted(
+        key for key, o in new_by_key.items()
+        if o["passed"] and key in old_by_key
+        and not old_by_key[key]["passed"]
+    )
+    appeared = sorted(set(new_by_key) - set(old_by_key))
+    disappeared = sorted(set(old_by_key) - set(new_by_key))
+    for label, keys in (
+        ("regressed", regressed),
+        ("recovered", recovered),
+        ("appeared", appeared),
+        ("disappeared", disappeared),
+    ):
+        if keys:
+            print(f"{label}: {', '.join(keys)}")
+    if not any((regressed, recovered, appeared, disappeared)):
+        print("no changes between the reports")
+    return len(regressed)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="path to a check report.json")
+    parser.add_argument(
+        "--against", default=None, metavar="OLD",
+        help="also diff against this earlier report.json",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = load_report(args.report)
+        old = load_report(args.against) if args.against else None
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    failures = summarize(report)
+    regressions = 0
+    if old is not None:
+        print()
+        regressions = diff(report, old)
+    return 1 if failures or regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
