@@ -18,6 +18,10 @@ Environment knobs:
 - ``REPRO_BENCH_JOBS``  — worker processes for sweep execution
   (default 1, the serial path; >1 routes sweeps through
   :mod:`repro.exec` with bit-identical output).
+- ``REPRO_BENCH_BACKEND`` — episode engine for barrier sweeps
+  (``auto`` / ``python`` / ``numpy``; default ``auto``, which uses the
+  vectorized numpy kernel when available — see docs/vectorization.md).
+  Results are bit-identical across backends; only wall time moves.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ import time
 from typing import Any, Dict
 
 from repro.analysis.experiments import ExperimentResult, run
+from repro.barrier.backend import backend_context, validate_backend
 from repro.exec.context import ExecConfig, execution, get_stats, reset_stats
 from repro.obs.manifest import jsonable
 
@@ -36,6 +41,9 @@ REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
 BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "100"))
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+BENCH_BACKEND = validate_backend(
+    os.environ.get("REPRO_BENCH_BACKEND", "auto")
+)
 
 
 def write_record(experiment_id: str, record: Dict[str, Any]) -> str:
@@ -64,17 +72,18 @@ def run_and_report(benchmark, experiment_id: str, **kwargs) -> ExperimentResult:
         return result
 
     reset_stats()
-    if BENCH_JOBS > 1:
-        with execution(ExecConfig(jobs=BENCH_JOBS, force_engine=True)):
+    with backend_context(BENCH_BACKEND):
+        if BENCH_JOBS > 1:
+            with execution(ExecConfig(jobs=BENCH_JOBS, force_engine=True)):
+                result = benchmark.pedantic(
+                    timed_run, args=(experiment_id,), kwargs=kwargs,
+                    iterations=1, rounds=1,
+                )
+        else:
             result = benchmark.pedantic(
                 timed_run, args=(experiment_id,), kwargs=kwargs,
                 iterations=1, rounds=1,
             )
-    else:
-        result = benchmark.pedantic(
-            timed_run, args=(experiment_id,), kwargs=kwargs,
-            iterations=1, rounds=1,
-        )
     os.makedirs(REPORT_DIR, exist_ok=True)
     path = os.path.join(REPORT_DIR, f"{result.experiment_id}.txt")
     with open(path, "w", encoding="utf-8") as handle:
@@ -84,6 +93,7 @@ def run_and_report(benchmark, experiment_id: str, **kwargs) -> ExperimentResult:
         "wall_time_seconds": timings[-1],
         "knobs": dict(sorted(kwargs.items())),
         "jobs": BENCH_JOBS,
+        "backend": BENCH_BACKEND,
         "cpu_count": os.cpu_count(),
         "execution": get_stats().as_dict(),
     })

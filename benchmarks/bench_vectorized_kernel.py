@@ -1,0 +1,75 @@
+"""Benchmark: the vectorized numpy episode kernel vs the event loop.
+
+Runs figure4 twice — once on ``backend=python`` (the cycle-exact
+reference event loop) and once on ``backend=numpy`` (the batched
+episode kernel) — asserts the result digests are bit-identical and
+that the kernel actually vectorized its shards (a silent fallback
+would time the event loop against itself), and records both wall
+times plus the speedup to ``reports/vectorized_kernel.json`` for
+``tools/bench_report.py``.
+
+At the paper's repetition count the kernel's closed-form unit-wait
+path covers every figure4 point; the acceptance bar in
+docs/vectorization.md is a >= 10x speedup at that scale.  At smoke
+scales (``REPRO_BENCH_REPS=5``) the fixed per-shard overhead eats a
+chunk of the win, so the speedup is recorded, not asserted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks._util import BENCH_REPS, write_record
+from repro.analysis.experiments import run
+from repro.barrier.backend import (
+    get_kernel_counters,
+    reset_kernel_counters,
+)
+from repro.obs.manifest import jsonable
+
+EXPERIMENT_ID = "figure4"
+
+
+def bench_vectorized_kernel(benchmark):
+    from repro.exec.cache import payload_digest
+
+    start = time.perf_counter()
+    loop = run(EXPERIMENT_ID, repetitions=BENCH_REPS, backend="python")
+    python_seconds = time.perf_counter() - start
+
+    timings = []
+
+    def timed_run():
+        t0 = time.perf_counter()
+        result = run(EXPERIMENT_ID, repetitions=BENCH_REPS, backend="numpy")
+        timings.append(time.perf_counter() - t0)
+        return result
+
+    reset_kernel_counters()
+    kernel = benchmark.pedantic(timed_run, iterations=1, rounds=1)
+    numpy_seconds = timings[-1]
+    counters = get_kernel_counters()
+
+    python_digest = payload_digest(jsonable(loop.data))
+    numpy_digest = payload_digest(jsonable(kernel.data))
+    assert python_digest == numpy_digest, (
+        "backend=numpy must be bit-identical to backend=python"
+    )
+    assert counters.vectorized_shards > 0, (
+        "the numpy run never vectorized a shard; the comparison timed "
+        "the event loop twice"
+    )
+
+    write_record("vectorized_kernel", {
+        "experiment_id": EXPERIMENT_ID,
+        "repetitions": BENCH_REPS,
+        "cpu_count": os.cpu_count(),
+        "python_seconds": python_seconds,
+        "numpy_seconds": numpy_seconds,
+        "speedup": python_seconds / numpy_seconds if numpy_seconds else None,
+        "vectorized_shards": counters.vectorized_shards,
+        "fallback_shards": counters.fallback_shards,
+        "results_digest": python_digest,
+        "digests_match": True,
+    })

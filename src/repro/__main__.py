@@ -52,6 +52,11 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis.experiments import EXPERIMENTS, run as run_experiment
+from repro.barrier.backend import (
+    BACKENDS,
+    BackendUnavailableError,
+    backend_context,
+)
 from repro.core.backoff import (
     ExponentialFlagBackoff,
     LinearFlagBackoff,
@@ -150,6 +155,16 @@ def _add_param_arg(p: argparse.ArgumentParser) -> None:
         "-p", "--param", action="append", default=None, metavar="NAME=VALUE",
         help="set any declared experiment parameter (repeatable; see "
              "'experiment --describe <id>' for names, types and defaults)",
+    )
+
+
+def _add_backend_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="episode engine for barrier sweeps: 'numpy' is the "
+             "vectorized kernel (requires the [fast] extra), 'python' "
+             "the reference event loop, 'auto' picks numpy when "
+             "available; results are bit-identical (docs/vectorization.md)",
     )
 
 
@@ -475,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print only the run summary, not the report text")
     _add_param_arg(p)
     _add_exec_args(p)
+    _add_backend_arg(p)
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("barrier", help="simulate one barrier configuration")
@@ -489,6 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--step", type=int, default=1, help="linear step")
     p.add_argument("--repetitions", type=int, default=100)
     p.add_argument("--seed", type=_seed_arg, default=0)
+    _add_backend_arg(p)
     p.set_defaults(fn=_cmd_barrier)
 
     p = sub.add_parser("trace", help="schedule an application")
@@ -531,6 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_param_arg(p)
     _add_exec_args(p)
+    _add_backend_arg(p)
     p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser(
@@ -568,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=None)
     _add_param_arg(p)
     _add_exec_args(p)
+    _add_backend_arg(p)
     p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser(
@@ -596,6 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="checks",
         help="directory for report.json + manifest.json artifacts",
     )
+    _add_backend_arg(p)
     p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("advise", help="recommend a backoff policy from a profile")
@@ -616,7 +636,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     args = build_parser().parse_args(argv)
     try:
-        return args.fn(args)
+        # --backend installs the process default for the whole command;
+        # every sweep the command triggers then resolves against it.
+        with backend_context(getattr(args, "backend", None)):
+            return args.fn(args)
+    except BackendUnavailableError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except (ParameterError, UnknownExperimentError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -1,0 +1,135 @@
+"""The episode-backend knob: ``python`` (reference) vs ``numpy`` (batched).
+
+The barrier simulator has two execution backends:
+
+- ``python`` — the cycle-exact event loop in
+  :mod:`repro.barrier.simulator`, the reference semantics;
+- ``numpy`` — the vectorized episode kernel in
+  :mod:`repro.barrier.kernel_numpy`, which simulates all episodes of a
+  shard as arrays and is bit-identical to the reference loop for every
+  configuration it accepts (see ``docs/vectorization.md``).
+
+This module is the knob, not the kernel: it holds the process-global
+default backend (set by the CLI ``--backend`` flag), resolves the
+three-valued user-facing setting (``python`` / ``numpy`` / ``auto``)
+to a concrete backend, and reports whether numpy is importable at all
+— without importing numpy itself at module scope, so environments
+without the ``[fast]`` extra can still ``import repro`` and run
+``backend=python``.
+
+Like :mod:`repro.exec.context`, everything here is deliberately
+stdlib-only.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+#: The user-facing backend settings.
+BACKENDS = ("auto", "python", "numpy")
+
+#: Process-global default, consulted when no explicit backend is given.
+#: ``auto`` means: the numpy kernel when it is importable and supports
+#: the configuration, the reference loop otherwise.
+_default_backend = "auto"
+
+#: Test hook: force :func:`numpy_available` to this value when not None
+#: (simulates a missing numpy without uninstalling it).
+_availability_override: Optional[bool] = None
+
+
+class BackendUnavailableError(RuntimeError):
+    """``backend=numpy`` was requested but numpy cannot be imported."""
+
+
+def numpy_available() -> bool:
+    """True when the vectorized kernel's numpy import succeeded."""
+    if _availability_override is not None:
+        return _availability_override
+    from repro.barrier import kernel_numpy
+
+    return kernel_numpy.np is not None
+
+
+def get_default_backend() -> str:
+    """The process-global backend setting (``auto`` unless overridden)."""
+    return _default_backend
+
+
+def set_default_backend(backend: Optional[str]) -> str:
+    """Install a new default backend; returns the previous one.
+
+    ``None`` restores the built-in ``auto`` default.
+    """
+    global _default_backend
+    previous = _default_backend
+    _default_backend = validate_backend(backend) if backend else "auto"
+    return previous
+
+
+@contextlib.contextmanager
+def backend_context(backend: Optional[str]) -> Iterator[str]:
+    """Run a block under ``backend`` as the default, then restore."""
+    previous = set_default_backend(backend)
+    try:
+        yield get_default_backend()
+    finally:
+        set_default_backend(previous)
+
+
+def validate_backend(backend: str) -> str:
+    """Check a user-supplied backend name; returns it unchanged."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose one of {', '.join(BACKENDS)}"
+        )
+    return backend
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a backend setting to a concrete ``python`` or ``numpy``.
+
+    Precedence: an explicit ``backend`` argument wins; ``None`` falls
+    back to the process default (the CLI ``--backend`` flag); ``auto``
+    — from either source — picks ``numpy`` when it is importable and
+    ``python`` otherwise.  Requesting ``numpy`` explicitly without
+    numpy installed is an error, not a silent fallback.
+    """
+    choice = validate_backend(backend) if backend else get_default_backend()
+    if choice == "auto":
+        return "numpy" if numpy_available() else "python"
+    if choice == "numpy" and not numpy_available():
+        raise BackendUnavailableError(
+            "backend=numpy requested but numpy is not importable; "
+            "install the vectorized kernel's dependency with "
+            "`pip install .[fast]` or run with backend=python"
+        )
+    return choice
+
+
+# -- kernel usage counters ----------------------------------------------
+#
+# Non-digested diagnostics (like repro.exec.context.ExecStats): tests
+# and the CLI use them to tell whether the vectorized kernel actually
+# ran or the shard fell back to the reference loop.  They never enter
+# results or tracer counters, so both backends keep identical digests.
+
+class KernelCounters:
+    """Shards served by the kernel vs handed back to the event loop."""
+
+    def __init__(self) -> None:
+        self.vectorized_shards = 0
+        self.fallback_shards = 0
+
+
+_counters = KernelCounters()
+
+
+def get_kernel_counters() -> KernelCounters:
+    return _counters
+
+
+def reset_kernel_counters() -> None:
+    global _counters
+    _counters = KernelCounters()

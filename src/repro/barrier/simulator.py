@@ -40,10 +40,12 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from repro.barrier.arrivals import ArrivalProcess, UniformArrivals
+from repro.barrier.backend import get_kernel_counters, resolve_backend
 from repro.barrier.metrics import (
     BarrierAggregate,
     BarrierRunResult,
     EpisodeSummary,
+    aggregate_from_summaries,
 )
 from repro.core.backoff import BackoffPolicy
 from repro.core.barrier import SingleVariableBarrier, TangYewBarrier
@@ -312,15 +314,53 @@ class BarrierSimulator:
             )
         return result
 
-    def run(self, repetitions: int = 100) -> BarrierAggregate:
+    def _kernel_summaries(
+        self, rep_start: int, rep_stop: int
+    ) -> Optional[List[EpisodeSummary]]:
+        """Try the vectorized kernel on a shard; None means fall back.
+
+        The kernel raises :class:`repro.barrier.kernel_numpy.KernelUnsupported`
+        for configurations outside its contract (tracing, fault plans,
+        the single-variable barrier, stateful policies — see
+        ``docs/vectorization.md``); those shards take the reference loop
+        and the fallback counter records that the knob had no effect.
+        """
+        from repro.barrier import kernel_numpy
+
+        try:
+            summaries = kernel_numpy.shard_summaries(self, rep_start, rep_stop)
+        except kernel_numpy.KernelUnsupported:
+            get_kernel_counters().fallback_shards += 1
+            return None
+        get_kernel_counters().vectorized_shards += 1
+        return summaries
+
+    def run(
+        self, repetitions: int = 100, backend: Optional[str] = None
+    ) -> BarrierAggregate:
         """Average over ``repetitions`` independent episodes.
 
         The paper: "The simulation for each set of parameters is
         repeated 100 times and the numbers are averaged over all the
         runs."
+
+        ``backend`` selects the episode engine (``python`` / ``numpy`` /
+        ``auto``); None defers to the process default installed by
+        :func:`repro.barrier.backend.set_default_backend`.  Both
+        backends produce bit-identical aggregates for every supported
+        configuration.
         """
         if repetitions < 1:
             raise ValueError("repetitions must be >= 1")
+        if resolve_backend(backend) == "numpy":
+            summaries = self._kernel_summaries(0, repetitions)
+            if summaries is not None:
+                return aggregate_from_summaries(
+                    self.barrier.num_processors,
+                    self.arrivals.interval,
+                    self.barrier.backoff.name,
+                    summaries,
+                )
         aggregate = BarrierAggregate(
             num_processors=self.barrier.num_processors,
             interval_a=self.arrivals.interval,
@@ -337,7 +377,12 @@ class BarrierSimulator:
             aggregate.add_run(self.run_once(rng, network=network, heap=heap))
         return aggregate
 
-    def run_shard(self, rep_start: int, rep_stop: int) -> List[EpisodeSummary]:
+    def run_shard(
+        self,
+        rep_start: int,
+        rep_stop: int,
+        backend: Optional[str] = None,
+    ) -> List[EpisodeSummary]:
         """Simulate repetitions ``[rep_start, rep_stop)``; one summary each.
 
         Because every repetition's stream is derived from ``(seed,
@@ -345,12 +390,17 @@ class BarrierSimulator:
         no matter which process runs them or what ran before; replaying
         the summaries of shards ``[0,a) [a,b) ... [z,R)`` in order
         through :meth:`BarrierAggregate.add_summary` reproduces
-        :meth:`run`'s aggregate bit-for-bit.
+        :meth:`run`'s aggregate bit-for-bit.  ``backend`` works as in
+        :meth:`run`; summaries are bit-identical either way.
         """
         if rep_start < 0 or rep_stop < rep_start:
             raise ValueError(
                 f"invalid shard bounds [{rep_start}, {rep_stop})"
             )
+        if resolve_backend(backend) == "numpy":
+            kernel = self._kernel_summaries(rep_start, rep_stop)
+            if kernel is not None:
+                return kernel
         summaries: List[EpisodeSummary] = []
         network = NetworkModel()
         heap: List[Tuple[int, int, int, int]] = []
@@ -371,6 +421,7 @@ def simulate_barrier(
     repetitions: int = 100,
     seed: int = 0,
     single_variable: bool = False,
+    backend: Optional[str] = None,
 ) -> BarrierAggregate:
     """Convenience wrapper: simulate a (N, A, policy) point.
 
@@ -382,6 +433,10 @@ def simulate_barrier(
         seed: root seed (episodes use derived streams).
         single_variable: use the naive one-variable barrier instead of
             the Tang-Yew two-variable barrier.
+        backend: episode engine (``python`` / ``numpy`` / ``auto``);
+            None defers to the process default.  Results are
+            bit-identical across backends, so the result cache is
+            shared between them.
 
     When an active :class:`repro.exec.ExecConfig` is installed (via the
     ``--jobs``/``--cache`` CLI flags or :func:`repro.exec.execution`)
@@ -402,6 +457,7 @@ def simulate_barrier(
             repetitions=repetitions,
             seed=seed,
             single_variable=single_variable,
+            backend=backend,
         )
         return execute_barrier_points([spec], config)[0]
     return _simulate_barrier_serial(
@@ -411,6 +467,7 @@ def simulate_barrier(
         repetitions=repetitions,
         seed=seed,
         single_variable=single_variable,
+        backend=backend,
     )
 
 
@@ -421,6 +478,7 @@ def _simulate_barrier_serial(
     repetitions: int = 100,
     seed: int = 0,
     single_variable: bool = False,
+    backend: Optional[str] = None,
 ) -> BarrierAggregate:
     """The original serial path (also the exec engine's inline runner)."""
     simulator = build_simulator(
@@ -430,7 +488,7 @@ def _simulate_barrier_serial(
         seed=seed,
         single_variable=single_variable,
     )
-    return simulator.run(repetitions)
+    return simulator.run(repetitions, backend=backend)
 
 
 def build_simulator(

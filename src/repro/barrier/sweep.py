@@ -55,6 +55,7 @@ def sweep(
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[BarrierAggregate]]:
     """Simulate every (policy, N) point at one arrival interval A.
 
@@ -64,7 +65,9 @@ def sweep(
     which fans both the points and their repetition shards across the
     worker pool and consults the result cache, with output bit-identical
     to the serial loop.  An installed fault plan forces the serial path
-    (plans are process-global and episode-ordered).
+    (plans are process-global and episode-ordered).  ``backend`` picks
+    the episode engine per :mod:`repro.barrier.backend`; results are
+    bit-identical across backends.
 
     Returns:
         ``{policy_label: [BarrierAggregate per N, in n_values order]}``.
@@ -82,6 +85,7 @@ def sweep(
                 policy=policy,
                 repetitions=repetitions,
                 seed=seed,
+                backend=backend,
             )
             for policy in policies.values()
             for n in n_values
@@ -98,7 +102,8 @@ def sweep(
         for n in n_values:
             points.append(
                 simulate_barrier(
-                    n, interval_a, policy, repetitions=repetitions, seed=seed
+                    n, interval_a, policy, repetitions=repetitions, seed=seed,
+                    backend=backend,
                 )
             )
         results[label] = points
@@ -126,11 +131,12 @@ def sweep_accesses(
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Series]:
     """Network accesses per process vs N (Figures 4-7 curves)."""
     results = sweep(
         n_values, interval_a, policies, repetitions, seed,
-        jobs=jobs, cache=cache, cache_dir=cache_dir,
+        jobs=jobs, cache=cache, cache_dir=cache_dir, backend=backend,
     )
     return _to_series(results, "mean_accesses")
 
@@ -144,11 +150,12 @@ def sweep_waiting_time(
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Series]:
     """Waiting time per process vs N (Figures 8-10 curves)."""
     results = sweep(
         n_values, interval_a, policies, repetitions, seed,
-        jobs=jobs, cache=cache, cache_dir=cache_dir,
+        jobs=jobs, cache=cache, cache_dir=cache_dir, backend=backend,
     )
     return _to_series(results, "mean_waiting_time")
 
@@ -159,6 +166,7 @@ def sweep_interval(
     policies: Optional[Mapping[str, BackoffPolicy]] = None,
     repetitions: int = 100,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> Dict[str, Series]:
     """Network accesses vs the arrival interval A at fixed N.
 
@@ -173,7 +181,8 @@ def sweep_interval(
         curve = Series(label=label)
         for interval_a in a_values:
             point = simulate_barrier(
-                n, interval_a, policy, repetitions=repetitions, seed=seed
+                n, interval_a, policy, repetitions=repetitions, seed=seed,
+                backend=backend,
             )
             curve.add(interval_a, point.mean_accesses)
         series[label] = curve
@@ -189,11 +198,12 @@ def sweep_both(
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Dict[str, Series]]:
     """One simulation pass yielding both metrics (no duplicated work)."""
     results = sweep(
         n_values, interval_a, policies, repetitions, seed,
-        jobs=jobs, cache=cache, cache_dir=cache_dir,
+        jobs=jobs, cache=cache, cache_dir=cache_dir, backend=backend,
     )
     return {
         "accesses": _to_series(results, "mean_accesses"),

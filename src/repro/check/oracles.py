@@ -15,6 +15,11 @@ Three families:
   base polling loop bit-for-bit; traffic predictions are monotone in N;
   exponential waits are monotone in polls, base and cap and never
   exceed the cap; flag backoff strictly beats no backoff when A >> N.
+- **Backend parity** (`backend-parity`): the pure-python event loop and
+  the vectorized numpy kernel must produce bit-identical episode
+  summaries and experiment digests on randomized barrier configurations
+  — the executable form of the equivalence contract in
+  ``docs/vectorization.md``.  Skipped (0 cases) when numpy is absent.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from repro.core.backoff import (
     NoBackoff,
     VariableBackoff,
 )
+from repro.obs.tracer import NULL_TRACER, tracing
 from repro.sim.rng import spawn_stream
 
 #: The differential-oracle registry: name -> check function.
@@ -179,6 +185,95 @@ def check_exec_parity(ctx: CheckContext) -> int:
             )
         cases += 1
     return cases
+
+
+@differential("backend-parity")
+def check_backend_parity(ctx: CheckContext) -> int:
+    """python vs numpy episode backends, pinned summary-by-summary.
+
+    The contract (docs/vectorization.md): for every configuration the
+    kernel accepts, episode summaries — and therefore aggregates,
+    experiment payloads and result digests — are *bit-identical* to the
+    reference event loop; configurations it cannot accept must fall
+    back to the loop, which makes parity trivial but still checks the
+    dispatch path.  The oracle fails if the kernel never actually
+    vectorized a shard (a silently-vacuous pass), and is skipped with
+    zero cases when numpy itself is unavailable.
+    """
+    from repro.barrier.backend import (
+        get_kernel_counters,
+        numpy_available,
+    )
+    from repro.core.backoff import LinearFlagBackoff
+
+    if not numpy_available():
+        return 0
+
+    rng = ctx.rng("backend-parity")
+    policies = (
+        NoBackoff(),
+        VariableBackoff(),
+        LinearFlagBackoff(step=2),
+        ExponentialFlagBackoff(base=2),
+        ExponentialFlagBackoff(base=8),
+    )
+    before = get_kernel_counters().vectorized_shards
+    cases = 0
+    for __ in range(ctx.budget.cases * 2):
+        n = int(rng.integers(1, 65))
+        interval_a = int(rng.choice([0, int(rng.integers(1, 301)), 1000]))
+        seed = int(rng.integers(0, 2**32))
+        policy = policies[int(rng.integers(0, len(policies)))]
+        reps = max(2, ctx.budget.repetitions)
+        simulator = build_simulator(n, interval_a, policy, seed=seed)
+        # Mirror the exec engine: simulator-level tracing is suppressed
+        # while a backend owns the shard (the kernel refuses traced
+        # configurations, which would make every case fall back).
+        with tracing(NULL_TRACER):
+            loop = simulator.run_shard(0, reps, backend="python")
+            kernel = simulator.run_shard(0, reps, backend="numpy")
+        mismatches = [
+            rep
+            for rep, (a, b) in enumerate(zip(loop, kernel))
+            if a.as_tuple() != b.as_tuple()
+        ]
+        if mismatches:
+            rep = mismatches[0]
+            raise CheckFailure(
+                f"backends disagree at N={n}, A={interval_a}, "
+                f"policy={policy!r}, seed={seed}, rep={rep}: "
+                f"python {loop[rep].as_tuple()} vs "
+                f"numpy {kernel[rep].as_tuple()} "
+                f"({len(mismatches)}/{reps} episode(s) differ)"
+            )
+        cases += 1
+    if get_kernel_counters().vectorized_shards == before:
+        raise CheckFailure(
+            "backend-parity ran without the numpy kernel vectorizing a "
+            "single shard — every configuration fell back to the event "
+            "loop, so the oracle checked nothing"
+        )
+
+    # One registry-level pin: the whole figure4 pipeline (sweep, engine,
+    # aggregation, canonicalization) digests identically per backend.
+    from repro.exec import payload_digest
+    from repro.obs.manifest import jsonable
+    from repro.registry import run
+
+    kwargs = dict(repetitions=3, n_values=(2, 8, 32), a_values=(0, 100))
+    digests = {
+        backend: payload_digest(
+            jsonable(run("figure4", backend=backend, **kwargs).data)
+        )
+        for backend in ("python", "numpy")
+    }
+    if digests["python"] != digests["numpy"]:
+        raise CheckFailure(
+            f"figure4 digests diverge across backends: {digests}",
+            repro="python -m repro run figure4 -p repetitions=3 "
+                  "-p n_values=2,8,32 -p a_values=0,100 --backend numpy",
+        )
+    return cases + 1
 
 
 @differential("metamorphic-zero-backoff")

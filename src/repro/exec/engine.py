@@ -37,6 +37,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.barrier.backend import resolve_backend
 from repro.barrier.metrics import (
     BarrierAggregate,
     EpisodeSummary,
@@ -74,6 +75,11 @@ class PointSpec:
     repetitions: int = 100
     seed: int = 0
     single_variable: bool = False
+    #: Episode engine (``python`` / ``numpy`` / ``auto``; None defers
+    #: to the process default).  Deliberately NOT part of ``params()``:
+    #: backends are bit-identical, so both share one cache entry and a
+    #: warm cache serves either backend's request.
+    backend: Optional[str] = None
 
     def params(self) -> Dict[str, Any]:
         """The canonicalizable parameter dict used in the cache key."""
@@ -179,7 +185,7 @@ def _run_point_inline(spec: PointSpec) -> List[EpisodeSummary]:
         single_variable=spec.single_variable,
     )
     with tracing(NULL_TRACER):
-        return simulator.run_shard(0, spec.repetitions)
+        return simulator.run_shard(0, spec.repetitions, backend=spec.backend)
 
 
 def execute_barrier_points(
@@ -224,6 +230,10 @@ def execute_barrier_points(
             if getattr(spec.policy, "stateful", False):
                 continue
             bounds = shard_bounds(spec.repetitions, config.jobs)
+            # Resolve the backend here, in the parent: workers inherit
+            # whatever ambient default existed when the pool forked, so
+            # the caller's --backend choice must travel in the task.
+            backend = resolve_backend(spec.backend)
             for shard_index, (start, stop) in enumerate(bounds):
                 task = make_shard_task(
                     spec.num_processors,
@@ -233,6 +243,7 @@ def execute_barrier_points(
                     spec.single_variable,
                     start,
                     stop,
+                    backend=backend,
                 )
                 future = pool.submit(run_barrier_shard, task)
                 futures[future] = (index, shard_index)
@@ -353,9 +364,13 @@ def execute_experiment_points(
         stats.points += 1
         address: Optional[str] = None
         if cache is not None:
+            # The backend knob never enters the address: backends are
+            # bit-identical, so a cache warmed under one serves the
+            # other (mirrors PointSpec.params()).
+            keyed = {k: v for k, v in kwargs.items() if k != "backend"}
             address = cache_key(
                 f"{EXPERIMENT_KIND}:{experiment_id}",
-                {"point": point_key, "params": kwargs},
+                {"point": point_key, "params": keyed},
                 seed,
             )
             payload = cache.get(address)

@@ -55,8 +55,15 @@ def make_shard_task(
     single_variable: bool,
     rep_start: int,
     rep_stop: int,
+    backend: str = "python",
 ) -> Dict[str, Any]:
-    """The picklable work order :func:`run_barrier_shard` executes."""
+    """The picklable work order :func:`run_barrier_shard` executes.
+
+    ``backend`` must already be resolved (``python`` or ``numpy``) —
+    workers inherit whatever ambient default existed when the pool was
+    forked, so deferring resolution to the worker would ignore a
+    ``--backend`` flag set afterwards in the parent.
+    """
     return {
         "num_processors": num_processors,
         "interval_a": interval_a,
@@ -65,6 +72,7 @@ def make_shard_task(
         "single_variable": single_variable,
         "rep_start": rep_start,
         "rep_stop": rep_stop,
+        "backend": backend,
     }
 
 
@@ -112,5 +120,9 @@ def run_barrier_shard(task: Dict[str, Any]) -> List[tuple]:
         seed=task["seed"],
         single_variable=task["single_variable"],
     )
-    summaries = simulator.run_shard(task["rep_start"], task["rep_stop"])
+    summaries = simulator.run_shard(
+        task["rep_start"],
+        task["rep_stop"],
+        backend=task.get("backend", "python"),
+    )
     return [summary.as_tuple() for summary in summaries]

@@ -26,12 +26,13 @@ from repro.sim.stats import Series
 # -- figure4 -------------------------------------------------------------
 
 
-def _figure4_point(repetitions, n_values, a_values, seed):
+def _figure4_point(repetitions, n_values, a_values, seed, backend=""):
     (n,) = n_values
     sim = []
     for interval_a in a_values:
         point = simulate_barrier(
-            n, interval_a, NoBackoff(), repetitions=repetitions, seed=seed
+            n, interval_a, NoBackoff(), repetitions=repetitions, seed=seed,
+            backend=backend,
         )
         sim.append(point.mean_accesses)
     return {"sim": sim}
@@ -78,6 +79,9 @@ register(
             Param("n_values", "ints", PAPER_N_VALUES),
             Param("a_values", "ints", PAPER_A_VALUES),
             Param("seed", "int", 0),
+            Param("backend", "str", "",
+                  "episode engine: python|numpy|auto; '' = the ambient "
+                  "--backend default"),
         ),
         axis="n_values",
         run_point=_figure4_point,
@@ -90,7 +94,7 @@ register(
 
 
 def barrier_sweep_point(
-    n: int, interval_a: int, repetitions: int, seed: int
+    n: int, interval_a: int, repetitions: int, seed: int, backend: str = ""
 ) -> List[list]:
     """One (N, A) slice of the paper-policy sweep, every figure metric.
 
@@ -99,7 +103,7 @@ def barrier_sweep_point(
     .paper_policies` order — the shared payload of Figures 5-7
     (accesses) and Figures 8-10 (waiting times).
     """
-    results = sweep((n,), interval_a, None, repetitions, seed)
+    results = sweep((n,), interval_a, None, repetitions, seed, backend=backend)
     return [
         [
             label,
@@ -189,9 +193,13 @@ def _waiting_aggregate(figure_id, interval_a, points, params):
 def _register_sweep_figure(number: int, interval_a: int, family: str) -> None:
     figure_id = f"Figure {number}"
 
-    def run_point(repetitions, n_values, seed):
+    def run_point(repetitions, n_values, seed, backend=""):
         (n,) = n_values
-        return {"policies": barrier_sweep_point(n, interval_a, repetitions, seed)}
+        return {
+            "policies": barrier_sweep_point(
+                n, interval_a, repetitions, seed, backend=backend
+            )
+        }
 
     if family == "accesses":
         summary = f"Figure {number}: accesses vs N at A = {interval_a}."
@@ -219,6 +227,9 @@ def _register_sweep_figure(number: int, interval_a: int, family: str) -> None:
                 Param("repetitions", "int", 100),
                 Param("n_values", "ints", PAPER_N_VALUES),
                 Param("seed", "int", 0),
+                Param("backend", "str", "",
+                      "episode engine: python|numpy|auto; '' = the ambient "
+                      "--backend default"),
             ),
             axis="n_values",
             run_point=run_point,
@@ -238,7 +249,7 @@ _register_sweep_figure(10, 1000, "waiting")
 # -- hardware ------------------------------------------------------------
 
 
-def _hardware_point(repetitions, n_values, a_values, seed):
+def _hardware_point(repetitions, n_values, a_values, seed, backend=""):
     (n,) = n_values
     baselines = hardware_baselines(n)
     best_backoff = None
@@ -249,6 +260,7 @@ def _hardware_point(repetitions, n_values, a_values, seed):
             ExponentialFlagBackoff(base=2),
             repetitions=repetitions,
             seed=seed,
+            backend=backend,
         )
         if best_backoff is None or point.mean_accesses < best_backoff:
             best_backoff = point.mean_accesses
@@ -304,6 +316,9 @@ register(
             Param("n_values", "ints", (4, 8, 16, 32, 64, 128)),
             Param("a_values", "ints", PAPER_A_VALUES, "candidate A values"),
             Param("seed", "int", 0),
+            Param("backend", "str", "",
+                  "episode engine: python|numpy|auto; '' = the ambient "
+                  "--backend default"),
         ),
         axis="n_values",
         run_point=_hardware_point,

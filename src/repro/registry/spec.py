@@ -131,6 +131,10 @@ DEFAULT_FUZZ_DOMAINS: Dict[str, Dict[str, Any]] = {
     "background_rate": {"type": "float", "lo": 0.0, "hi": 0.5},
     "base": {"type": "int", "lo": 2, "hi": 8},
     "num_pointers": {"type": "int", "lo": 1, "hi": 8},
+    # Never "numpy": an explicit numpy request errors when the [fast]
+    # extra is missing, and fuzzing must stay runnable without it
+    # ("" defers to the ambient default).
+    "backend": {"type": "choice", "values": ["", "auto", "python"]},
 }
 
 

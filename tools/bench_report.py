@@ -8,6 +8,9 @@ text report (``benchmarks/reports/<id>.json`` — see
 - per-experiment wall time and the knobs each run used,
 - the serial-vs-``--jobs`` comparison from ``parallel_sweep.json``
   (speedup, worker count, digest equality),
+- the python-vs-numpy backend comparison from
+  ``vectorized_kernel.json`` (speedup, shard counters, digest
+  equality — see docs/vectorization.md),
 - the host's ``cpu_count`` so a <= 1x speedup on a one-core CI box is
   not mistaken for a regression.
 
@@ -38,6 +41,7 @@ def collect(reports_dir: str) -> Dict[str, Any]:
     experiments: Dict[str, Any] = {}
     comparison: Dict[str, Any] = {}
     registry_overhead: Dict[str, Any] = {}
+    vectorized: Dict[str, Any] = {}
     for path in sorted(glob.glob(os.path.join(reports_dir, "*.json"))):
         name = os.path.splitext(os.path.basename(path))[0]
         try:
@@ -51,11 +55,14 @@ def collect(reports_dir: str) -> Dict[str, Any]:
             comparison = record
         elif name == "registry_overhead":
             registry_overhead = record
+        elif name == "vectorized_kernel":
+            vectorized = record
         else:
             experiments[name] = record
     return {
         "cpu_count": os.cpu_count(),
         "experiments": experiments,
+        "python_vs_numpy": vectorized,
         "registry_overhead": registry_overhead,
         "serial_vs_jobs": comparison,
     }
@@ -70,7 +77,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report = collect(args.reports_dir)
-    if not report["experiments"] and not report["serial_vs_jobs"]:
+    if (not report["experiments"] and not report["serial_vs_jobs"]
+            and not report["python_vs_numpy"]):
         print(
             f"no benchmark records found under {args.reports_dir}; "
             "run `python -m pytest benchmarks/` first",
@@ -100,6 +108,18 @@ def main(argv=None) -> int:
                 f"({overhead.get('experiment_id')}, budget "
                 f"{100 * overhead.get('max_overhead_fraction', 0.02):.0f}%)"
             )
+    vectorized = report["python_vs_numpy"]
+    if vectorized:
+        speedup = vectorized.get("speedup")
+        print(
+            f"  backend python vs numpy ({vectorized.get('experiment_id')}): "
+            f"{vectorized.get('python_seconds', 0.0):.3f}s -> "
+            f"{vectorized.get('numpy_seconds', 0.0):.3f}s "
+            f"({speedup:.1f}x, {vectorized.get('vectorized_shards', 0)} "
+            f"vectorized shard(s))"
+            if isinstance(speedup, (int, float)) else
+            "  backend python vs numpy comparison incomplete"
+        )
     if comparison:
         speedup = comparison.get("speedup")
         print(

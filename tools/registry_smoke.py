@@ -18,6 +18,11 @@ exact regressions a registry or engine change could introduce.
 Usage::
 
     python tools/registry_smoke.py [--jobs 2] [--ids figure5 table1 ...]
+                                   [--backend auto|python|numpy]
+
+``--backend`` selects the barrier episode engine (docs/vectorization.md);
+experiments whose schema has no ``backend`` parameter ignore it.  The
+goldens are backend-independent because backends are bit-identical.
 """
 
 from __future__ import annotations
@@ -59,8 +64,13 @@ def main(argv=None) -> int:
                         help="worker processes for the engine runs")
     parser.add_argument("--ids", nargs="*", default=None,
                         help="experiment ids (default: all)")
+    parser.add_argument("--backend", default=None,
+                        choices=("auto", "python", "numpy"),
+                        help="barrier episode engine (default: ambient, "
+                             "i.e. auto)")
     args = parser.parse_args(argv)
 
+    from repro.barrier.backend import backend_context, get_kernel_counters
     from repro.exec.context import (
         ExecConfig,
         execution,
@@ -80,21 +90,24 @@ def main(argv=None) -> int:
         golden = goldens[experiment_id]["data_sha256"]
         problems = []
 
-        serial = data_digest(run(experiment_id, **kwargs).data)
-        if serial != golden:
-            problems.append("serial digest != golden")
+        with backend_context(args.backend):
+            serial = data_digest(run(experiment_id, **kwargs).data)
+            if serial != golden:
+                problems.append("serial digest != golden")
 
-        with tempfile.TemporaryDirectory(prefix="registry-smoke-") as cache:
-            config = ExecConfig(jobs=args.jobs, cache=True, cache_dir=cache,
-                                force_engine=True)
-            reset_stats()
-            with execution(config):
-                cold = data_digest(run(experiment_id, **kwargs).data)
-            cold_stats = get_stats()
-            reset_stats()
-            with execution(config):
-                warm = data_digest(run(experiment_id, **kwargs).data)
-            warm_stats = get_stats()
+            with tempfile.TemporaryDirectory(
+                prefix="registry-smoke-"
+            ) as cache:
+                config = ExecConfig(jobs=args.jobs, cache=True,
+                                    cache_dir=cache, force_engine=True)
+                reset_stats()
+                with execution(config):
+                    cold = data_digest(run(experiment_id, **kwargs).data)
+                cold_stats = get_stats()
+                reset_stats()
+                with execution(config):
+                    warm = data_digest(run(experiment_id, **kwargs).data)
+                warm_stats = get_stats()
 
         if cold != golden:
             problems.append("cold engine digest != golden")
@@ -119,8 +132,15 @@ def main(argv=None) -> int:
     if failures:
         print(f"\n{failures} experiment(s) failed", file=sys.stderr)
         return 1
+    counters = get_kernel_counters()
+    backend_note = f"backend={args.backend or 'ambient (auto)'}"
+    if counters.vectorized_shards or counters.fallback_shards:
+        backend_note += (
+            f", {counters.vectorized_shards} vectorized / "
+            f"{counters.fallback_shards} fallback shard(s)"
+        )
     print(f"\nall {len(ids)} experiments bit-identical across "
-          f"serial / jobs={args.jobs} / cache-warm")
+          f"serial / jobs={args.jobs} / cache-warm ({backend_note})")
     return 0
 
 
