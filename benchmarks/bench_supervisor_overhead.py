@@ -1,0 +1,93 @@
+"""Benchmark: supervised execution vs the bare exec engine, no faults.
+
+Supervision (repro.exec.supervisor) promises to be free until
+something actually goes wrong: with no worker deaths, no retries and
+no deadline expiries, an armed ``--retries``/``--deadline`` run must
+produce bit-identical results within 2% of the unsupervised wall
+time.  This benchmark runs the same experiment through the exec
+engine with supervision dormant (the default config) and armed
+(retries + a generous deadline), min-of-k on the same in-process
+state, asserts the results match exactly, and enforces the budget.
+
+Writes ``reports/supervisor_overhead.json`` for
+``tools/bench_report.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks._util import BENCH_REPS, write_record
+from repro.exec.context import ExecConfig, execution
+from repro.exec.supervisor import SupervisorConfig, supervision
+from repro.registry import run
+
+EXPERIMENT_ID = "figure5"
+ROUNDS = 5
+MAX_OVERHEAD_FRACTION = 0.02
+
+#: Armed but never triggered on a healthy run: the deadline is far
+#: beyond any point's wall time and no point ever fails, so this
+#: measures pure supervision machinery, not recovery work.
+ARMED = SupervisorConfig(retries=2, deadline_seconds=3600.0)
+
+
+def _min_of(rounds, fn):
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def bench_supervisor_overhead(benchmark):
+    kwargs = dict(repetitions=BENCH_REPS)
+
+    def plain():
+        with execution(ExecConfig(force_engine=True)):
+            return run(EXPERIMENT_ID, **kwargs)
+
+    def supervised():
+        with supervision(ARMED):
+            with execution(ExecConfig(force_engine=True)):
+                return run(EXPERIMENT_ID, **kwargs)
+
+    # Warm both paths (imports, memoized code digest) before timing,
+    # and pin the no-fault bit-identity claim while we are at it.
+    plain_result = plain()
+    supervised_result = benchmark.pedantic(
+        supervised, iterations=1, rounds=1
+    )
+    assert str(plain_result) == str(supervised_result)
+
+    plain_seconds = _min_of(ROUNDS, plain)
+    supervised_seconds = _min_of(ROUNDS, supervised)
+    overhead_seconds = max(0.0, supervised_seconds - plain_seconds)
+    overhead_fraction = overhead_seconds / supervised_seconds
+
+    write_record("supervisor_overhead", {
+        "experiment_id": EXPERIMENT_ID,
+        "repetitions": BENCH_REPS,
+        "rounds": ROUNDS,
+        "cpu_count": os.cpu_count(),
+        "retries": ARMED.retries,
+        "deadline_seconds": ARMED.deadline_seconds,
+        "plain_seconds": plain_seconds,
+        "supervised_seconds": supervised_seconds,
+        "overhead_seconds": overhead_seconds,
+        "overhead_fraction": overhead_fraction,
+        "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+    })
+    print(
+        f"\nsupervised {supervised_seconds:.4f}s vs plain "
+        f"{plain_seconds:.4f}s -> overhead "
+        f"{100 * overhead_fraction:.2f}% "
+        f"(budget {100 * MAX_OVERHEAD_FRACTION:.0f}%)"
+    )
+    assert overhead_fraction < MAX_OVERHEAD_FRACTION, (
+        f"supervision overhead {100 * overhead_fraction:.2f}% "
+        f"exceeds the {100 * MAX_OVERHEAD_FRACTION:.0f}% no-fault budget"
+    )

@@ -38,6 +38,17 @@ Commands:
                               schema-derived fuzzing over every
                               registered experiment (see
                               docs/testing.md).
+- ``chaos``                 — kill workers mid-sweep, tear a cache
+                              entry and a checkpoint record, then
+                              assert supervised recovery reproduces the
+                              serial baseline digests bit-for-bit (see
+                              docs/resilience.md).
+
+``run``/``profile``/``faults``/``check`` also take the supervision
+flags ``--retries`` / ``--deadline`` / ``--retry-policy`` (bounded
+adaptive-backoff retries and per-point wall-clock budgets), and
+``run``/``profile`` take ``--checkpoint-dir`` / ``--resume`` (durable
+per-point checkpoints for any registry experiment).
 
 Experiment ids are validated against the registry, not hard-coded into
 the parser: an unknown id exits with status 2 and a did-you-mean
@@ -71,6 +82,11 @@ from repro.exec.context import (
     get_stats,
     jobs_arg,
     reset_stats,
+)
+from repro.exec.supervisor import (
+    SupervisorConfig,
+    parse_backoff_spec,
+    supervision,
 )
 
 
@@ -205,6 +221,74 @@ def _exec_config_from_args(args) -> Optional[ExecConfig]:
     )
 
 
+def _retry_policy_arg(text: str) -> str:
+    """argparse type for ``--retry-policy``: validate the spec up front."""
+    try:
+        parse_backoff_spec(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return text
+
+
+def _add_supervisor_args(
+    p: argparse.ArgumentParser, checkpoint: bool = True
+) -> None:
+    """The shared supervision flags (see docs/resilience.md)."""
+    p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry a failed or timed-out point up to N times "
+             "(default: 0 — fail fast)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock budget; an expired point raises "
+             "PointTimeoutError (and is retried under --retries)",
+    )
+    p.add_argument(
+        "--retry-policy", type=_retry_policy_arg, default=None,
+        metavar="SPEC",
+        help="retry-wait schedule: exponential[:base=B], linear[:step=S] "
+             "or none — the paper's own backoff shapes (default: "
+             "exponential)",
+    )
+    if checkpoint:
+        p.add_argument(
+            "--checkpoint-dir", default=None, metavar="DIR",
+            help="write an atomic digest-verified checkpoint per finished "
+                 "point into DIR",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="replay compatible points from --checkpoint-dir before "
+                 "running the rest",
+        )
+
+
+def _supervisor_config_from_args(args) -> Optional[SupervisorConfig]:
+    """A SupervisorConfig, or None when no supervision flag was given."""
+    retries = getattr(args, "retries", None)
+    deadline = getattr(args, "deadline", None)
+    policy = getattr(args, "retry_policy", None)
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    resume = bool(getattr(args, "resume", False))
+    if resume and not checkpoint_dir:
+        raise ValueError("--resume requires --checkpoint-dir")
+    if (
+        retries is None
+        and deadline is None
+        and policy is None
+        and checkpoint_dir is None
+    ):
+        return None
+    return SupervisorConfig(
+        retries=retries if retries is not None else 0,
+        deadline_seconds=deadline,
+        backoff=policy if policy is not None else "exponential",
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+
+
 def _render_exec_stats(config: ExecConfig) -> str:
     stats = get_stats()
     cache_state = "on" if config.cache else "off"
@@ -215,6 +299,17 @@ def _render_exec_stats(config: ExecConfig) -> str:
     )
     if stats.shards:
         line += f", {stats.shards} shard(s)"
+    recoveries = []
+    if stats.points_resumed:
+        recoveries.append(f"{stats.points_resumed} resumed")
+    if stats.retries:
+        recoveries.append(f"{stats.retries} retried")
+    if stats.worker_deaths:
+        recoveries.append(f"{stats.worker_deaths} worker death(s)")
+    if stats.cache_quarantined:
+        recoveries.append(f"{stats.cache_quarantined} quarantined")
+    if recoveries:
+        line += ", " + ", ".join(recoveries)
     return line
 
 
@@ -238,21 +333,32 @@ def _cmd_experiment(args) -> int:
 
 def _cmd_run(args) -> int:
     import time
+    from contextlib import ExitStack
 
     from repro.exec.cache import payload_digest
     from repro.obs.manifest import jsonable
 
     config = _exec_config_from_args(args)
+    try:
+        supervisor = _supervisor_config_from_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if supervisor is not None and config is None:
+        # Supervision lives in the exec engine: arm it even without an
+        # explicit exec flag, so --retries alone still takes effect.
+        config = ExecConfig(force_engine=True)
     kwargs = _experiment_kwargs(
         args.id, args.repetitions, args.scale, seed=args.seed,
         params=args.param,
     )
     reset_stats()
     start = time.perf_counter()
-    if config is not None:
-        with execution(config):
-            result = run_experiment(args.id, **kwargs)
-    else:
+    with ExitStack() as stack:
+        if supervisor is not None:
+            stack.enter_context(supervision(supervisor))
+        if config is not None:
+            stack.enter_context(execution(config))
         result = run_experiment(args.id, **kwargs)
     wall_time = time.perf_counter() - start
     if not args.quiet:
@@ -270,21 +376,26 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_profile(args) -> int:
+    from contextlib import ExitStack
+
     from repro.obs import profile_experiment
 
     config = _exec_config_from_args(args)
+    try:
+        supervisor = _supervisor_config_from_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if supervisor is not None and config is None:
+        config = ExecConfig(force_engine=True)
     kwargs = _experiment_kwargs(
         args.id, args.repetitions, args.scale, params=args.param
     )
-    if config is not None:
-        with execution(config):
-            profile = profile_experiment(
-                args.id,
-                output_dir=args.output,
-                ring_size=args.ring_size,
-                **kwargs,
-            )
-    else:
+    with ExitStack() as stack:
+        if supervisor is not None:
+            stack.enter_context(supervision(supervisor))
+        if config is not None:
+            stack.enter_context(execution(config))
         profile = profile_experiment(
             args.id,
             output_dir=args.output,
@@ -402,6 +513,11 @@ def _cmd_faults(args) -> int:
             jobs=args.jobs,
             use_cache=args.cache,
             cache_dir=args.cache_dir,
+            retry_policy=(
+                args.retry_policy
+                if args.retry_policy is not None
+                else "exponential"
+            ),
             **overrides,
         )
     except (ValueError, CheckpointMismatchError) as error:
@@ -413,17 +529,22 @@ def _cmd_faults(args) -> int:
 
 def _cmd_check(args) -> int:
     import os
+    from contextlib import ExitStack
 
     from repro.check import run_checks
 
     try:
-        report = run_checks(
-            suites=args.suite,
-            budget=args.budget,
-            seed=args.seed,
-            ids=args.ids,
-            out_dir=args.output,
-        )
+        supervisor = _supervisor_config_from_args(args)
+        with ExitStack() as stack:
+            if supervisor is not None:
+                stack.enter_context(supervision(supervisor))
+            report = run_checks(
+                suites=args.suite,
+                budget=args.budget,
+                seed=args.seed,
+                ids=args.ids,
+                out_dir=args.output,
+            )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -433,6 +554,49 @@ def _cmd_check(args) -> int:
         print(f"report   : {os.path.join(args.output, 'report.json')}")
         print(f"manifest : {os.path.join(args.output, 'manifest.json')} "
               f"(digest {report.manifest_digest[:16]}…)")
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos(args) -> int:
+    import json
+    import os
+
+    from repro.exec.chaos import run_chaos
+
+    overrides = _experiment_kwargs(
+        args.id, args.repetitions, args.scale, params=args.param
+    )
+    try:
+        report = run_chaos(
+            args.id,
+            seed=args.seed,
+            jobs=args.jobs if args.jobs is not None else 4,
+            kill=args.kill,
+            hang=args.hang,
+            hang_seconds=args.hang_seconds,
+            deadline_seconds=args.deadline,
+            retries=args.retries if args.retries is not None else 2,
+            retry_policy=(
+                args.retry_policy
+                if args.retry_policy is not None
+                else "exponential"
+            ),
+            corrupt_cache=args.corrupt_cache,
+            truncate_checkpoint=args.truncate_checkpoint,
+            work_dir=args.work_dir,
+            keep=args.keep,
+            **overrides,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.counters:
+        os.makedirs(os.path.dirname(args.counters) or ".", exist_ok=True)
+        with open(args.counters, "w", encoding="utf-8") as handle:
+            json.dump(report.counters(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"counters  : {args.counters}")
     return 0 if report.ok else 1
 
 
@@ -490,6 +654,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print only the run summary, not the report text")
     _add_param_arg(p)
     _add_exec_args(p)
+    _add_supervisor_args(p)
     _add_backend_arg(p)
     p.set_defaults(fn=_cmd_run)
 
@@ -548,6 +713,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_param_arg(p)
     _add_exec_args(p)
+    _add_supervisor_args(p)
     _add_backend_arg(p)
     p.set_defaults(fn=_cmd_profile)
 
@@ -569,12 +735,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-dir", default=None,
         help="checkpoint directory (default: checkpoints/<experiment-id>)",
     )
-    p.add_argument("--timeout", type=float, default=None,
-                   help="per-point wall-clock budget in seconds")
-    p.add_argument("--max-retries", type=int, default=2,
-                   help="retries per failed point (exponential backoff)")
+    p.add_argument("--timeout", "--deadline", dest="timeout",
+                   type=float, default=None,
+                   help="per-point wall-clock budget in seconds "
+                        "(--deadline is the run/profile spelling)")
+    p.add_argument("--max-retries", "--retries", dest="max_retries",
+                   type=int, default=2,
+                   help="retries per failed point "
+                        "(--retries is the run/profile spelling)")
     p.add_argument("--retry-backoff", type=float, default=0.05,
-                   help="base retry sleep in seconds (doubles per retry)")
+                   help="base retry sleep in seconds; the wait shape "
+                        "comes from --retry-policy")
+    p.add_argument("--retry-policy", type=_retry_policy_arg, default=None,
+                   metavar="SPEC",
+                   help="retry-wait schedule: exponential[:base=B], "
+                        "linear[:step=S] or none (default: exponential, "
+                        "the historical doubling schedule)")
     p.add_argument(
         "--max-points", type=int, default=None,
         help="stop after running this many new points (simulates a crash; "
@@ -615,8 +791,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="checks",
         help="directory for report.json + manifest.json artifacts",
     )
+    _add_supervisor_args(p, checkpoint=False)
     _add_backend_arg(p)
     p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser(
+        "chaos",
+        help="kill workers and damage durable state mid-sweep, then "
+             "assert supervised recovery matches the serial baseline",
+    )
+    p.add_argument("id", metavar="ID",
+                   help="experiment id; see 'python -m repro list'")
+    p.add_argument("--seed", type=_seed_arg, default=0,
+                   help="seeds the victim choice and the fault schedule")
+    p.add_argument("--jobs", type=jobs_arg, default=None,
+                   help="worker processes for the chaos runs (default: 4)")
+    p.add_argument("--kill", type=int, default=1,
+                   help="worker kills (SIGKILL) to inject mid-sweep")
+    p.add_argument("--hang", type=int, default=0,
+                   help="points to hang into their --deadline")
+    p.add_argument("--hang-seconds", type=float, default=30.0,
+                   help="how long an injected hang sleeps")
+    p.add_argument(
+        "--corrupt-cache", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="tear the victim point's cache entry between runs",
+    )
+    p.add_argument(
+        "--truncate-checkpoint", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="tear the victim point's checkpoint record between runs",
+    )
+    p.add_argument("--work-dir", default=None,
+                   help="directory for the cache + checkpoints "
+                        "(default: a temp dir, deleted afterwards)")
+    p.add_argument("--keep", action="store_true",
+                   help="keep the work dir for post-mortems")
+    p.add_argument("--counters", default=None, metavar="PATH",
+                   help="also write the recovery counters as JSON to PATH")
+    p.add_argument("--repetitions", type=int, default=None)
+    p.add_argument("--scale", type=float, default=None)
+    _add_param_arg(p)
+    _add_supervisor_args(p, checkpoint=False)
+    _add_backend_arg(p)
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("advise", help="recommend a backoff policy from a profile")
     p.add_argument("--app", choices=("FFT", "SIMPLE", "WEATHER"), default="SIMPLE")
@@ -646,6 +864,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (ParameterError, UnknownExperimentError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Release the worker pools without blocking on them (the pool
+        # leak fix): a ^C mid-sweep must not strand worker processes.
+        from repro.exec.engine import shutdown_pools
+
+        shutdown_pools(wait=False)
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Output was piped into something like `head`; exit quietly.
         try:

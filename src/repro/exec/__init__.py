@@ -14,6 +14,11 @@ Public surface:
   :func:`shutdown_pools` — the executor itself (imported lazily: the
   engine pulls in the barrier layer, which itself reads the exec
   config, so an eager import would make package order matter).
+- :class:`SupervisorConfig` / :func:`supervision` /
+  :class:`RetryPolicy` / :class:`ChaosPlan` / :func:`chaos_injection`
+  — the supervision layer (also lazy): worker-death recovery,
+  adaptive-backoff retries, deadlines, checkpoint/resume, and the
+  chaos-injection hooks.  See docs/resilience.md.
 
 See docs/performance.md for the determinism guarantees.
 """
@@ -42,26 +47,43 @@ from repro.exec.context import (
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "ChaosPlan",
     "ExecConfig",
     "ExecStats",
     "PointSpec",
     "ResultCache",
+    "RetryPolicy",
+    "SupervisorConfig",
     "cache_key",
     "canonical_params",
+    "chaos_injection",
     "code_digest",
     "execute_barrier_points",
     "execution",
     "get_exec_config",
     "get_stats",
+    "get_supervisor_config",
     "jobs_arg",
     "payload_digest",
     "reset_stats",
     "set_exec_config",
+    "set_supervisor_config",
     "shutdown_pools",
+    "supervision",
     "validate_jobs",
 ]
 
 _LAZY_ENGINE = {"PointSpec", "execute_barrier_points", "shutdown_pools"}
+
+_LAZY_SUPERVISOR = {
+    "ChaosPlan",
+    "RetryPolicy",
+    "SupervisorConfig",
+    "chaos_injection",
+    "get_supervisor_config",
+    "set_supervisor_config",
+    "supervision",
+}
 
 
 def __getattr__(name: str):
@@ -69,4 +91,8 @@ def __getattr__(name: str):
         from repro.exec import engine
 
         return getattr(engine, name)
+    if name in _LAZY_SUPERVISOR:
+        from repro.exec import supervisor
+
+        return getattr(supervisor, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -17,6 +17,15 @@ at ``<cache-dir>/<key[:2]>/<key>.json`` with an integrity digest over
 the stored payload (a torn or hand-edited entry reads as a miss, never
 as wrong data).  Writes are atomic (``os.replace``), so concurrent
 writers at worst duplicate work.
+
+Corrupted entries are **quarantined**, not merely skipped: an
+unparseable file or an integrity-digest mismatch moves the entry aside
+into ``<cache-dir>/quarantine/`` (preserving the evidence for
+post-mortems), bumps ``ExecStats.cache_quarantined`` and the
+``exec.cache_quarantined`` tracer counter, and reads as a miss so the
+point is recomputed and the slot heals on the next ``put``.  A missing
+file or a key/version mismatch is a plain miss — nothing is wrong with
+the entry, it just isn't ours.
 """
 
 from __future__ import annotations
@@ -26,6 +35,12 @@ import json
 import os
 import tempfile
 from typing import Any, Dict, Optional
+
+from repro.exec.context import get_stats
+from repro.obs.tracer import get_tracer
+
+#: Subdirectory (inside the cache dir) where damaged entries land.
+QUARANTINE_DIR = "quarantine"
 
 #: Cache entry schema version; bump when the payload layout changes.
 CACHE_VERSION = 1
@@ -120,19 +135,53 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, key[:2], f"{key}.json")
 
+    def _quarantine(self, path: str) -> Optional[str]:
+        """Move a damaged entry aside; returns its new path (or None).
+
+        The damaged file is preserved under ``<dir>/quarantine/`` for
+        post-mortems instead of being deleted or left to fail every
+        future read.  Counted on ``ExecStats.cache_quarantined`` and
+        the ``exec.cache_quarantined`` tracer counter.
+        """
+        quarantine_root = os.path.join(self.directory, QUARANTINE_DIR)
+        destination = os.path.join(quarantine_root, os.path.basename(path))
+        suffix = 0
+        while os.path.exists(destination):
+            suffix += 1
+            destination = os.path.join(
+                quarantine_root, f"{os.path.basename(path)}.{suffix}"
+            )
+        try:
+            os.makedirs(quarantine_root, exist_ok=True)
+            os.replace(path, destination)
+        except OSError:
+            return None  # racing reader already moved it; still a miss
+        get_stats().cache_quarantined += 1
+        get_tracer().count("exec.cache_quarantined")
+        return destination
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored payload for ``key``, or None on miss/corruption."""
+        """The stored payload for ``key``, or None on miss/corruption.
+
+        A corrupted entry (unparseable JSON, torn write, integrity
+        digest mismatch) is quarantined — moved aside and counted — so
+        the caller recomputes and the next ``put`` heals the slot.
+        """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
+        except FileNotFoundError:
+            return None  # plain miss: nothing stored here yet
         except (OSError, ValueError):
+            self._quarantine(path)
             return None
         payload = entry.get("payload")
         if entry.get("key") != key or entry.get("version") != CACHE_VERSION:
-            return None
+            return None  # someone else's entry or an old schema: a miss
         if entry.get("digest") != payload_digest(payload):
-            return None  # torn write or hand-edited entry: recompute
+            self._quarantine(path)  # torn write or hand-edited: recompute
+            return None
         return payload
 
     def put(

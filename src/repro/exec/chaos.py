@@ -1,0 +1,376 @@
+"""The seeded chaos harness: prove the supervisor's recovery end to end.
+
+``python -m repro chaos <experiment-id>`` (and ``tools/chaos_smoke.py``
+in CI) runs one registry experiment four ways and demands bit-identical
+results throughout:
+
+1. **Baseline** — serial, fault-free, through the exec engine; its
+   payload digest and deterministic manifest digest are the ground
+   truth.
+2. **Chaos run** — ``--jobs N`` with a cold cache and checkpointing,
+   under a :class:`~repro.exec.supervisor.ChaosPlan` that kills a
+   worker mid-sweep (``SIGKILL``, exactly as the OOM killer would) and
+   optionally hangs a point into its deadline.  Supervision must
+   respawn the pool, re-dispatch the lost points, and still produce the
+   baseline digests.
+3. **Damage** — a seeded victim point's cache entry is truncated
+   mid-file and its checkpoint record torn, simulating disk corruption
+   and a crash during a checkpoint write.
+4. **Recovery run** — ``--resume`` over the damaged state: intact
+   points replay from the checkpoint, the corrupted cache entry is
+   quarantined and recomputed, and the digests must *still* equal the
+   baseline.
+
+The report also checks that the recoveries were observable: the
+``exec.worker_deaths`` / ``exec.cache_quarantined`` /
+``exec.points_resumed`` counters (mirrored in
+:class:`~repro.exec.context.ExecStats`) must actually record what the
+harness inflicted.  See docs/resilience.md.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exec.cache import cache_key, payload_digest
+from repro.exec.context import ExecConfig, execution, get_stats
+from repro.exec.supervisor import (
+    ChaosPlan,
+    SupervisorConfig,
+    chaos_injection,
+    safe_filename,
+    supervision,
+)
+from repro.obs.manifest import build_manifest
+from repro.obs.tracer import Tracer, tracing
+
+#: Fraction of the file kept when the harness "tears" a write.
+_TRUNCATE_KEEP = 0.5
+
+
+@dataclass
+class ChaosRunStats:
+    """The supervision counters one phase of the harness accumulated."""
+
+    worker_deaths: int = 0
+    retries: int = 0
+    cache_quarantined: int = 0
+    points_resumed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "worker_deaths": self.worker_deaths,
+            "retries": self.retries,
+            "cache_quarantined": self.cache_quarantined,
+            "points_resumed": self.points_resumed,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """What the chaos harness did and whether recovery was bit-perfect."""
+
+    experiment_id: str
+    seed: int
+    jobs: int
+    points: int
+    kill: int
+    hang: int
+    victim: str
+    baseline_payload_digest: str
+    baseline_manifest_digest: str
+    chaos_payload_digest: str
+    chaos_manifest_digest: str
+    recovery_payload_digest: str
+    recovery_manifest_digest: str
+    chaos_stats: ChaosRunStats
+    recovery_stats: ChaosRunStats
+    damaged: List[str] = field(default_factory=list)
+    work_dir: str = ""
+
+    @property
+    def digests_match(self) -> bool:
+        return (
+            self.chaos_payload_digest == self.baseline_payload_digest
+            and self.recovery_payload_digest == self.baseline_payload_digest
+            and self.chaos_manifest_digest == self.baseline_manifest_digest
+            and self.recovery_manifest_digest == self.baseline_manifest_digest
+        )
+
+    @property
+    def recoveries_observed(self) -> bool:
+        """Every inflicted failure left a mark on the counters."""
+        if self.kill and self.chaos_stats.worker_deaths < 1:
+            return False
+        if self.hang and self.chaos_stats.retries < 1:
+            return False
+        if "cache" in [d.split(":")[0] for d in self.damaged] and (
+            self.recovery_stats.cache_quarantined < 1
+        ):
+            return False
+        if self.points > 1 and self.recovery_stats.points_resumed < 1:
+            return False
+        return True
+
+    @property
+    def ok(self) -> bool:
+        return self.digests_match and self.recoveries_observed
+
+    def counters(self) -> Dict[str, Any]:
+        """The JSON payload ``tools/chaos_smoke.py`` uploads from CI."""
+        return {
+            "experiment_id": self.experiment_id,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "points": self.points,
+            "victim": self.victim,
+            "damaged": list(self.damaged),
+            "ok": self.ok,
+            "digests_match": self.digests_match,
+            "baseline_payload_digest": self.baseline_payload_digest,
+            "baseline_manifest_digest": self.baseline_manifest_digest,
+            "chaos": self.chaos_stats.as_dict(),
+            "recovery": self.recovery_stats.as_dict(),
+        }
+
+    def render(self) -> str:
+        mark = "ok" if self.ok else "FAILED"
+        lines = [
+            f"== chaos harness: {self.experiment_id} "
+            f"(seed {self.seed}, jobs {self.jobs}) == {mark}",
+            f"points    : {self.points} "
+            f"({self.kill} worker kill(s), {self.hang} hang(s))",
+            f"victim    : {self.victim} "
+            f"({', '.join(self.damaged) if self.damaged else 'undamaged'})",
+            f"baseline  : payload {self.baseline_payload_digest[:16]}… "
+            f"manifest {self.baseline_manifest_digest[:16]}…",
+            f"chaos run : digests "
+            f"{'identical' if self.chaos_payload_digest == self.baseline_payload_digest and self.chaos_manifest_digest == self.baseline_manifest_digest else 'DIVERGED'}; "
+            f"{self.chaos_stats.worker_deaths} worker death(s), "
+            f"{self.chaos_stats.retries} retried point(s)",
+            f"recovery  : digests "
+            f"{'identical' if self.recovery_payload_digest == self.baseline_payload_digest and self.recovery_manifest_digest == self.baseline_manifest_digest else 'DIVERGED'}; "
+            f"{self.recovery_stats.points_resumed} resumed, "
+            f"{self.recovery_stats.cache_quarantined} quarantined",
+        ]
+        if self.work_dir:
+            lines.append(f"work dir  : {self.work_dir}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _stats_delta(before: Dict[str, Any]) -> ChaosRunStats:
+    after = get_stats().as_dict()
+    return ChaosRunStats(
+        worker_deaths=after["worker_deaths"] - before["worker_deaths"],
+        retries=after["retries"] - before["retries"],
+        cache_quarantined=(
+            after["cache_quarantined"] - before["cache_quarantined"]
+        ),
+        points_resumed=after["points_resumed"] - before["points_resumed"],
+    )
+
+
+def _traced_points(
+    experiment_id: str,
+    points: Dict[str, dict],
+    seed: int,
+    exec_config: ExecConfig,
+    run_id: str,
+) -> "tuple[Dict[str, Any], str]":
+    """Run the point set through the engine under a fresh tracer.
+
+    Returns the results and the run's deterministic manifest digest.
+    The manifest config deliberately excludes jobs/cache/supervision —
+    they describe *how* the run executed, and the whole point of the
+    harness is that they must not change *what* it produced.
+    """
+    from repro.exec.engine import execute_experiment_points
+
+    tracer = Tracer(run_id=run_id)
+    with tracing(tracer), execution(exec_config):
+        results = execute_experiment_points(experiment_id, points, seed)
+    manifest = build_manifest(
+        tracer,
+        experiment_id=experiment_id,
+        seed=seed,
+        config={"points": sorted(points)},
+        run_id=run_id,
+    )
+    return results, manifest.deterministic_digest()
+
+
+def _truncate_file(path: str) -> bool:
+    """Tear ``path`` mid-write (keep the first half); False if absent."""
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return False
+    with open(path, "r+b") as handle:
+        handle.truncate(max(1, int(size * _TRUNCATE_KEEP)))
+    return True
+
+
+def run_chaos(
+    experiment_id: str,
+    *,
+    seed: int = 0,
+    jobs: int = 4,
+    kill: int = 1,
+    hang: int = 0,
+    hang_seconds: float = 30.0,
+    deadline_seconds: Optional[float] = None,
+    retries: int = 2,
+    retry_policy: str = "exponential",
+    corrupt_cache: bool = True,
+    truncate_checkpoint: bool = True,
+    work_dir: Optional[str] = None,
+    keep: bool = False,
+    **overrides: Any,
+) -> ChaosReport:
+    """Run the full chaos scenario for one experiment; see module docs.
+
+    ``hang`` requires ``deadline_seconds`` (a hung point only recovers
+    because its deadline expires and the retry is clean); the harness
+    enforces that rather than hanging forever.  ``work_dir`` holds the
+    cache and checkpoint between phases (a temp dir by default, deleted
+    unless ``keep``).  Extra keyword arguments are experiment parameter
+    overrides, exactly as ``-p NAME=VALUE`` on the CLI.
+    """
+    from repro.registry import get_spec
+
+    if hang and not deadline_seconds:
+        raise ValueError(
+            "hang points need --deadline: without one a hung point never "
+            "times out and the sweep cannot finish"
+        )
+    if jobs < 2:
+        raise ValueError("chaos needs jobs >= 2 (worker death is the point)")
+
+    # Resolve the point set exactly as the registry's engine dispatch
+    # does, so the cache addresses the harness damages are the ones the
+    # engine actually reads.
+    spec = get_spec(experiment_id)
+    params = spec.resolve(overrides)
+    points = spec.points(params)
+    engine_seed = int(params.get("seed") or 0)
+    owns_work_dir = work_dir is None
+    if owns_work_dir:
+        work_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    cache_dir = os.path.join(work_dir, "cache")
+    checkpoint_dir = os.path.join(work_dir, "checkpoints")
+
+    try:
+        # Phase 1: the serial, fault-free ground truth.
+        baseline, baseline_manifest = _traced_points(
+            experiment_id,
+            points,
+            engine_seed,
+            ExecConfig(jobs=1, force_engine=True),
+            "chaos-baseline",
+        )
+        baseline_digest = payload_digest(baseline)
+
+        # Phase 2: parallel sweep with chaos injected — worker kills
+        # and hangs — while the cache warms and every point checkpoints.
+        supervisor = SupervisorConfig(
+            retries=retries,
+            deadline_seconds=deadline_seconds,
+            backoff=retry_policy,
+            checkpoint_dir=checkpoint_dir,
+            resume=False,
+        )
+        plan = ChaosPlan(
+            kill_workers=kill,
+            hang_points=hang,
+            hang_seconds=hang_seconds,
+            seed=seed,
+        )
+        before = get_stats().as_dict()
+        with supervision(supervisor), chaos_injection(plan):
+            chaos_results, chaos_manifest = _traced_points(
+                experiment_id,
+                points,
+                engine_seed,
+                ExecConfig(jobs=jobs, cache=True, cache_dir=cache_dir),
+                "chaos-run",
+            )
+        chaos_stats = _stats_delta(before)
+        chaos_digest = payload_digest(chaos_results)
+
+        # Phase 3: damage a seeded victim point's durable state — tear
+        # its cache entry and its checkpoint record.  One victim for
+        # both: a point whose checkpoint survived would be resumed and
+        # never consult its (corrupted) cache entry.
+        victim = random.Random(seed).choice(sorted(points))
+        damaged: List[str] = []
+        if corrupt_cache:
+            keyed = {
+                k: v for k, v in points[victim].items() if k != "backend"
+            }
+            address = cache_key(
+                f"experiment:{experiment_id}",
+                {"point": victim, "params": keyed},
+                engine_seed,
+            )
+            entry = os.path.join(cache_dir, address[:2], f"{address}.json")
+            if _truncate_file(entry):
+                damaged.append(f"cache:{victim}")
+        if truncate_checkpoint:
+            record = os.path.join(
+                checkpoint_dir, "points", f"{safe_filename(victim)}.json"
+            )
+            if _truncate_file(record):
+                damaged.append(f"checkpoint:{victim}")
+
+        # Phase 4: recover — resume from the damaged checkpoint over
+        # the damaged cache, with no chaos this time.
+        before = get_stats().as_dict()
+        with supervision(
+            SupervisorConfig(
+                retries=retries,
+                deadline_seconds=deadline_seconds,
+                backoff=retry_policy,
+                checkpoint_dir=checkpoint_dir,
+                resume=True,
+            )
+        ):
+            recovery_results, recovery_manifest = _traced_points(
+                experiment_id,
+                points,
+                engine_seed,
+                ExecConfig(jobs=jobs, cache=True, cache_dir=cache_dir),
+                "chaos-recovery",
+            )
+        recovery_stats = _stats_delta(before)
+        recovery_digest = payload_digest(recovery_results)
+
+        return ChaosReport(
+            experiment_id=experiment_id,
+            seed=seed,
+            jobs=jobs,
+            points=len(points),
+            kill=kill,
+            hang=hang,
+            victim=victim,
+            baseline_payload_digest=baseline_digest,
+            baseline_manifest_digest=baseline_manifest,
+            chaos_payload_digest=chaos_digest,
+            chaos_manifest_digest=chaos_manifest,
+            recovery_payload_digest=recovery_digest,
+            recovery_manifest_digest=recovery_manifest,
+            chaos_stats=chaos_stats,
+            recovery_stats=recovery_stats,
+            damaged=damaged,
+            work_dir=work_dir if (keep or not owns_work_dir) else "",
+        )
+    finally:
+        if owns_work_dir and not keep:
+            shutil.rmtree(work_dir, ignore_errors=True)

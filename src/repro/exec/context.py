@@ -141,6 +141,13 @@ class ExecStats:
     cache_stores: int = 0
     shards: int = 0
     parallel_points: int = 0
+    # Supervision counters (repro.exec.supervisor): mirrored onto the
+    # tracer as exec.* counts, which the deterministic manifest digest
+    # excludes for the same reason cache hits live here.
+    retries: int = 0
+    worker_deaths: int = 0
+    cache_quarantined: int = 0
+    points_resumed: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -150,6 +157,10 @@ class ExecStats:
             "cache_stores": self.cache_stores,
             "shards": self.shards,
             "parallel_points": self.parallel_points,
+            "retries": self.retries,
+            "worker_deaths": self.worker_deaths,
+            "cache_quarantined": self.cache_quarantined,
+            "points_resumed": self.points_resumed,
         }
 
     def merge(self, other: "ExecStats") -> None:
@@ -159,6 +170,10 @@ class ExecStats:
         self.cache_stores += other.cache_stores
         self.shards += other.shards
         self.parallel_points += other.parallel_points
+        self.retries += other.retries
+        self.worker_deaths += other.worker_deaths
+        self.cache_quarantined += other.cache_quarantined
+        self.points_resumed += other.points_resumed
 
 
 _stats = ExecStats()

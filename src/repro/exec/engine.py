@@ -28,6 +28,19 @@ sharded across any number of workers, or replayed from a warm cache.
 Cache hit/miss totals go to :class:`repro.exec.context.ExecStats` (and
 the manifest's non-digested ``execution`` section), never to tracer
 counters, for the same reason.
+
+Resilience: every pool dispatch goes through
+:func:`repro.exec.supervisor.run_supervised`, so a killed worker
+(``BrokenProcessPool``) respawns the pool and re-dispatches only the
+lost tasks — name-keyed RNG streams make the replay bit-identical — and
+an ambient :class:`~repro.exec.supervisor.SupervisorConfig` adds
+bounded adaptive-backoff retries, per-attempt deadlines, and (for
+registry points) durable checkpoint/resume.  Inline execution honours
+the same retry/deadline discipline via
+:func:`~repro.exec.supervisor.call_supervised`.  With the default
+config all of this is dormant: no retries, no deadline, no checkpoint
+I/O — just worker-death recovery, which costs nothing until a worker
+actually dies.
 """
 
 from __future__ import annotations
@@ -50,11 +63,14 @@ from repro.exec.context import (
     get_stats,
     set_exec_config,
 )
-from repro.exec.shards import (
-    make_shard_task,
-    run_barrier_shard,
-    run_experiment_point,
-    shard_bounds,
+from repro.exec.shards import make_shard_task, shard_bounds
+from repro.exec.supervisor import (
+    COMPLETED,
+    PointRecord,
+    call_supervised,
+    get_supervisor_config,
+    open_experiment_checkpoint,
+    run_supervised,
 )
 from repro.obs.tracer import NULL_TRACER, get_tracer, tracing
 
@@ -126,11 +142,31 @@ def _get_pool(jobs: int) -> ProcessPoolExecutor:
     return pool
 
 
-def shutdown_pools() -> None:
-    """Shut down every worker pool the engine has created."""
+def _discard_pool(jobs: int) -> None:
+    """Drop (and tear down) the cached pool for ``jobs`` workers.
+
+    Called by supervision after worker death: a broken
+    ``ProcessPoolExecutor`` can never be reused, so it must leave the
+    cache or every later ``_get_pool`` would hand back a corpse.  The
+    shutdown does not wait — the remaining workers of a broken pool are
+    already dead or dying.
+    """
+    pool = _POOLS.pop(jobs, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools(wait: bool = True) -> None:
+    """Shut down every worker pool the engine has created.
+
+    Registered with ``atexit`` and called by the CLI's
+    ``KeyboardInterrupt`` handler (with ``wait=False``, which is
+    signal-safe: it only flags the executors and releases their worker
+    processes without blocking on them).
+    """
     while _POOLS:
         __, pool = _POOLS.popitem()
-        pool.shutdown(wait=True, cancel_futures=True)
+        pool.shutdown(wait=wait, cancel_futures=True)
 
 
 atexit.register(shutdown_pools)
@@ -223,9 +259,8 @@ def execute_barrier_points(
     # Fan shardable points across the pool; stateful policies stay
     # inline so their draw state evolves in exactly the serial order.
     pooled: List[Tuple[int, PointSpec, Optional[str], int]] = []
-    futures: Dict[Any, Tuple[int, int]] = {}
+    tasks: Dict[Tuple[int, int], dict] = {}
     if config.jobs > 1:
-        pool = _get_pool(config.jobs)
         for index, spec, key in pending:
             if getattr(spec.policy, "stateful", False):
                 continue
@@ -235,7 +270,7 @@ def execute_barrier_points(
             # the caller's --backend choice must travel in the task.
             backend = resolve_backend(spec.backend)
             for shard_index, (start, stop) in enumerate(bounds):
-                task = make_shard_task(
+                tasks[(index, shard_index)] = make_shard_task(
                     spec.num_processors,
                     spec.interval_a,
                     spec.policy,
@@ -245,14 +280,23 @@ def execute_barrier_points(
                     stop,
                     backend=backend,
                 )
-                future = pool.submit(run_barrier_shard, task)
-                futures[future] = (index, shard_index)
             pooled.append((index, spec, key, len(bounds)))
 
     pooled_indices = {index for index, *_ in pooled}
     shard_results: Dict[int, Dict[int, List[tuple]]] = {}
-    for future, (index, shard_index) in futures.items():
-        shard_results.setdefault(index, {})[shard_index] = future.result()
+    if tasks:
+        # Supervised fan-out: a killed worker respawns the pool and
+        # re-dispatches only the lost shards; name-keyed RNG streams
+        # make the replay bit-identical to an undisturbed run.
+        outcome = run_supervised(
+            tasks,
+            entry="barrier_shard",
+            get_pool=lambda: _get_pool(config.jobs),
+            discard_pool=lambda: _discard_pool(config.jobs),
+        )
+        outcome.raise_first_error(tasks)
+        for (index, shard_index), values in outcome.results.items():
+            shard_results.setdefault(index, {})[shard_index] = values
 
     for index, spec, key, shard_count in pooled:
         shards = shard_results[index]
@@ -275,11 +319,12 @@ def execute_barrier_points(
         _emit_point(tracer, spec, "pool", shard_count)
 
     # Inline: cache-only mode (jobs == 1) and stateful policies, in
-    # submission order.
+    # submission order.  call_supervised applies the ambient
+    # retry/deadline discipline (a plain call under the default config).
     for index, spec, key in pending:
         if index in pooled_indices:
             continue
-        summaries = _run_point_inline(spec)
+        summaries = call_supervised(lambda spec=spec: _run_point_inline(spec))
         results[index] = aggregate_from_summaries(
             spec.num_processors,
             spec.interval_a,
@@ -349,12 +394,39 @@ def execute_experiment_points(
     pool when ``jobs > 1``, and cache-only mode runs them inline under
     the null tracer.  Payloads are strict-JSON in every path, so the
     aggregate sees identical inputs cold, warm, serial or parallel.
+
+    When the ambient :class:`~repro.exec.supervisor.SupervisorConfig`
+    names a ``checkpoint_dir``, every point's payload is additionally
+    recorded as an atomic digest-verified checkpoint the moment it is
+    known (computed, cached, or resumed), and ``resume=True`` replays
+    compatible records from a prior interrupted run before consulting
+    the cache — the faults runner's durability, generalized to every
+    registry experiment.
     """
     if config is None:
         config = get_exec_config()
+    supervisor = get_supervisor_config()
     stats = get_stats()
     tracer = get_tracer()
     cache = ResultCache(config.cache_dir) if config.cache else None
+
+    checkpoint = None
+    resumed: Dict[str, Any] = {}
+    if supervisor.checkpoint_dir:
+        checkpoint, records = open_experiment_checkpoint(
+            experiment_id, points, seed, supervisor
+        )
+        resumed = {
+            key: record.data
+            for key, record in records.items()
+            if record.done and key in points
+        }
+
+    def _record(point_key: str, payload: Any) -> None:
+        if checkpoint is not None:
+            checkpoint.save_point(
+                PointRecord(key=point_key, status=COMPLETED, data=payload)
+            )
 
     results: Dict[str, Any] = {}
     #: (point key, kwargs, cache address or None) still needing a run.
@@ -362,6 +434,14 @@ def execute_experiment_points(
 
     for point_key, kwargs in points.items():
         stats.points += 1
+        if point_key in resumed:
+            stats.points_resumed += 1
+            tracer.count("exec.points_resumed")
+            results[point_key] = resumed[point_key]
+            _emit_experiment_point(
+                tracer, experiment_id, point_key, "checkpoint"
+            )
+            continue
         address: Optional[str] = None
         if cache is not None:
             # The backend knob never enters the address: backends are
@@ -377,22 +457,31 @@ def execute_experiment_points(
             if payload is not None:
                 stats.cache_hits += 1
                 results[point_key] = payload
+                _record(point_key, payload)
                 _emit_experiment_point(tracer, experiment_id, point_key, "cache")
                 continue
             stats.cache_misses += 1
         pending.append((point_key, kwargs, address))
 
     if config.jobs > 1 and pending:
-        pool = _get_pool(config.jobs)
-        futures = {
-            pool.submit(
-                run_experiment_point,
-                {"experiment_id": experiment_id, "kwargs": kwargs},
-            ): (point_key, address)
-            for point_key, kwargs, address in pending
+        tasks = {
+            point_key: {"experiment_id": experiment_id, "kwargs": kwargs}
+            for point_key, kwargs, __ in pending
         }
-        for future, (point_key, address) in futures.items():
-            payload = future.result()
+        # on_result checkpoints each point the moment its future lands,
+        # so a crash after N points preserves N points; cache stores
+        # and event emission stay in submission order below for
+        # deterministic stats and digests.
+        outcome = run_supervised(
+            tasks,
+            entry="experiment_point",
+            get_pool=lambda: _get_pool(config.jobs),
+            discard_pool=lambda: _discard_pool(config.jobs),
+            on_result=_record,
+        )
+        outcome.raise_first_error(tasks)
+        for point_key, kwargs, address in pending:
+            payload = outcome.results[point_key]
             results[point_key] = payload
             stats.parallel_points += 1
             if address is not None and cache is not None:
@@ -401,11 +490,16 @@ def execute_experiment_points(
             _emit_experiment_point(tracer, experiment_id, point_key, "pool")
     else:
         for point_key, kwargs, address in pending:
-            payload = _run_experiment_point_inline(experiment_id, kwargs)
+            payload = call_supervised(
+                lambda kwargs=kwargs: _run_experiment_point_inline(
+                    experiment_id, kwargs
+                )
+            )
             results[point_key] = payload
             if address is not None and cache is not None:
                 cache.put(address, payload)
                 stats.cache_stores += 1
+            _record(point_key, payload)
             _emit_experiment_point(tracer, experiment_id, point_key, "inline")
 
     return {point_key: results[point_key] for point_key in points}

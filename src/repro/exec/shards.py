@@ -78,9 +78,15 @@ def make_shard_task(
 
 def reset_worker_state() -> None:
     """Drop registries a forked worker inherited from its parent."""
+    # Imported here for the same package-initialisation reason as the
+    # simulator import below: supervisor pulls in exec.context.
+    from repro.exec.supervisor import set_chaos_plan, set_supervisor_config
+
     set_tracer(None)
     clear_fault_plan()
     set_exec_config(None)
+    set_supervisor_config(None)
+    set_chaos_plan(None)
 
 
 def run_experiment_point(task: Dict[str, Any]) -> Any:

@@ -20,209 +20,64 @@ requested fault plan with
 Each point gets its *own* plan instance seeded from
 ``derive_seed(seed, point-key)``, so fault schedules are identical
 whether the sweep runs straight through or resumes from a checkpoint.
+
+The durability and recovery primitives themselves — ``time_limit``,
+``PointRecord``, ``CheckpointStore``, the retry-wait schedule — moved
+to :mod:`repro.exec.supervisor` (PR 7), where every execution path
+shares them; this module re-exports them unchanged and keeps the
+fault-plan-specific orchestration (per-point derived plans, the
+degraded/failed classification, the resilience summary).
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
-import shutil
-import signal
-import threading
 import time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.exec.cache import ResultCache, cache_key
 from repro.exec.context import get_exec_config, get_stats, validate_jobs
+from repro.exec.supervisor import (
+    CHECKPOINT_VERSION,
+    COMPLETED,
+    DEGRADED,
+    FAILED,
+    CheckpointMismatchError,
+    CheckpointStore,
+    PointRecord,
+    PointTimeoutError,
+    RetryPolicy,
+    SupervisorConfig,
+    config_digest as _supervisor_config_digest,
+    record_digest as _record_digest,
+    run_supervised,
+    safe_filename as _safe_filename,
+    time_limit,
+)
 from repro.faults.plan import FaultPlan, fault_injection
 from repro.faults.spec import parse_plan
-from repro.obs.manifest import git_revision, jsonable
+from repro.obs.manifest import jsonable
 from repro.sim.rng import derive_seed
 
-#: Checkpoint schema version; bump when the on-disk layout changes.
-CHECKPOINT_VERSION = 1
-
-COMPLETED = "completed"
-DEGRADED = "degraded"
-FAILED = "failed"
-
-
-class PointTimeoutError(RuntimeError):
-    """A sweep point exceeded its wall-clock budget."""
-
-
-class CheckpointMismatchError(RuntimeError):
-    """The checkpoint on disk was written by a different configuration."""
-
-
-@contextmanager
-def time_limit(seconds: Optional[float]) -> Iterator[None]:
-    """Bound the block's wall clock; raises :class:`PointTimeoutError`.
-
-    Uses ``SIGALRM``, so it only engages on the main thread of a
-    platform that has it; elsewhere the block runs unbounded (the
-    retry/checkpoint machinery still applies).
-    """
-    usable = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
-        yield
-        return
-
-    def _expired(signum, frame):
-        raise PointTimeoutError(
-            f"point exceeded its wall-clock budget of {seconds:g}s"
-        )
-
-    previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-@dataclass
-class PointRecord:
-    """The durable outcome of one sweep point."""
-
-    key: str
-    status: str
-    attempts: int = 1
-    wall_time_seconds: float = 0.0
-    data: Any = None
-    fault_counts: Dict[str, int] = field(default_factory=dict)
-    error: Optional[str] = None
-
-    def to_dict(self) -> Dict[str, Any]:
-        payload = {
-            "version": CHECKPOINT_VERSION,
-            "key": self.key,
-            "status": self.status,
-            "attempts": self.attempts,
-            "wall_time_seconds": self.wall_time_seconds,
-            "data": jsonable(self.data),
-            "fault_counts": jsonable(self.fault_counts),
-            "error": self.error,
-        }
-        payload["digest"] = _record_digest(payload)
-        return payload
-
-    @classmethod
-    def from_dict(cls, payload: Dict[str, Any]) -> "PointRecord":
-        return cls(
-            key=payload["key"],
-            status=payload["status"],
-            attempts=payload.get("attempts", 1),
-            wall_time_seconds=payload.get("wall_time_seconds", 0.0),
-            data=payload.get("data"),
-            fault_counts=payload.get("fault_counts", {}) or {},
-            error=payload.get("error"),
-        )
-
-    @property
-    def done(self) -> bool:
-        """True if this point never needs to run again."""
-        return self.status in (COMPLETED, DEGRADED)
-
-
-def _record_digest(payload: Dict[str, Any]) -> str:
-    """Integrity digest over the fields that make a record meaningful."""
-    deterministic = {
-        "key": payload["key"],
-        "status": payload["status"],
-        "data": payload.get("data"),
-        "fault_counts": payload.get("fault_counts", {}),
-    }
-    blob = json.dumps(deterministic, sort_keys=True, default=str)
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
-
-
-def _safe_filename(key: str) -> str:
-    return "".join(c if c.isalnum() or c in "-._=" else "_" for c in key)
-
-
-class CheckpointStore:
-    """Directory-backed per-point checkpoints for one sweep."""
-
-    def __init__(self, directory: str) -> None:
-        self.directory = str(directory)
-        self.points_dir = os.path.join(self.directory, "points")
-        self.meta_path = os.path.join(self.directory, "checkpoint.json")
-
-    def clear(self) -> None:
-        """Delete the checkpoint (start the sweep from scratch)."""
-        if os.path.isdir(self.directory):
-            shutil.rmtree(self.directory)
-
-    def _ensure_dirs(self) -> None:
-        os.makedirs(self.points_dir, exist_ok=True)
-
-    def write_meta(self, meta: Dict[str, Any]) -> None:
-        self._ensure_dirs()
-        payload = dict(meta)
-        payload["version"] = CHECKPOINT_VERSION
-        payload["git_rev"] = git_revision()
-        with open(self.meta_path, "w", encoding="utf-8") as handle:
-            json.dump(jsonable(payload), handle, indent=2, sort_keys=True)
-            handle.write("\n")
-
-    def load(self, config_digest: str) -> Dict[str, PointRecord]:
-        """Completed/degraded/failed points recorded by a prior run.
-
-        Raises:
-            CheckpointMismatchError: the directory holds a checkpoint
-                for a different configuration (different experiment,
-                plan, seed or point set).  Pass ``fresh=True`` (CLI:
-                ``--fresh``) to discard it instead.
-        """
-        if not os.path.isfile(self.meta_path):
-            return {}
-        with open(self.meta_path, "r", encoding="utf-8") as handle:
-            meta = json.load(handle)
-        recorded = meta.get("config_digest")
-        if recorded != config_digest:
-            raise CheckpointMismatchError(
-                f"checkpoint at {self.directory!r} was written by a different "
-                f"configuration (digest {recorded!r} != {config_digest!r}); "
-                "rerun with fresh=True / --fresh to discard it"
-            )
-        records: Dict[str, PointRecord] = {}
-        if os.path.isdir(self.points_dir):
-            for filename in sorted(os.listdir(self.points_dir)):
-                if not filename.endswith(".json"):
-                    continue
-                path = os.path.join(self.points_dir, filename)
-                try:
-                    with open(path, "r", encoding="utf-8") as handle:
-                        payload = json.load(handle)
-                    if payload.get("digest") != _record_digest(payload):
-                        continue  # corrupt or hand-edited: recompute it
-                    record = PointRecord.from_dict(payload)
-                except (OSError, ValueError, KeyError):
-                    continue  # a torn write from a crash: recompute it
-                records[record.key] = record
-        return records
-
-    def save_point(self, record: PointRecord) -> str:
-        self._ensure_dirs()
-        path = os.path.join(
-            self.points_dir, f"{_safe_filename(record.key)}.json"
-        )
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(record.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp_path, path)  # atomic: a crash never tears a point
-        return path
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "COMPLETED",
+    "DEGRADED",
+    "FAILED",
+    "CheckpointMismatchError",
+    "CheckpointStore",
+    "PointRecord",
+    "PointTimeoutError",
+    "ResilienceSummary",
+    "build_point_plan",
+    "fault_point_cache_key",
+    "run_experiment_resilient",
+    "run_fault_point_task",
+    "run_resilient_sweep",
+    "time_limit",
+]
 
 
 @dataclass
@@ -326,6 +181,7 @@ def run_resilient_sweep(
     retry_backoff_seconds: float = 0.05,
     max_points: Optional[int] = None,
     sleep: Callable[[float], None] = time.sleep,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> "tuple[Dict[str, PointRecord], int, int, bool]":
     """Run ``points`` resiliently; returns (records, resumed, retried, interrupted).
 
@@ -334,11 +190,18 @@ def run_resilient_sweep(
     timeouts are caught here and turned into retries, then a FAILED
     record.  ``max_points`` bounds how many *new* points run (the
     crash-simulation hook the CI resume smoke test uses).
+
+    ``retry_policy`` shapes the wait between attempts; the default —
+    exponential from ``retry_backoff_seconds`` — reproduces the
+    historical ``retry_backoff_seconds * 2**(attempt-1)`` schedule
+    exactly (see :class:`repro.exec.supervisor.RetryPolicy`).
     """
     if max_retries < 0:
         raise ValueError("max_retries must be non-negative")
     if retry_backoff_seconds < 0:
         raise ValueError("retry_backoff_seconds must be non-negative")
+    if retry_policy is None:
+        retry_policy = RetryPolicy(base_seconds=retry_backoff_seconds)
     existing = existing or {}
     records: Dict[str, PointRecord] = {}
     resumed = retried = 0
@@ -360,7 +223,7 @@ def run_resilient_sweep(
         for attempt in range(max_retries + 1):
             if attempt:
                 retried += 1
-                sleep(retry_backoff_seconds * (2 ** (attempt - 1)))
+                sleep(retry_policy.wait_seconds(attempt))
             try:
                 with time_limit(timeout_seconds):
                     record = point()
@@ -390,8 +253,7 @@ def run_resilient_sweep(
 
 
 def _config_digest(payload: Dict[str, Any]) -> str:
-    blob = json.dumps(jsonable(payload), sort_keys=True, default=str)
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return _supervisor_config_digest(payload)
 
 
 def _execute_fault_point(
@@ -468,20 +330,22 @@ def _run_fault_points_parallel(
     retry_backoff_seconds: float = 0.05,
     max_points: Optional[int] = None,
     sleep: Callable[[float], None] = time.sleep,
+    retry_policy_spec: str = "exponential",
 ) -> "tuple[Dict[str, PointRecord], int, int, bool]":
     """Point-level parallel version of :func:`run_resilient_sweep`.
 
     Fault plans are process-global and stateful across episodes, so
     repetition-level sharding is off the table here; instead whole
     points — already independent by construction (each derives its own
-    plan from the point key) — are fanned across the worker pool.
-    Retries happen in rounds: every point that failed in round ``k``
-    waits out the shared backoff and is resubmitted in round ``k+1``.
+    plan from the point key) — are fanned across the supervised worker
+    pool (:func:`repro.exec.supervisor.run_supervised`), which also
+    survives worker death: a killed worker respawns the pool and
+    re-dispatches only the lost points, without charging them a retry.
     """
-    from repro.exec.engine import _get_pool
+    from repro.exec.engine import _discard_pool, _get_pool
 
     records: Dict[str, PointRecord] = {}
-    resumed = retried = 0
+    resumed = 0
     interrupted = False
     pending: List[str] = []
     for key in points_kwargs:
@@ -495,61 +359,66 @@ def _run_fault_points_parallel(
         interrupted = True
         pending = pending[:max_points]
 
-    pool = _get_pool(jobs)
     stats = get_stats()
-    attempts: Dict[str, int] = {key: 0 for key in pending}
-    last_error: Dict[str, str] = {}
-    remaining = list(pending)
-    round_index = 0
-    while remaining and not interrupted:
-        if round_index:
-            retried += len(remaining)
-            sleep(retry_backoff_seconds * (2 ** (round_index - 1)))
-        futures = {}
-        for key in remaining:
-            attempts[key] += 1
-            task = {
-                "experiment_id": experiment_id,
-                "plan_spec": plan_spec,
-                "seed": seed,
-                "key": key,
-                "kwargs": points_kwargs[key],
-                "timeout_seconds": timeout_seconds,
-            }
-            futures[pool.submit(run_fault_point_task, task)] = key
-        failed_round: List[str] = []
-        try:
-            for future, key in futures.items():
-                try:
-                    record = future.result()
-                except Exception as error:  # noqa: BLE001 - resilience boundary
-                    last_error[key] = f"{type(error).__name__}: {error}"
-                    failed_round.append(key)
-                    continue
-                record.key = key
-                record.attempts = attempts[key]
+    supervisor = SupervisorConfig(
+        retries=max_retries,
+        deadline_seconds=timeout_seconds,
+        backoff=retry_policy_spec,
+        backoff_base_seconds=retry_backoff_seconds,
+    )
+    tasks = {
+        key: {
+            "experiment_id": experiment_id,
+            "plan_spec": plan_spec,
+            "seed": seed,
+            "key": key,
+            "kwargs": points_kwargs[key],
+        }
+        for key in pending
+    }
+
+    def _accept(key: str, record: PointRecord) -> None:
+        record.key = key
+        records[key] = record
+        stats.parallel_points += 1
+        if store is not None:
+            store.save_point(record)
+
+    retried = 0
+    try:
+        outcome = run_supervised(
+            tasks,
+            entry="fault_point",
+            get_pool=lambda: _get_pool(jobs),
+            discard_pool=lambda: _discard_pool(jobs),
+            config=supervisor,
+            on_result=_accept,
+            sleep=sleep,
+        )
+    except KeyboardInterrupt:
+        interrupted = True
+    else:
+        retried = outcome.retries
+        for key in pending:
+            if key in outcome.results:
+                record = records[key]
+                if record.attempts != outcome.attempts[key]:
+                    # The point needed retries: refresh the durable
+                    # record's attempt count (not part of its digest).
+                    record.attempts = outcome.attempts[key]
+                    if store is not None:
+                        store.save_point(record)
+            elif key in outcome.errors:
+                error = outcome.errors[key]
+                record = PointRecord(
+                    key=key,
+                    status=FAILED,
+                    attempts=outcome.attempts[key],
+                    error=f"{type(error).__name__}: {error}",
+                )
                 records[key] = record
-                stats.parallel_points += 1
                 if store is not None:
                     store.save_point(record)
-        except KeyboardInterrupt:
-            interrupted = True
-            break
-        remaining = failed_round
-        round_index += 1
-        if round_index > max_retries:
-            break
-    if not interrupted:
-        for key in remaining:
-            record = PointRecord(
-                key=key,
-                status=FAILED,
-                attempts=attempts[key],
-                error=last_error.get(key),
-            )
-            records[key] = record
-            if store is not None:
-                store.save_point(record)
     ordered = {key: records[key] for key in points_kwargs if key in records}
     return ordered, resumed, retried, interrupted
 
@@ -582,6 +451,7 @@ def run_experiment_resilient(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    retry_policy: str = "exponential",
     **overrides: Any,
 ) -> ResilienceSummary:
     """Run a registered experiment under a fault plan, resiliently.
@@ -601,7 +471,17 @@ def run_experiment_resilient(
     ambient :class:`repro.exec.ExecConfig`; ``fresh`` clears the
     checkpoint but never the cache (its key already encodes code and
     configuration).
+
+    ``retry_policy`` names the wait schedule between attempts — one of
+    the paper's own backoff shapes (``exponential`` / ``linear`` /
+    ``none``, see :func:`repro.exec.supervisor.parse_backoff_spec`) —
+    scaled from ``retry_backoff_seconds``.  The default reproduces the
+    historical exponential schedule exactly.
     """
+    # Fail on a typo'd policy before any point runs or checkpoint binds.
+    serial_retry_policy = RetryPolicy.from_spec(
+        retry_policy, base_seconds=retry_backoff_seconds
+    )
     # Imported lazily: the registry's spec modules import the
     # simulators, which import repro.faults — a module-level import
     # here would cycle.
@@ -686,6 +566,7 @@ def run_experiment_resilient(
             max_retries=max_retries,
             retry_backoff_seconds=retry_backoff_seconds,
             max_points=max_points,
+            retry_policy_spec=retry_policy,
         )
     else:
 
@@ -711,6 +592,7 @@ def run_experiment_resilient(
             max_retries=max_retries,
             retry_backoff_seconds=retry_backoff_seconds,
             max_points=max_points,
+            retry_policy=serial_retry_policy,
         )
 
     cache_stores = 0

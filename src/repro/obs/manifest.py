@@ -105,7 +105,12 @@ class RunManifest:
 
         Excludes wall time, timers, timestamps and environment strings,
         so it is stable across machines and repeated runs with the same
-        seed and config.
+        seed and config.  ``exec.``-prefixed counters are excluded too:
+        they record supervision recoveries (retries, worker deaths,
+        cache quarantines — see :mod:`repro.exec.supervisor`), which
+        describe how a result was *obtained*, never what it *is* — a
+        run that survived a crash must digest identically to one that
+        never saw it.
         """
         payload = {
             "experiment_id": self.experiment_id,
@@ -113,7 +118,13 @@ class RunManifest:
             "config": _jsonable(self.config),
             "events_emitted": self.events_emitted,
             "event_totals": _jsonable(self.event_totals),
-            "counters": _jsonable(self.counters),
+            "counters": _jsonable(
+                {
+                    key: value
+                    for key, value in self.counters.items()
+                    if not str(key).startswith("exec.")
+                }
+            ),
             "observations": _jsonable(self.observations),
         }
         blob = json.dumps(payload, sort_keys=True, default=str)

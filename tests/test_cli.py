@@ -21,7 +21,7 @@ class TestParser:
         commands = set(actions[0].choices)
         assert commands == {
             "list", "experiment", "barrier", "trace", "report", "advise",
-            "verify", "profile", "faults", "run", "check",
+            "verify", "profile", "faults", "run", "check", "chaos",
         }
 
     def test_barrier_defaults(self):
@@ -205,3 +205,116 @@ class TestPolicyBuilder:
 
         policy = _build_policy("linear", 2, 5)
         assert policy.flag_wait(2) == 10
+
+
+class TestSupervisorFlags:
+    """--retries/--deadline/--checkpoint-dir/--resume on run/profile."""
+
+    def test_parser_accepts_supervision_flags(self):
+        args = build_parser().parse_args(
+            ["run", "figure5", "--retries", "2", "--deadline", "30",
+             "--retry-policy", "linear:step=2"]
+        )
+        assert args.retries == 2
+        assert args.deadline == 30.0
+        assert args.retry_policy == "linear:step=2"
+
+    def test_bad_retry_policy_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "figure5", "--retry-policy", "polynomial"]
+            )
+        assert "retry policy" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["run", "figure5", "--resume",
+                     "-p", "n_values=2", "--repetitions", "1"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_run_with_retries_alone_arms_the_engine(self, capsys):
+        assert main(
+            ["run", "figure5", "--quiet", "--retries", "1",
+             "-p", "n_values=2,4", "--repetitions", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "execution" in out  # supervision armed the exec engine
+        assert "results digest" in out
+
+    def test_run_checkpoint_then_resume_replays_points(
+        self, tmp_path, capsys
+    ):
+        argv = [
+            "run", "figure5", "--quiet",
+            "-p", "n_values=2,4", "--repetitions", "1",
+            "--checkpoint-dir", str(tmp_path / "ck"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resumed" in second
+        # The digest line is identical: resume never changes a result.
+        digest = [l for l in first.splitlines() if "results digest" in l]
+        assert digest == [
+            l for l in second.splitlines() if "results digest" in l
+        ]
+
+    def test_faults_accepts_retry_policy_aliases(self):
+        args = build_parser().parse_args(
+            ["faults", "figure5", "--deadline", "10", "--retries", "3",
+             "--retry-policy", "none"]
+        )
+        assert args.timeout == 10.0
+        assert args.max_retries == 3
+        assert args.retry_policy == "none"
+
+
+class TestChaosCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos", "figure5"])
+        assert args.kill == 1
+        assert args.hang == 0
+        assert args.corrupt_cache and args.truncate_checkpoint
+        assert args.jobs is None  # command default of 4 applied later
+
+    def test_hang_without_deadline_rejected(self, capsys):
+        assert main(["chaos", "figure5", "--hang", "1"]) == 2
+        assert "deadline" in capsys.readouterr().err
+
+    def test_chaos_smoke_recovers_bit_identically(self, tmp_path, capsys):
+        import json
+        import warnings
+
+        counters_path = tmp_path / "counters.json"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            code = main([
+                "chaos", "figure5", "--jobs", "2", "--seed", "3",
+                "-p", "n_values=2,4", "--repetitions", "1",
+                "--counters", str(counters_path),
+            ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "digests identical" in out
+        counters = json.loads(counters_path.read_text())
+        assert counters["ok"] and counters["digests_match"]
+        assert counters["chaos"]["worker_deaths"] >= 1
+        assert counters["recovery"]["cache_quarantined"] >= 1
+
+
+class TestKeyboardInterruptHandling:
+    def test_interrupt_exits_130_and_releases_pools(
+        self, monkeypatch, capsys
+    ):
+        import repro.__main__ as cli
+        from repro.exec import engine
+
+        engine._get_pool(2)  # a live pool that must not leak
+
+        def interrupted(_args):
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr(cli, "_cmd_list", interrupted)
+        assert main(["list"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+        assert engine._POOLS == {}

@@ -430,3 +430,54 @@ class TestCacheRobustness:
             assert cache.get(key) is None
         finally:
             os.chmod(path, 0o644)
+
+
+class TestPoolShutdown:
+    """The pool leak fix: pools always release, even on ^C."""
+
+    def test_shutdown_clears_the_registry(self):
+        from repro.exec import engine
+
+        engine._get_pool(2)
+        assert engine._POOLS
+        engine.shutdown_pools()
+        assert engine._POOLS == {}
+
+    def test_shutdown_is_idempotent(self):
+        from repro.exec import engine
+
+        engine.shutdown_pools()
+        engine.shutdown_pools()
+        assert engine._POOLS == {}
+
+    def test_discard_drops_only_that_size(self):
+        from repro.exec import engine
+
+        engine._get_pool(2)
+        survivor = engine._get_pool(3)
+        engine._discard_pool(2)
+        assert 2 not in engine._POOLS
+        assert engine._POOLS[3] is survivor
+        engine.shutdown_pools(wait=False)
+
+    def test_signal_safe_shutdown_does_not_block_on_live_work(self):
+        import time as _time
+
+        from repro.exec import engine
+
+        pool = engine._get_pool(2)
+        pool.submit(_time.sleep, 30)
+        started = _time.monotonic()
+        engine.shutdown_pools(wait=False)  # the ^C path
+        assert _time.monotonic() - started < 5.0
+        assert engine._POOLS == {}
+
+    def test_fresh_pool_after_shutdown(self):
+        from repro.exec import engine
+
+        first = engine._get_pool(2)
+        engine.shutdown_pools(wait=False)
+        second = engine._get_pool(2)
+        assert second is not first
+        assert list(second.map(abs, [-1])) == [1]
+        engine.shutdown_pools(wait=False)

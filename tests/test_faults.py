@@ -617,3 +617,89 @@ class TestFaultsCliCommand:
         capsys.readouterr()
         assert main(base + ["--seed", "9"]) == 2
         assert "checkpoint" in capsys.readouterr().err.lower()
+
+
+class TestRetryPolicyPlumbing:
+    """The sweep's retry waits follow the repo's own backoff policies."""
+
+    def test_linear_policy_shapes_the_wait_schedule(self):
+        from repro.exec.supervisor import RetryPolicy
+
+        def crash():
+            raise RuntimeError("kaboom")
+
+        slept = []
+        run_resilient_sweep(
+            {"a": crash}, max_retries=3, sleep=slept.append,
+            retry_policy=RetryPolicy.from_spec("linear", base_seconds=0.5),
+        )
+        assert slept == pytest.approx([0.5, 1.0, 1.5])
+
+    def test_none_policy_retries_immediately(self):
+        from repro.exec.supervisor import RetryPolicy
+
+        def crash():
+            raise RuntimeError("kaboom")
+
+        slept = []
+        run_resilient_sweep(
+            {"a": crash}, max_retries=2, sleep=slept.append,
+            retry_policy=RetryPolicy.from_spec("none"),
+        )
+        assert slept == [0.0, 0.0]
+
+    def test_experiment_accepts_named_policy(self, tmp_path):
+        from repro.faults.runner import run_experiment_resilient
+
+        summary = run_experiment_resilient(
+            "figure5", seed=1, checkpoint_dir=str(tmp_path / "ck"),
+            n_values=(4,), repetitions=1, retry_policy="linear:step=2",
+        )
+        assert summary.ok
+
+    def test_experiment_rejects_bad_policy_before_sweep(self, tmp_path):
+        from repro.faults.runner import run_experiment_resilient
+
+        with pytest.raises(ValueError, match="retry policy"):
+            run_experiment_resilient(
+                "figure5", seed=1, checkpoint_dir=str(tmp_path / "ck"),
+                n_values=(4,), repetitions=1, retry_policy="polynomial",
+            )
+        # One usage error, not a half-written checkpoint.
+        assert not (tmp_path / "ck").exists()
+
+
+class TestParallelWorkerDeath:
+    """A SIGKILLed worker never loses or perturbs a faults sweep."""
+
+    def test_parallel_sweep_survives_worker_death_bit_identically(
+        self, tmp_path
+    ):
+        import warnings
+
+        from repro.exec.context import get_stats, reset_stats
+        from repro.exec.supervisor import ChaosPlan, chaos_injection
+        from repro.faults.runner import run_experiment_resilient
+
+        common = dict(
+            plan_spec="stragglers", seed=7, n_values=(4, 8), repetitions=1,
+        )
+        serial = run_experiment_resilient(
+            "figure5", checkpoint_dir=str(tmp_path / "serial"), **common
+        )
+        reset_stats()
+        with chaos_injection(ChaosPlan(kill_workers=1)):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                survived = run_experiment_resilient(
+                    "figure5", checkpoint_dir=str(tmp_path / "chaos"),
+                    jobs=2, **common,
+                )
+        assert survived.ok
+        assert get_stats().worker_deaths >= 1
+        assert serial.records.keys() == survived.records.keys()
+        for key in serial.records:
+            assert (
+                serial.records[key].to_dict()["digest"]
+                == survived.records[key].to_dict()["digest"]
+            )
