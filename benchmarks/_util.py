@@ -88,15 +88,22 @@ def run_and_report(benchmark, experiment_id: str, **kwargs) -> ExperimentResult:
     path = os.path.join(REPORT_DIR, f"{result.experiment_id}.txt")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(str(result) + "\n")
-    write_record(result.experiment_id, {
+    record = {
         "experiment_id": result.experiment_id,
         "wall_time_seconds": timings[-1],
         "knobs": dict(sorted(kwargs.items())),
         "jobs": BENCH_JOBS,
         "backend": BENCH_BACKEND,
         "cpu_count": os.cpu_count(),
-        "execution": get_stats().as_dict(),
-    })
+    }
+    stats = get_stats()
+    # On the serial path (jobs=1, engine inactive) the exec counters
+    # never move; an all-zero "execution" section would misread as "the
+    # engine ran and did nothing", so it is only recorded when the
+    # engine actually executed points.
+    if stats.points:
+        record["execution"] = stats.as_dict()
+    write_record(result.experiment_id, record)
     print()
     print(result)
     return result

@@ -6,9 +6,11 @@ least 2, so the pool path is always exercised) — asserts the results
 are bit-identical, and records both wall times plus the speedup to
 ``reports/parallel_sweep.json`` for ``tools/bench_report.py``.
 
-On a single-core machine the speedup is expectedly <= 1 (pool overhead
-with nothing to overlap); the record includes ``cpu_count`` so readers
-can interpret the number honestly.
+On a machine with fewer cores than workers a wall-time ratio would
+only measure pool overhead, so the record then carries
+``speedup: null`` plus an explanatory ``speedup_note`` and the
+measured ``pool_overhead_seconds`` instead of a misleading <= 1x
+"speedup"; ``cpu_count`` is always recorded.
 """
 
 from __future__ import annotations
@@ -52,16 +54,29 @@ def bench_parallel_sweep(benchmark):
         "parallel execution must be bit-identical to serial"
     )
 
-    write_record("parallel_sweep", {
+    record = {
         "experiment_id": EXPERIMENT_ID,
         "repetitions": BENCH_REPS,
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
-        "speedup": serial_seconds / parallel_seconds
-        if parallel_seconds else None,
         "results_digest": serial_digest,
         "digests_match": True,
         "execution": get_stats().as_dict(),
-    })
+    }
+    cpu_count = os.cpu_count() or 1
+    if cpu_count >= jobs and parallel_seconds:
+        record["speedup"] = serial_seconds / parallel_seconds
+    else:
+        # With fewer cores than workers the pool has nothing to overlap,
+        # so a wall-time ratio would read as a parallelism regression
+        # when it only measures pool overhead.  Record the overhead
+        # explicitly instead of a misleading "speedup".
+        record["speedup"] = None
+        record["speedup_note"] = (
+            f"cpu_count={cpu_count} < jobs={jobs}: workers cannot run "
+            "concurrently; recording pool overhead, not parallel speedup"
+        )
+        record["pool_overhead_seconds"] = parallel_seconds - serial_seconds
+    write_record("parallel_sweep", record)

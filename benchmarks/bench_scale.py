@@ -1,0 +1,88 @@
+"""Benchmark: the scale1024 study — N=256..4096, beyond the paper.
+
+Runs the ``scale1024`` registry experiment end-to-end on the numpy
+backends (the only way N=4096 is reachable in benchmark time: the
+flat points ride :mod:`repro.barrier.kernel_numpy`, the tree points
+:mod:`repro.barrier.kernel_tree_numpy`) and records, per N:
+
+- flat adaptive-backoff accesses vs the max(Model 1, Model 2)
+  prediction — the ``sim/model`` ratio shows how far the Section 5.1
+  asymptotics hold past the paper's range,
+- combining-tree (degree 4) and hierarchical (degree 16) accesses —
+  where the linear-in-N law breaks once modules scale with N,
+- the Omega-network release probe (stages = log2 N).
+
+The record lands in ``reports/scale_sweep.json`` for
+``tools/bench_report.py``.  ``REPRO_BENCH_SCALE_N`` trims the N axis
+(default ``256,512,1024,2048,4096``) so smoke runs stay cheap.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks._util import write_record
+from repro.analysis.experiments import run
+
+N_VALUES = tuple(
+    int(part)
+    for part in os.environ.get(
+        "REPRO_BENCH_SCALE_N", "256,512,1024,2048,4096"
+    ).split(",")
+    if part
+)
+REPETITIONS = int(os.environ.get("REPRO_BENCH_SCALE_REPS", "20"))
+
+
+def bench_scale(benchmark):
+    timings = []
+
+    def timed_run():
+        t0 = time.perf_counter()
+        result = run(
+            "scale1024",
+            n_values=N_VALUES,
+            repetitions=REPETITIONS,
+            backend="numpy",
+        )
+        timings.append(time.perf_counter() - t0)
+        return result
+
+    result = benchmark.pedantic(timed_run, iterations=1, rounds=1)
+
+    data = result.data
+    per_n = {}
+    for n in N_VALUES:
+        model = data["model"][n]
+        flat = data["flat"][n]
+        entry = {
+            "model_prediction": model,
+            "flat": flat,
+            "flat_over_model": flat / model if model else None,
+        }
+        for label, curve in data.items():
+            if label.startswith(("tree-", "hier-")):
+                entry[label] = curve[n]
+        probe = data.get("network", {}).get(n)
+        if probe:
+            entry["network"] = probe
+        per_n[str(n)] = entry
+
+    write_record("scale_sweep", {
+        "experiment_id": "scale1024",
+        "n_values": list(N_VALUES),
+        "repetitions": REPETITIONS,
+        "backend": "numpy",
+        "cpu_count": os.cpu_count(),
+        "wall_time_seconds": timings[-1],
+        "per_n": per_n,
+    })
+
+    path = os.path.join(
+        os.path.dirname(__file__), "reports", "scale1024.txt"
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(str(result) + "\n")
+    print()
+    print(result)

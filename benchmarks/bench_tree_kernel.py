@@ -1,0 +1,114 @@
+"""Benchmark: the batched tree kernel vs the tree event loop.
+
+Runs a paper-scale combining-tree sweep (no backoff and the adaptive
+composite, N in {16, 64, 256}, A in {0, 10, 100, 1000}) twice — once
+on ``backend=python`` (the reference event loop of
+:mod:`repro.barrier.tree`) and once on ``backend=numpy`` (the batched
+kernel of :mod:`repro.barrier.kernel_tree_numpy`) — asserts the
+episode summaries are bit-identical and that the kernel actually
+vectorized its shards, and records both wall times plus the speedup
+to ``reports/tree_kernel.json`` for ``tools/bench_report.py``.
+
+The acceptance bar in docs/vectorization.md is a >= 5x aggregate
+speedup at the paper's 100 repetitions; at smoke scales the fixed
+per-shard overhead eats a chunk of the win, so the speedup is
+recorded, not asserted — unless ``REPRO_BENCH_TREE_MIN_SPEEDUP`` is
+set, in which case the run fails below that floor (CI's
+vectorize-smoke sets 3 on its smoke config).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks._util import BENCH_REPS, write_record
+from repro.barrier.backend import (
+    get_kernel_counters,
+    reset_kernel_counters,
+)
+from repro.barrier.sweep import sweep_tree
+from repro.core.backoff import AdaptiveBackoff, NoBackoff
+
+N_VALUES = (16, 64, 256)
+A_VALUES = (0, 10, 100, 1000)
+DEGREE = 4
+
+
+def _policies():
+    return {
+        "none": NoBackoff(),
+        "adaptive": AdaptiveBackoff(multiplier=1, flag_base=2),
+    }
+
+
+def _full_sweep(backend):
+    results = {}
+    for interval_a in A_VALUES:
+        sweep = sweep_tree(
+            N_VALUES,
+            interval_a,
+            _policies(),
+            degree=DEGREE,
+            repetitions=BENCH_REPS,
+            seed=0,
+            backend=backend,
+        )
+        for label, aggregates in sweep.items():
+            results[(label, interval_a)] = [
+                (a.mean_accesses, a.mean_waiting_time, a.mean_waiting_p95)
+                for a in aggregates
+            ]
+    return results
+
+
+def bench_tree_kernel(benchmark):
+    start = time.perf_counter()
+    loop = _full_sweep("python")
+    python_seconds = time.perf_counter() - start
+
+    timings = []
+
+    def timed_run():
+        t0 = time.perf_counter()
+        result = _full_sweep("numpy")
+        timings.append(time.perf_counter() - t0)
+        return result
+
+    reset_kernel_counters()
+    kernel = benchmark.pedantic(timed_run, iterations=1, rounds=1)
+    numpy_seconds = timings[-1]
+    counters = get_kernel_counters()
+
+    assert kernel == loop, (
+        "backend=numpy must be bit-identical to backend=python"
+    )
+    assert counters.vectorized_shards > 0, (
+        "the numpy run never vectorized a tree shard; the comparison "
+        "timed the event loop twice"
+    )
+
+    speedup = python_seconds / numpy_seconds if numpy_seconds else None
+    floor = os.environ.get("REPRO_BENCH_TREE_MIN_SPEEDUP")
+    if floor is not None:
+        assert speedup is not None and speedup >= float(floor), (
+            f"tree kernel speedup {speedup:.2f}x is below the "
+            f"REPRO_BENCH_TREE_MIN_SPEEDUP={floor} floor"
+        )
+
+    write_record("tree_kernel", {
+        "sweep": {
+            "n_values": list(N_VALUES),
+            "a_values": list(A_VALUES),
+            "degree": DEGREE,
+            "policies": sorted(_policies()),
+        },
+        "repetitions": BENCH_REPS,
+        "cpu_count": os.cpu_count(),
+        "python_seconds": python_seconds,
+        "numpy_seconds": numpy_seconds,
+        "speedup": speedup,
+        "vectorized_shards": counters.vectorized_shards,
+        "fallback_shards": counters.fallback_shards,
+        "digests_match": True,
+    })

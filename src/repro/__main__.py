@@ -416,6 +416,22 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_barrier(args) -> int:
+    if args.barrier_style == "tree":
+        from repro.barrier.tree import simulate_tree_barrier
+
+        policy = _build_policy(args.policy, args.base, args.step)
+        aggregate = simulate_tree_barrier(
+            args.n, args.interval_a, degree=args.degree, policy=policy,
+            repetitions=args.repetitions, seed=args.seed,
+        )
+        print(
+            f"N={args.n} A={args.interval_a} policy={args.policy} "
+            f"tree degree={args.degree} (reps={aggregate.repetitions})"
+        )
+        print(f"  accesses/process : {aggregate.mean_accesses:.2f}")
+        print(f"  waiting cycles   : {aggregate.mean_waiting_time:.2f}")
+        print(f"  relative sigma   : {aggregate.relative_stddev_accesses:.3f}")
+        return 0
     from repro.barrier.simulator import simulate_barrier
 
     policy = _build_policy(args.policy, args.base, args.step)
@@ -670,6 +686,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--step", type=int, default=1, help="linear step")
     p.add_argument("--repetitions", type=int, default=100)
     p.add_argument("--seed", type=_seed_arg, default=0)
+    p.add_argument("--barrier-style", choices=("flat", "tree"),
+                   default="flat",
+                   help="flat Tang-Yew barrier or a combining tree")
+    p.add_argument("--degree", type=int, default=4,
+                   help="combining-tree fan-in (with --barrier-style tree)")
     _add_backend_arg(p)
     p.set_defaults(fn=_cmd_barrier)
 

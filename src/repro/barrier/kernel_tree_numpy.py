@@ -1,0 +1,564 @@
+"""Batched episode kernel for the combining-tree barrier family.
+
+The reference semantics live in :mod:`repro.barrier.tree`: a global
+event heap drives per-node Tang-Yew barriers whose variable and flag
+live in that node's own two memory modules.  This kernel reproduces
+those episodes *bit-identically* without the heap, by exploiting the
+structure the heap obscures:
+
+- **Module independence.**  Every memory module belongs to exactly one
+  node, and a module's grant sequence depends only on the order in
+  which *its own* requests are presented.  The heap pops events in
+  ``(ready, seq)`` order, so a module's request order is simply its
+  requests sorted by ``(ready, push order)`` — the episode decomposes
+  into per-node *games* coupled only by a few scalars per node: the
+  winner's ascent time and the release write's ready time.
+
+- **Ascent (one pass, leaves upward).**  A node's variable game is the
+  prefix-max grant recurrence ``g_i = max(r_i, g_{i-1} + 1)`` over its
+  participants in processing order.  Leaf processing order is arrival
+  order (ties broken by cpu index — the initial pushes' seq order); an
+  interior node's participants are its children's winners, arriving at
+  ``g_last(child) + 1``.
+
+- **Descent (one pass, root downward).**  Each node's flag module sees
+  at most ``degree - 1`` pollers plus one release write whose ready is
+  known from the parent's game (the winner's release observation + 1;
+  at the root, ``g_last + 1``).  The game is replayed pop-by-pop, with
+  a closed-form *dense skip* for the saturated unit-wait regime
+  (constant-zero ``flag_wait`` policies poll every cycle; the module
+  round-robins the pollers, so whole rounds advance arithmetically) —
+  exactly the regime where the event loop's cost explodes with N.
+
+- **Exact tie resolution via ancestry chains.**  Same-ready events tie
+  on the heap's ``seq``, which is push order; pushes happen during
+  pops (one push per pop), so push order is the pop order of the
+  pushing events, recursively.  Every event therefore carries its
+  *ancestry chain* — the lineage of pushing-pop ready times, bottoming
+  out at the initial arrival pushes whose seq is the cpu index — and
+  same-ready candidates compare chains lexicographically (an initial
+  push precedes every runtime push).  Distinct events have distinct
+  chains, so the comparison is total and the replay is exact with no
+  tie refusals.  Chains are linked nodes (O(1) to extend); rounds
+  advanced by the dense skip append one arithmetic-progression node
+  instead of one node per skipped poll.
+
+Identical arrival rows are deduplicated before simulation — episodes
+are pure functions of their arrival vector for stateless policies, so
+an ``A=0`` shard is one unique episode however many repetitions it
+spans.
+
+Degraded-mode bounds (``poll_budget`` / ``timeout_cycles``) follow the
+tree loop: counted per (processor, node) on failed polls; a winner
+that gives up at an interior node never writes its child's flag, so
+the subtree below drains through the same bounds.
+
+The kernel refuses (raises :class:`KernelUnsupported`, making the
+caller fall back to the event loop) when numpy is missing, a tracer is
+active, a fault plan is installed, or the policy is stateful — the
+same contract as the flat kernel (``docs/vectorization.md``).
+"""
+
+from __future__ import annotations
+
+import functools
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+try:  # pragma: no cover - exercised via the availability override
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+from repro.barrier.kernel_numpy import KernelUnsupported
+from repro.barrier.metrics import EpisodeSummary
+from repro.faults.plan import get_fault_plan
+from repro.obs.tracer import get_tracer
+from repro.sim.rng import spawn_stream
+
+
+def unsupported_reason(simulator) -> Optional[str]:
+    """Why this simulator cannot take the tree kernel (None = it can)."""
+    if np is None:
+        return "numpy is not importable"
+    from repro.barrier.backend import numpy_available
+
+    if not numpy_available():
+        return "numpy backend unavailable"
+    if get_tracer().enabled:
+        return "tracer enabled (per-event emission needs the event loop)"
+    if get_fault_plan() is not None:
+        return "fault plan installed"
+    if getattr(simulator.barrier.backoff, "stateful", False):
+        return "stateful policy (draws depend on episode order)"
+    return None
+
+
+# -- policy classification ------------------------------------------------
+
+#: Per-policy-instance cache: True when ``flag_wait`` probed as
+#: constant zero (NoBackoff, VariableBackoff), enabling the dense skip.
+#: Weakly keyed so a recycled object id can never alias a stale entry.
+_ZERO_FLAG_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+_ZERO_PROBES = tuple(range(1, 130)) + tuple(1 << b for b in range(8, 21))
+
+
+def _constant_zero_flag_wait(policy) -> bool:
+    """True when ``flag_wait`` is (probed) identically zero.
+
+    The dense skip advances many failed polls at once and therefore
+    needs every skipped wait to be the effective unit wait.  Rather
+    than trusting a monotonicity assumption, the skip is only enabled
+    for policies whose ``flag_wait`` probes to a constant zero — the
+    continuously-polling family, which is exactly where the event
+    loop's cost is proportional to the release gap.
+    """
+    cached = _ZERO_FLAG_CACHE.get(policy)
+    if cached is None:
+        cached = all(policy.flag_wait(k) == 0 for k in _ZERO_PROBES)
+        _ZERO_FLAG_CACHE[policy] = cached
+    return cached
+
+
+#: Per-policy memo of effective flag waits, ``waits[p-1] ==
+#: max(flag_wait(p), 1)`` — flag_wait is a pure function of the poll
+#: count for every stateless policy (the only kind the kernel accepts),
+#: and the game loop calls it once per failed poll otherwise.
+_WAIT_TABLES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _wait_table(policy) -> List[int]:
+    table = _WAIT_TABLES.get(policy)
+    if table is None:
+        table = []
+        _WAIT_TABLES[policy] = table
+    return table
+
+
+# -- ancestry chains ------------------------------------------------------
+#
+# Chain encodings (tuples, compared structurally):
+#   ("i", s0)                     initial push with seq s0 (= cpu index)
+#   ("n", ready, parent)          pushed during a pop at `ready`
+#   ("a", last, step, count, parent)
+#       `count` pushes at readys last, last-step, ..., newest first
+#       (the dense skip's rounds), then `parent`
+#
+# Lexicographic chain order IS heap seq order for same-ready events:
+# push order = pushing-pop order = (pop ready, pushing event's seq),
+# recursively; initial pushes precede every runtime push and carry the
+# episode's first seqs.  Distinct events always differ somewhere along
+# the chain (each pop pushes at most one event), so comparison is total.
+
+
+def _chain_next(chain: Tuple) -> Tuple:
+    """Drop the newest ancestry element."""
+    if chain[0] == "n":
+        return chain[2]
+    # ("a", last, step, count, parent)
+    if chain[3] == 1:
+        return chain[4]
+    return ("a", chain[1] - chain[2], chain[2], chain[3] - 1, chain[4])
+
+
+def _chain_less(a: Tuple, b: Tuple) -> bool:
+    """True when event ``a`` was pushed before event ``b``."""
+    while True:
+        if a is b:
+            return False
+        ka, kb = a[0], b[0]
+        if ka == "i" or kb == "i":
+            if ka == "i" and kb == "i":
+                return a[1] < b[1]
+            return ka == "i"
+        ra, rb = a[1], b[1]
+        if ra != rb:
+            return ra < rb
+        if ka == "a" and kb == "a" and a[2] == b[2]:
+            # Same ready and step: the next min(count) elements agree
+            # pairwise, so consume them in one jump.
+            jump = min(a[3], b[3])
+            a = (
+                a[4]
+                if a[3] == jump
+                else ("a", ra - a[2] * jump, a[2], a[3] - jump, a[4])
+            )
+            b = (
+                b[4]
+                if b[3] == jump
+                else ("a", rb - b[2] * jump, b[2], b[3] - jump, b[4])
+            )
+            continue
+        a = _chain_next(a)
+        b = _chain_next(b)
+
+
+# -- tree topology --------------------------------------------------------
+
+
+class _Topology:
+    """Static episode structure shared by every episode of a shard."""
+
+    __slots__ = ("n", "degree", "parents", "expected", "leaf_of", "order")
+
+    def __init__(self, n: int, degree: int) -> None:
+        from repro.barrier.tree import _build_nodes
+
+        nodes, leaf_of = _build_nodes(n, degree)
+        self.n = n
+        self.degree = degree
+        self.parents = [node.parent for node in nodes]
+        self.expected = [node.expected for node in nodes]
+        self.leaf_of = leaf_of
+        self.order = len(nodes)
+
+
+# -- the per-node flag game ----------------------------------------------
+
+
+class _GameResult:
+    __slots__ = ("obs_grant", "obs_ready", "obs_chain", "timed_out", "flag_set")
+
+    def __init__(self, m: int) -> None:
+        self.obs_grant: List[Optional[int]] = [None] * m
+        self.obs_ready: List[Optional[int]] = [None] * m
+        self.obs_chain: List[Optional[Tuple]] = [None] * m
+        self.timed_out: List[bool] = [False] * m
+        self.flag_set: Optional[int] = None
+
+
+def _flag_game(
+    policy,
+    entries: List[Tuple[int, int, int, Tuple]],
+    write: Optional[Tuple[int, Tuple]],
+    poll_budget: Optional[int],
+    timeout_cycles: Optional[int],
+    arrival_times: List[int],
+    accesses: List[int],
+) -> _GameResult:
+    """Replay one node's flag module exactly; returns per-agent outcomes.
+
+    ``entries`` are the node's participants in variable-game processing
+    order as ``(cpu, fa_ready, fa_grant, fa_chain)``; the last entry is
+    the winner (the writer).  ``write`` is ``(ready, chain)`` or None
+    when the winner gave up upstream and the flag is never set.
+    """
+    m = len(entries)
+    result = _GameResult(m)
+    zero_wait = m > 1 and _constant_zero_flag_wait(policy)
+    waits = _wait_table(policy)
+
+    # Poller state, indexed by participant position j (0..m-2).
+    ready: List[int] = [0] * max(m - 1, 0)
+    chain: List[Tuple] = [()] * max(m - 1, 0)
+    polls: List[int] = [0] * max(m - 1, 0)
+    live: List[int] = []
+    for j in range(m - 1):
+        __, fa_ready, fa_grant, fa_chain = entries[j]
+        ready[j] = fa_grant + max(policy.variable_wait(j + 1, m), 1)
+        chain[j] = ("n", fa_ready, fa_chain)
+        live.append(j)
+
+    write_pending = write is not None
+    if not live and not write_pending:
+        return result
+    if write is None and poll_budget is None and timeout_cycles is None:
+        raise AssertionError("flag write absent without degraded-mode bounds")
+
+    nf = 0
+    flag_set: Optional[int] = None
+
+    while live or write_pending:
+        # Dense skip: saturated continuous polling round-robins the
+        # module, so whole rounds advance in O(live) arithmetic.  Only
+        # rounds that stay strictly clear of the write's ready and of
+        # both degraded-mode bounds are skipped; the remainder replays
+        # pop-by-pop, so under-skipping is always safe.
+        if flag_set is None and zero_wait and live:
+            saturated = True
+            for j in live:
+                if ready[j] > nf:
+                    saturated = False
+                    break
+            k = len(live)
+            if saturated:
+                order = sorted(live, key=lambda j: ready[j])
+                readys = [ready[j] for j in order]
+            if saturated and len(set(readys)) == k:
+                rounds = 1 << 60
+                if write is not None:
+                    # Skipped pop readys reach nf + (rounds-1)*k; keep
+                    # them strictly below the write's ready so the
+                    # write is never due during a skipped round.
+                    rounds = min(rounds, (write[0] - nf - 1) // k)
+                if poll_budget is not None:
+                    rounds = min(
+                        rounds,
+                        min(poll_budget - 1 - polls[j] for j in order),
+                    )
+                if timeout_cycles is not None:
+                    for p, j in enumerate(order):
+                        margin = (
+                            timeout_cycles - 1
+                            + arrival_times[entries[j][0]]
+                            - nf
+                            - p
+                        )
+                        rounds = min(rounds, margin // k + 1)
+                if rounds > 1:
+                    for p, j in enumerate(order):
+                        first_grant = nf + p
+                        last_grant = first_grant + (rounds - 1) * k
+                        accesses[entries[j][0]] += (
+                            first_grant - ready[j] + 1 + (rounds - 1) * k
+                        )
+                        polls[j] += rounds
+                        # Pop readys, newest first: rounds 2..R popped
+                        # at last_grant-k+1, ..., nf+p+1 (step k), then
+                        # round 1 popped at the pre-skip ready.
+                        chain[j] = (
+                            "a",
+                            last_grant - k + 1,
+                            k,
+                            rounds - 1,
+                            ("n", ready[j], chain[j]),
+                        )
+                        ready[j] = last_grant + 1
+                    nf += rounds * k
+                    continue
+
+        # Pop the earliest pending request (exact heap order).
+        best_j = -2  # -1 = the write
+        best_ready = 0
+        best_chain: Tuple = ()
+        for j in live:
+            if (
+                best_j == -2
+                or ready[j] < best_ready
+                or (
+                    ready[j] == best_ready
+                    and _chain_less(chain[j], best_chain)
+                )
+            ):
+                best_j, best_ready, best_chain = j, ready[j], chain[j]
+        if write_pending:
+            wready, wchain = write  # type: ignore[misc]
+            if (
+                best_j == -2
+                or wready < best_ready
+                or (wready == best_ready and _chain_less(wchain, best_chain))
+            ):
+                best_j, best_ready, best_chain = -1, wready, wchain
+
+        grant = max(best_ready, nf)
+        nf = grant + 1
+
+        if best_j == -1:
+            cpu = entries[m - 1][0]
+            accesses[cpu] += grant - best_ready + 1
+            flag_set = grant
+            result.flag_set = grant
+            result.obs_grant[m - 1] = grant
+            result.obs_ready[m - 1] = best_ready
+            result.obs_chain[m - 1] = best_chain
+            write_pending = False
+            continue
+
+        j = best_j
+        cpu = entries[j][0]
+        accesses[cpu] += grant - best_ready + 1
+        if flag_set is not None and grant > flag_set:
+            result.obs_grant[j] = grant
+            result.obs_ready[j] = best_ready
+            result.obs_chain[j] = best_chain
+            live.remove(j)
+            continue
+        polls[j] += 1
+        if (poll_budget is not None and polls[j] >= poll_budget) or (
+            timeout_cycles is not None
+            and grant - arrival_times[cpu] >= timeout_cycles
+        ):
+            result.obs_grant[j] = grant
+            result.timed_out[j] = True
+            live.remove(j)
+            continue
+        while polls[j] > len(waits):
+            waits.append(max(policy.flag_wait(len(waits) + 1), 1))
+        ready[j] = grant + waits[polls[j] - 1]
+        chain[j] = ("n", best_ready, chain[j])
+
+    return result
+
+
+# -- one episode ----------------------------------------------------------
+
+
+def _entry_cmp(a, b):
+    if a[1] != b[1]:
+        return -1 if a[1] < b[1] else 1
+    return -1 if _chain_less(a[2], b[2]) else 1
+
+
+def _episode(
+    topo: _Topology,
+    policy,
+    arrival_times: List[int],
+    poll_budget: Optional[int],
+    timeout_cycles: Optional[int],
+) -> Tuple[List[int], List[int], int]:
+    """Simulate one episode exactly; returns (accesses, departs, #timeouts)."""
+    n = topo.n
+    accesses = [0] * n
+    depart = [0] * n
+    timeouts = 0
+
+    # Ascent: per node, participants as (cpu, ready, chain, src child).
+    part: List[List[Tuple[int, int, Tuple, Optional[int]]]] = [
+        [] for _ in range(topo.order)
+    ]
+    grants: List[List[int]] = [[] for _ in range(topo.order)]
+    for cpu in range(n):
+        part[topo.leaf_of[cpu]].append(
+            (cpu, arrival_times[cpu], ("i", cpu), None)
+        )
+
+    for node_id in range(topo.order):
+        entries = part[node_id]
+        # Processing order: (ready, push order).  Leaf rows built from
+        # sorted draws arrive pre-sorted with cpu-index chains, so the
+        # general chain sort only runs when an inversion or a same-ready
+        # chain inversion is present.
+        for i in range(1, len(entries)):
+            ra, rb = entries[i - 1][1], entries[i][1]
+            if ra > rb or (
+                ra == rb and _chain_less(entries[i][2], entries[i - 1][2])
+            ):
+                entries.sort(key=functools.cmp_to_key(_entry_cmp))
+                break
+        if len(entries) != topo.expected[node_id]:
+            raise AssertionError("participant count mismatch")
+        g = -1
+        node_grants = grants[node_id]
+        for cpu, r, __, ___ in entries:
+            g = max(r, g + 1)
+            node_grants.append(g)
+            accesses[cpu] += g - r + 1
+        parent = topo.parents[node_id]
+        if parent is not None:
+            last = entries[-1]
+            part[parent].append(
+                (last[0], node_grants[-1] + 1, ("n", last[1], last[2]), node_id)
+            )
+
+    # Descent: per node (root first — parents have larger ids), the
+    # release write's (ready, chain), or None if the winner gave up at
+    # the parent and the flag is never written.
+    write_info: List[Optional[Tuple[int, Tuple]]] = [None] * topo.order
+    root = topo.order - 1
+    root_last = part[root][-1]
+    write_info[root] = (
+        grants[root][-1] + 1,
+        ("n", root_last[1], root_last[2]),
+    )
+
+    for node_id in range(topo.order - 1, -1, -1):
+        entries = part[node_id]
+        game = _flag_game(
+            policy,
+            [
+                (e[0], e[1], grants[node_id][j], e[2])
+                for j, e in enumerate(entries)
+            ],
+            write_info[node_id],
+            poll_budget,
+            timeout_cycles,
+            arrival_times,
+            accesses,
+        )
+        is_leaf = node_id == topo.leaf_of[entries[0][0]]
+        for j, entry in enumerate(entries):
+            cpu, __, ___, src = entry
+            obs = game.obs_grant[j]
+            if game.timed_out[j]:
+                depart[cpu] = obs  # type: ignore[assignment]
+                timeouts += 1
+                continue
+            if obs is None:
+                # Flag never written here: the writer never ran because
+                # it already gave up (or was stranded) upstream.
+                continue
+            if is_leaf:
+                depart[cpu] = obs
+            elif src is not None:
+                # The child this participant won is released one cycle
+                # after the observation; the release write is pushed
+                # during the observation event's pop.
+                write_info[src] = (
+                    obs + 1,
+                    ("n", game.obs_ready[j], game.obs_chain[j]),
+                )
+
+    return accesses, depart, timeouts
+
+
+# -- the shard entry point ------------------------------------------------
+
+
+def shard_summaries(
+    simulator, rep_start: int, rep_stop: int
+) -> List[EpisodeSummary]:
+    """Episode summaries for repetitions ``[rep_start, rep_stop)``.
+
+    Bit-identical to the event loop's
+    :meth:`~repro.barrier.tree.TreeBarrierSimulator.run_shard` python
+    path; raises :class:`KernelUnsupported` when the configuration is
+    outside the kernel's contract.
+    """
+    reason = unsupported_reason(simulator)
+    if reason is not None:
+        raise KernelUnsupported(reason)
+    reps = list(range(rep_start, rep_stop))
+    if not reps:
+        return []
+
+    barrier = simulator.barrier
+    n = barrier.num_processors
+    topo = _Topology(n, barrier.degree)
+    policy = barrier.backoff
+
+    # Draws: delegate to the arrival process on the per-rep streams the
+    # event loop uses, so any ArrivalProcess matches exactly.
+    rows: List[Tuple[int, ...]] = []
+    for rep in reps:
+        rng = spawn_stream(simulator.seed, f"tree-rep-{rep}")
+        rows.append(
+            tuple(int(when) for when in simulator.arrivals.draw(n, rng))
+        )
+
+    # Dedup: an episode is a pure function of its arrival row (the
+    # policy is stateless here), so duplicate rows share one result.
+    cache: Dict[Tuple[int, ...], EpisodeSummary] = {}
+    for row in rows:
+        if row in cache:
+            continue
+        accesses, depart, timeouts = _episode(
+            topo,
+            policy,
+            list(row),
+            barrier.poll_budget,
+            barrier.timeout_cycles,
+        )
+        waits = sorted(depart[cpu] - row[cpu] for cpu in range(n))
+        index = min(int(round(95.0 / 100.0 * (n - 1))), n - 1)
+        cache[row] = EpisodeSummary(
+            mean_accesses=sum(accesses) / n,
+            mean_waiting_time=(
+                sum(depart[cpu] - row[cpu] for cpu in range(n)) / n
+            ),
+            waiting_p95=float(waits[index]),
+            queued_processes=0,
+            timed_out=timeouts,
+        )
+
+    return [cache[row] for row in rows]

@@ -110,6 +110,75 @@ def sweep(
     return results
 
 
+def sweep_tree(
+    n_values: Sequence[int],
+    interval_a: int,
+    policies: Optional[Mapping[str, BackoffPolicy]] = None,
+    degree: int = 4,
+    repetitions: int = 100,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
+    poll_budget: Optional[int] = None,
+    timeout_cycles: Optional[int] = None,
+) -> Dict[str, List[BarrierAggregate]]:
+    """Simulate every (policy, N) combining-tree point at one interval A.
+
+    The tree analogue of :func:`sweep`: with an active exec config the
+    (policy, N) points are batched through the exec engine (worker
+    pool, result cache, vectorized tree kernel per
+    :mod:`repro.barrier.backend`), bit-identical to the serial loop.
+
+    Returns:
+        ``{policy_label: [BarrierAggregate per N, in n_values order]}``
+        where each aggregate's label is ``tree-{degree}/{policy}``.
+    """
+    if policies is None:
+        policies = paper_policies()
+    config = resolve_exec_config(jobs, cache, cache_dir)
+    if config.active and get_fault_plan() is None:
+        from repro.exec.engine import PointSpec, execute_barrier_points
+
+        specs = [
+            PointSpec(
+                num_processors=n,
+                interval_a=interval_a,
+                policy=policy,
+                repetitions=repetitions,
+                seed=seed,
+                backend=backend,
+                tree_degree=degree,
+                poll_budget=poll_budget,
+                timeout_cycles=timeout_cycles,
+            )
+            for policy in policies.values()
+            for n in n_values
+        ]
+        aggregates = execute_barrier_points(specs, config)
+        width = len(list(n_values))
+        return {
+            label: aggregates[row * width : (row + 1) * width]
+            for row, label in enumerate(policies)
+        }
+    from repro.barrier.tree import simulate_tree_barrier
+
+    results: Dict[str, List[BarrierAggregate]] = {}
+    for label, policy in policies.items():
+        points = []
+        for n in n_values:
+            points.append(
+                simulate_tree_barrier(
+                    n, interval_a, degree=degree, policy=policy,
+                    repetitions=repetitions, seed=seed, backend=backend,
+                    poll_budget=poll_budget, timeout_cycles=timeout_cycles,
+                )
+            )
+        results[label] = points
+    return results
+
+
 def _to_series(
     results: Mapping[str, List[BarrierAggregate]], metric: str
 ) -> Dict[str, Series]:

@@ -35,8 +35,16 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.barrier.arrivals import ArrivalProcess, UniformArrivals
-from repro.barrier.metrics import BarrierAggregate, BarrierRunResult
+from repro.barrier.backend import get_kernel_counters, resolve_backend
+from repro.barrier.metrics import (
+    BarrierAggregate,
+    BarrierRunResult,
+    EpisodeSummary,
+    aggregate_from_summaries,
+)
 from repro.core.barrier import CombiningTreeBarrier
+from repro.exec.context import get_exec_config
+from repro.faults.plan import get_fault_plan
 from repro.network.module import MemoryModule
 from repro.sim.rng import spawn_stream
 
@@ -121,15 +129,23 @@ class TreeBarrierSimulator:
         self.arrivals = arrivals if arrivals is not None else UniformArrivals(0)
         self.seed = seed
 
+    @property
+    def policy_label(self) -> str:
+        """The aggregate's policy name: ``tree-<degree>/<policy>``."""
+        return f"tree-{self.barrier.degree}/{self.barrier.backoff.name}"
+
     def run_once(self, rng: np.random.Generator) -> BarrierRunResult:
         n = self.barrier.num_processors
         degree = self.barrier.degree
         policy = self.barrier.backoff
+        poll_budget = self.barrier.poll_budget
+        timeout_cycles = self.barrier.timeout_cycles
         nodes, leaf_of = _build_nodes(n, degree)
 
-        arrival_times = self.arrivals.draw(n, rng)
+        arrival_times = [int(when) for when in self.arrivals.draw(n, rng)]
         accesses = [0] * n
         depart = [0] * n
+        timed_out: List[int] = []
         polls: Dict[Tuple[int, int], int] = {}  # (cpu, node) -> failed polls
         # The node a cpu must observe released to depart: its leaf.
         heap: List[Tuple[int, int, int, int, int]] = []  # (t, seq, cpu, node, kind)
@@ -198,6 +214,17 @@ class TreeBarrierSimulator:
             else:
                 key = (cpu, node_id)
                 polls[key] = polls.get(key, 0) + 1
+                if (poll_budget is not None and polls[key] >= poll_budget) or (
+                    timeout_cycles is not None
+                    and grant - arrival_times[cpu] >= timeout_cycles
+                ):
+                    # Degraded mode, per (processor, node) wait: give up
+                    # and depart.  A winner that gives up at an interior
+                    # node never writes its child's flag, so the nodes
+                    # below it drain through the same bounds.
+                    timed_out.append(cpu)
+                    depart[cpu] = grant
+                    continue
                 wait = max(policy.flag_wait(polls[key]), 1)
                 push(grant + wait, cpu, node_id, _REQ_FLAG_READ)
 
@@ -207,6 +234,7 @@ class TreeBarrierSimulator:
             policy_name=f"tree-{degree}/{policy.name}",
         )
         result.accesses_per_process = accesses
+        result.timed_out = timed_out
         result.waiting_times = [depart[cpu] - arrival_times[cpu] for cpu in range(n)]
         result.completion_time = max(depart) if depart else 0
         root = [node for node in nodes if node.parent is None][0]
@@ -231,14 +259,80 @@ class TreeBarrierSimulator:
             )
         return current
 
-    def run(self, repetitions: int = 100) -> BarrierAggregate:
+    def _kernel_summaries(
+        self, rep_start: int, rep_stop: int
+    ) -> Optional[List[EpisodeSummary]]:
+        """Try the vectorized tree kernel on a shard; None = fall back.
+
+        Mirrors :meth:`repro.barrier.simulator.BarrierSimulator
+        ._kernel_summaries`: the kernel raises
+        :class:`repro.barrier.kernel_numpy.KernelUnsupported` for
+        configurations outside its contract (tracing, fault plans,
+        stateful policies — see ``docs/vectorization.md``), and those
+        shards take the reference event loop with the fallback counter
+        recording that the knob had no effect.
+        """
+        from repro.barrier import kernel_tree_numpy
+        from repro.barrier.kernel_numpy import KernelUnsupported
+
+        try:
+            summaries = kernel_tree_numpy.shard_summaries(
+                self, rep_start, rep_stop
+            )
+        except KernelUnsupported:
+            get_kernel_counters().fallback_shards += 1
+            return None
+        get_kernel_counters().vectorized_shards += 1
+        return summaries
+
+    def run_shard(
+        self,
+        rep_start: int,
+        rep_stop: int,
+        backend: Optional[str] = None,
+    ) -> List[EpisodeSummary]:
+        """Simulate repetitions ``[rep_start, rep_stop)``; one summary each.
+
+        The tree analogue of the flat simulator's shard API: every
+        repetition's stream is derived from ``(seed, "tree-rep-<rep>")``
+        alone, so shards are location-independent and replaying their
+        summaries in repetition order rebuilds :meth:`run`'s aggregate
+        bit-for-bit.  ``backend`` selects the episode engine; summaries
+        are bit-identical either way.
+        """
+        if rep_start < 0 or rep_stop < rep_start:
+            raise ValueError(
+                f"invalid shard bounds [{rep_start}, {rep_stop})"
+            )
+        if resolve_backend(backend) == "numpy":
+            kernel = self._kernel_summaries(rep_start, rep_stop)
+            if kernel is not None:
+                return kernel
+        summaries: List[EpisodeSummary] = []
+        for rep in range(rep_start, rep_stop):
+            rng = spawn_stream(self.seed, f"tree-rep-{rep}")
+            summaries.append(EpisodeSummary.from_run(self.run_once(rng)))
+        return summaries
+
+    def run(
+        self, repetitions: int = 100, backend: Optional[str] = None
+    ) -> BarrierAggregate:
         """Average over independent episodes (cf. flat simulator)."""
         if repetitions < 1:
             raise ValueError("repetitions must be >= 1")
+        if resolve_backend(backend) == "numpy":
+            summaries = self._kernel_summaries(0, repetitions)
+            if summaries is not None:
+                return aggregate_from_summaries(
+                    self.barrier.num_processors,
+                    self.arrivals.interval,
+                    self.policy_label,
+                    summaries,
+                )
         aggregate = BarrierAggregate(
             num_processors=self.barrier.num_processors,
             interval_a=self.arrivals.interval,
-            policy_name=f"tree-{self.barrier.degree}/{self.barrier.backoff.name}",
+            policy_name=self.policy_label,
         )
         for rep in range(repetitions):
             rng = spawn_stream(self.seed, f"tree-rep-{rep}")
@@ -253,16 +347,66 @@ def simulate_tree_barrier(
     policy=None,
     repetitions: int = 100,
     seed: int = 0,
+    backend: Optional[str] = None,
+    poll_budget: Optional[int] = None,
+    timeout_cycles: Optional[int] = None,
 ) -> BarrierAggregate:
-    """Convenience wrapper mirroring :func:`simulate_barrier`."""
+    """Convenience wrapper mirroring :func:`simulate_barrier`.
+
+    Like the flat wrapper, an active :class:`repro.exec.ExecConfig`
+    (and no fault plan) routes the point through the exec engine —
+    parallel repetition shards plus the shared result cache — with
+    bit-identical aggregates; the tree loop ignores fault plans, so
+    plans take the serial path purely for symmetry with the flat wrapper.
+    """
     from repro.core.backoff import NoBackoff
 
     barrier = CombiningTreeBarrier(
         num_processors,
         degree=degree,
         backoff=policy if policy is not None else NoBackoff(),
+        poll_budget=poll_budget,
+        timeout_cycles=timeout_cycles,
     )
+    config = get_exec_config()
+    if config.active and get_fault_plan() is None:
+        from repro.exec.engine import PointSpec, execute_barrier_points
+
+        spec = PointSpec(
+            num_processors=num_processors,
+            interval_a=interval_a,
+            policy=barrier.backoff,
+            repetitions=repetitions,
+            seed=seed,
+            backend=backend,
+            tree_degree=degree,
+            poll_budget=poll_budget,
+            timeout_cycles=timeout_cycles,
+        )
+        return execute_barrier_points([spec], config)[0]
     simulator = TreeBarrierSimulator(
         barrier, UniformArrivals(interval_a), seed=seed
     )
-    return simulator.run(repetitions)
+    return simulator.run(repetitions, backend=backend)
+
+
+def build_tree_simulator(
+    num_processors: int,
+    interval_a: int,
+    policy,
+    degree: int = 4,
+    seed: int = 0,
+    poll_budget: Optional[int] = None,
+    timeout_cycles: Optional[int] = None,
+) -> TreeBarrierSimulator:
+    """The simulator ``simulate_tree_barrier`` would run serially."""
+    barrier = CombiningTreeBarrier(
+        num_processors,
+        degree=degree,
+        backoff=policy,
+        poll_budget=poll_budget,
+        timeout_cycles=timeout_cycles,
+    )
+    return TreeBarrierSimulator(
+        barrier, UniformArrivals(interval_a), seed=seed
+    )

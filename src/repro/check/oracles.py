@@ -20,6 +20,11 @@ Three families:
   summaries and experiment digests on randomized barrier configurations
   — the executable form of the equivalence contract in
   ``docs/vectorization.md``.  Skipped (0 cases) when numpy is absent.
+- **Tree backend parity** (`tree-backend-parity`): the same contract
+  for the combining-tree family — the event loop of
+  :mod:`repro.barrier.tree` vs the batched kernel of
+  :mod:`repro.barrier.kernel_tree_numpy`, on randomized (N, degree,
+  A, policy, degraded-mode bounds) configurations.
 """
 
 from __future__ import annotations
@@ -272,6 +277,105 @@ def check_backend_parity(ctx: CheckContext) -> int:
             f"figure4 digests diverge across backends: {digests}",
             repro="python -m repro run figure4 -p repetitions=3 "
                   "-p n_values=2,8,32 -p a_values=0,100 --backend numpy",
+        )
+    return cases + 1
+
+
+@differential("tree-backend-parity")
+def check_tree_backend_parity(ctx: CheckContext) -> int:
+    """python vs numpy tree backends, pinned summary-by-summary.
+
+    The combining-tree analogue of ``backend-parity``: randomized
+    (N, degree, A, policy, bounds) configurations must produce
+    bit-identical episode summaries across the event loop and the
+    batched kernel, including degraded-mode poll budgets and timeouts
+    (where a mid-descent giving-up winner changes who writes — or
+    whether anyone writes — every flag below).  Fails if the kernel
+    never vectorized a shard; skipped (0 cases) when numpy is absent.
+    """
+    from repro.barrier.backend import get_kernel_counters, numpy_available
+    from repro.barrier.tree import build_tree_simulator
+    from repro.core.backoff import AdaptiveBackoff, LinearFlagBackoff
+
+    if not numpy_available():
+        return 0
+
+    rng = ctx.rng("tree-backend-parity")
+    policies = (
+        NoBackoff(),
+        VariableBackoff(),
+        LinearFlagBackoff(step=2),
+        ExponentialFlagBackoff(base=2),
+        AdaptiveBackoff(multiplier=1, flag_base=2),
+    )
+    before = get_kernel_counters().vectorized_shards
+    cases = 0
+    for __ in range(ctx.budget.cases * 2):
+        n = int(rng.integers(1, 65))
+        degree = int(rng.choice([2, 3, 4, 8, 16]))
+        interval_a = int(rng.choice([0, int(rng.integers(1, 301)), 1000]))
+        seed = int(rng.integers(0, 2**32))
+        policy = policies[int(rng.integers(0, len(policies)))]
+        poll_budget = None
+        timeout_cycles = None
+        bounds = int(rng.integers(0, 4))
+        if bounds & 1:
+            poll_budget = int(rng.integers(1, 9))
+        if bounds & 2:
+            timeout_cycles = int(rng.integers(20, 400))
+        reps = max(2, ctx.budget.repetitions)
+        simulator = build_tree_simulator(
+            n, interval_a, policy, degree=degree, seed=seed,
+            poll_budget=poll_budget, timeout_cycles=timeout_cycles,
+        )
+        with tracing(NULL_TRACER):
+            loop = simulator.run_shard(0, reps, backend="python")
+            kernel = simulator.run_shard(0, reps, backend="numpy")
+        mismatches = [
+            rep
+            for rep, (a, b) in enumerate(zip(loop, kernel))
+            if a.as_tuple() != b.as_tuple()
+        ]
+        if mismatches:
+            rep = mismatches[0]
+            raise CheckFailure(
+                f"tree backends disagree at N={n}, degree={degree}, "
+                f"A={interval_a}, policy={policy!r}, seed={seed}, "
+                f"poll_budget={poll_budget}, "
+                f"timeout_cycles={timeout_cycles}, rep={rep}: "
+                f"python {loop[rep].as_tuple()} vs "
+                f"numpy {kernel[rep].as_tuple()} "
+                f"({len(mismatches)}/{reps} episode(s) differ)"
+            )
+        cases += 1
+    if get_kernel_counters().vectorized_shards == before:
+        raise CheckFailure(
+            "tree-backend-parity ran without the tree kernel vectorizing "
+            "a single shard — every configuration fell back to the event "
+            "loop, so the oracle checked nothing"
+        )
+
+    # One registry-level pin: the scale1024 pipeline digests identically
+    # per backend (probe disabled — the Omega probe has no backend).
+    from repro.exec import payload_digest
+    from repro.obs.manifest import jsonable
+    from repro.registry import run
+
+    kwargs = dict(
+        repetitions=2, n_values=(4, 16), probe_horizon=0, interval_a=50
+    )
+    digests = {
+        backend: payload_digest(
+            jsonable(run("scale1024", backend=backend, **kwargs).data)
+        )
+        for backend in ("python", "numpy")
+    }
+    if digests["python"] != digests["numpy"]:
+        raise CheckFailure(
+            f"scale1024 digests diverge across backends: {digests}",
+            repro="python -m repro run scale1024 -p repetitions=2 "
+                  "-p n_values=4,16 -p probe_horizon=0 -p interval_a=50 "
+                  "--backend numpy",
         )
     return cases + 1
 

@@ -106,17 +106,26 @@ class CombiningTreeBarrier:
     Tang–Yew barrier in its own pair of memory modules; the last
     arrival of each group ascends to the parent node.  When the root
     completes, release flags propagate back down.
+
+    ``poll_budget`` / ``timeout_cycles`` give the same degraded-mode
+    semantics as :class:`TangYewBarrier`, applied per (processor, node)
+    wait: a poller that exhausts either bound departs without seeing
+    the release and never writes its own node's flag, so a timeout high
+    in the tree cascades into timeouts below it.
     """
 
     num_processors: int
     degree: int = 4
     backoff: BackoffPolicy = field(default_factory=NoBackoff)
+    poll_budget: Optional[int] = None
+    timeout_cycles: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_processors < 1:
             raise ValueError("num_processors must be >= 1")
         if self.degree < 2:
             raise ValueError("degree must be >= 2")
+        _check_degraded_mode(self.poll_budget, self.timeout_cycles)
 
     def level_sizes(self) -> List[int]:
         """Number of participants at each tree level, leaves first."""

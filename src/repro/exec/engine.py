@@ -63,7 +63,7 @@ from repro.exec.context import (
     get_stats,
     set_exec_config,
 )
-from repro.exec.shards import make_shard_task, shard_bounds
+from repro.exec.shards import make_shard_task, make_tree_shard_task, shard_bounds
 from repro.exec.supervisor import (
     COMPLETED,
     PointRecord,
@@ -96,16 +96,41 @@ class PointSpec:
     #: backends are bit-identical, so both share one cache entry and a
     #: warm cache serves either backend's request.
     backend: Optional[str] = None
+    #: Set to run a combining-tree barrier point instead of a flat one
+    #: (``simulate_tree_barrier``); ``single_variable`` is then ignored.
+    tree_degree: Optional[int] = None
+    #: Degraded-mode bounds, forwarded to the barrier when set.
+    poll_budget: Optional[int] = None
+    timeout_cycles: Optional[int] = None
 
     def params(self) -> Dict[str, Any]:
-        """The canonicalizable parameter dict used in the cache key."""
-        return {
+        """The canonicalizable parameter dict used in the cache key.
+
+        Tree and degraded-mode fields enter the key only when set, so
+        every pre-existing flat point keeps its original address and a
+        cache warmed before trees existed stays valid.
+        """
+        params: Dict[str, Any] = {
             "num_processors": self.num_processors,
             "interval_a": self.interval_a,
             "repetitions": self.repetitions,
             "single_variable": self.single_variable,
             "policy": policy_fingerprint(self.policy),
         }
+        if self.tree_degree is not None:
+            params["tree_degree"] = self.tree_degree
+        if self.poll_budget is not None:
+            params["poll_budget"] = self.poll_budget
+        if self.timeout_cycles is not None:
+            params["timeout_cycles"] = self.timeout_cycles
+        return params
+
+    @property
+    def policy_label(self) -> str:
+        """The label the aggregate carries (mirrors the simulators)."""
+        if self.tree_degree is not None:
+            return f"tree-{self.tree_degree}/{self.policy.name}"
+        return self.policy.name
 
 
 def policy_fingerprint(policy: Any) -> Dict[str, Any]:
@@ -179,7 +204,7 @@ def _cache_payload(spec: PointSpec, summaries: List[EpisodeSummary]) -> dict:
     return {
         "num_processors": spec.num_processors,
         "interval_a": spec.interval_a,
-        "policy_name": spec.policy.name,
+        "policy_name": spec.policy_label,
         "summaries": [summary.as_tuple() for summary in summaries],
     }
 
@@ -188,7 +213,7 @@ def _replay_payload(spec: PointSpec, payload: dict) -> BarrierAggregate:
     return aggregate_from_summaries(
         spec.num_processors,
         spec.interval_a,
-        spec.policy.name,
+        spec.policy_label,
         (EpisodeSummary.from_tuple(t) for t in payload["summaries"]),
     )
 
@@ -202,7 +227,7 @@ def _emit_point(tracer, spec: PointSpec, source: str, shards: int) -> None:
         "exec.point",
         n=spec.num_processors,
         interval_a=spec.interval_a,
-        policy=spec.policy.name,
+        policy=spec.policy_label,
         repetitions=spec.repetitions,
         source=source,
         shards=shards,
@@ -211,15 +236,28 @@ def _emit_point(tracer, spec: PointSpec, source: str, shards: int) -> None:
 
 def _run_point_inline(spec: PointSpec) -> List[EpisodeSummary]:
     """Simulate a whole point serially, with simulator tracing off."""
-    from repro.barrier.simulator import build_simulator
+    if spec.tree_degree is not None:
+        from repro.barrier.tree import build_tree_simulator
 
-    simulator = build_simulator(
-        spec.num_processors,
-        spec.interval_a,
-        spec.policy,
-        seed=spec.seed,
-        single_variable=spec.single_variable,
-    )
+        simulator = build_tree_simulator(
+            spec.num_processors,
+            spec.interval_a,
+            spec.policy,
+            degree=spec.tree_degree,
+            seed=spec.seed,
+            poll_budget=spec.poll_budget,
+            timeout_cycles=spec.timeout_cycles,
+        )
+    else:
+        from repro.barrier.simulator import build_simulator
+
+        simulator = build_simulator(
+            spec.num_processors,
+            spec.interval_a,
+            spec.policy,
+            seed=spec.seed,
+            single_variable=spec.single_variable,
+        )
     with tracing(NULL_TRACER):
         return simulator.run_shard(0, spec.repetitions, backend=spec.backend)
 
@@ -259,7 +297,10 @@ def execute_barrier_points(
     # Fan shardable points across the pool; stateful policies stay
     # inline so their draw state evolves in exactly the serial order.
     pooled: List[Tuple[int, PointSpec, Optional[str], int]] = []
-    tasks: Dict[Tuple[int, int], dict] = {}
+    #: Flat and tree shards run different worker entry points, and
+    #: run_supervised dispatches one entry per call, so tasks are
+    #: partitioned by entry and fanned out in two supervised batches.
+    tasks_by_entry: Dict[str, Dict[Tuple[int, int], dict]] = {}
     if config.jobs > 1:
         for index, spec, key in pending:
             if getattr(spec.policy, "stateful", False):
@@ -269,28 +310,45 @@ def execute_barrier_points(
             # whatever ambient default existed when the pool forked, so
             # the caller's --backend choice must travel in the task.
             backend = resolve_backend(spec.backend)
-            for shard_index, (start, stop) in enumerate(bounds):
-                tasks[(index, shard_index)] = make_shard_task(
-                    spec.num_processors,
-                    spec.interval_a,
-                    spec.policy,
-                    spec.seed,
-                    spec.single_variable,
-                    start,
-                    stop,
-                    backend=backend,
-                )
+            if spec.tree_degree is not None:
+                tasks = tasks_by_entry.setdefault("tree_shard", {})
+                for shard_index, (start, stop) in enumerate(bounds):
+                    tasks[(index, shard_index)] = make_tree_shard_task(
+                        spec.num_processors,
+                        spec.interval_a,
+                        spec.policy,
+                        spec.seed,
+                        spec.tree_degree,
+                        start,
+                        stop,
+                        backend=backend,
+                        poll_budget=spec.poll_budget,
+                        timeout_cycles=spec.timeout_cycles,
+                    )
+            else:
+                tasks = tasks_by_entry.setdefault("barrier_shard", {})
+                for shard_index, (start, stop) in enumerate(bounds):
+                    tasks[(index, shard_index)] = make_shard_task(
+                        spec.num_processors,
+                        spec.interval_a,
+                        spec.policy,
+                        spec.seed,
+                        spec.single_variable,
+                        start,
+                        stop,
+                        backend=backend,
+                    )
             pooled.append((index, spec, key, len(bounds)))
 
     pooled_indices = {index for index, *_ in pooled}
     shard_results: Dict[int, Dict[int, List[tuple]]] = {}
-    if tasks:
+    for entry, tasks in tasks_by_entry.items():
         # Supervised fan-out: a killed worker respawns the pool and
         # re-dispatches only the lost shards; name-keyed RNG streams
         # make the replay bit-identical to an undisturbed run.
         outcome = run_supervised(
             tasks,
-            entry="barrier_shard",
+            entry=entry,
             get_pool=lambda: _get_pool(config.jobs),
             discard_pool=lambda: _discard_pool(config.jobs),
         )
@@ -308,7 +366,7 @@ def execute_barrier_points(
         results[index] = aggregate_from_summaries(
             spec.num_processors,
             spec.interval_a,
-            spec.policy.name,
+            spec.policy_label,
             summaries,
         )
         stats.shards += shard_count
@@ -328,7 +386,7 @@ def execute_barrier_points(
         results[index] = aggregate_from_summaries(
             spec.num_processors,
             spec.interval_a,
-            spec.policy.name,
+            spec.policy_label,
             summaries,
         )
         if key is not None and cache is not None:

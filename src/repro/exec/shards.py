@@ -76,6 +76,37 @@ def make_shard_task(
     }
 
 
+def make_tree_shard_task(
+    num_processors: int,
+    interval_a: int,
+    policy: Any,
+    seed: int,
+    degree: int,
+    rep_start: int,
+    rep_stop: int,
+    backend: str = "python",
+    poll_budget: Any = None,
+    timeout_cycles: Any = None,
+) -> Dict[str, Any]:
+    """The picklable work order :func:`run_tree_shard` executes.
+
+    The combining-tree analogue of :func:`make_shard_task`; ``backend``
+    must already be resolved in the parent for the same reason.
+    """
+    return {
+        "num_processors": num_processors,
+        "interval_a": interval_a,
+        "policy": policy,
+        "seed": seed,
+        "degree": degree,
+        "rep_start": rep_start,
+        "rep_stop": rep_stop,
+        "backend": backend,
+        "poll_budget": poll_budget,
+        "timeout_cycles": timeout_cycles,
+    }
+
+
 def reset_worker_state() -> None:
     """Drop registries a forked worker inherited from its parent."""
     # Imported here for the same package-initialisation reason as the
@@ -125,6 +156,32 @@ def run_barrier_shard(task: Dict[str, Any]) -> List[tuple]:
         task["policy"],
         seed=task["seed"],
         single_variable=task["single_variable"],
+    )
+    summaries = simulator.run_shard(
+        task["rep_start"],
+        task["rep_stop"],
+        backend=task.get("backend", "python"),
+    )
+    return [summary.as_tuple() for summary in summaries]
+
+
+def run_tree_shard(task: Dict[str, Any]) -> List[tuple]:
+    """Simulate one combining-tree shard; returns episode-summary tuples.
+
+    Top-level and lazily importing for the same reasons as
+    :func:`run_barrier_shard`.
+    """
+    reset_worker_state()
+    from repro.barrier.tree import build_tree_simulator
+
+    simulator = build_tree_simulator(
+        task["num_processors"],
+        task["interval_a"],
+        task["policy"],
+        degree=task["degree"],
+        seed=task["seed"],
+        poll_budget=task.get("poll_budget"),
+        timeout_cycles=task.get("timeout_cycles"),
     )
     summaries = simulator.run_shard(
         task["rep_start"],

@@ -434,6 +434,7 @@ def chaos_injection(plan: ChaosPlan) -> Iterator[ChaosPlan]:
 #: locally, so task dicts stay small and import order stays lazy.
 _ENTRIES: Dict[str, str] = {
     "barrier_shard": "repro.exec.shards:run_barrier_shard",
+    "tree_shard": "repro.exec.shards:run_tree_shard",
     "experiment_point": "repro.exec.shards:run_experiment_point",
     "fault_point": "repro.faults.runner:run_fault_point_task",
 }

@@ -16,6 +16,8 @@ by substrate:
 - :mod:`~repro.registry.experiments.extensions` — Section 8 and
   ablation extensions (resource, combining, queueing, determinism,
   schedules, application).
+- :mod:`~repro.registry.experiments.scale` — the 1024+-processor
+  scaling study (flat vs combining-tree vs hierarchical barriers).
 """
 
 from repro.registry.experiments import (  # noqa: F401
@@ -23,5 +25,6 @@ from repro.registry.experiments import (  # noqa: F401
     coherence,
     extensions,
     network,
+    scale,
     traces,
 )

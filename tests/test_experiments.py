@@ -46,6 +46,9 @@ FAST_KWARGS = {
     "schedules": dict(repetitions=3, num_processors=16, a_values=(100, 1000)),
     "tree_saturation": dict(num_ports=16, hot_fractions=(0.0, 0.1), horizon=800),
     "coherent_barrier": dict(num_processors=8, interval_a=20, repetitions=2),
+    "scale1024": dict(
+        repetitions=2, n_values=(8, 16), interval_a=50, probe_horizon=120
+    ),
     "bus_vs_directory": dict(scale=0.1, num_cpus=8, pointers=(2,)),
 }
 

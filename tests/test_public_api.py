@@ -26,7 +26,7 @@ class TestPublicSurface:
 
     def test_experiment_registry_exposed(self):
         assert "figure5" in repro.EXPERIMENTS
-        assert len(repro.EXPERIMENTS) == 27
+        assert len(repro.EXPERIMENTS) == 28
 
     def test_subpackages_importable(self):
         for module in (

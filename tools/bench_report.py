@@ -8,11 +8,16 @@ text report (``benchmarks/reports/<id>.json`` — see
 - per-experiment wall time and the knobs each run used,
 - the serial-vs-``--jobs`` comparison from ``parallel_sweep.json``
   (speedup, worker count, digest equality),
-- the python-vs-numpy backend comparison from
-  ``vectorized_kernel.json`` (speedup, shard counters, digest
-  equality — see docs/vectorization.md),
+- the python-vs-numpy backend comparisons from
+  ``vectorized_kernel.json`` (the flat barrier) and
+  ``tree_kernel.json`` (the combining-tree family) — speedup, shard
+  counters, digest equality (see docs/vectorization.md),
+- the N=256..4096 scaling study from ``scale_sweep.json``
+  (per-N accesses vs the Model 1/2 prediction — see
+  docs/performance.md),
 - the host's ``cpu_count`` so a <= 1x speedup on a one-core CI box is
-  not mistaken for a regression.
+  not mistaken for a regression (``parallel_sweep`` omits the speedup
+  entirely and records pool overhead when cpu_count < jobs).
 
 Usage::
 
@@ -42,6 +47,8 @@ def collect(reports_dir: str) -> Dict[str, Any]:
     comparison: Dict[str, Any] = {}
     registry_overhead: Dict[str, Any] = {}
     vectorized: Dict[str, Any] = {}
+    tree_kernel: Dict[str, Any] = {}
+    scale: Dict[str, Any] = {}
     for path in sorted(glob.glob(os.path.join(reports_dir, "*.json"))):
         name = os.path.splitext(os.path.basename(path))[0]
         try:
@@ -57,13 +64,19 @@ def collect(reports_dir: str) -> Dict[str, Any]:
             registry_overhead = record
         elif name == "vectorized_kernel":
             vectorized = record
+        elif name == "tree_kernel":
+            tree_kernel = record
+        elif name == "scale_sweep":
+            scale = record
         else:
             experiments[name] = record
     return {
         "cpu_count": os.cpu_count(),
         "experiments": experiments,
         "python_vs_numpy": vectorized,
+        "python_vs_numpy_tree": tree_kernel,
         "registry_overhead": registry_overhead,
+        "scale1024": scale,
         "serial_vs_jobs": comparison,
     }
 
@@ -120,16 +133,41 @@ def main(argv=None) -> int:
             if isinstance(speedup, (int, float)) else
             "  backend python vs numpy comparison incomplete"
         )
+    tree_kernel = report["python_vs_numpy_tree"]
+    if tree_kernel:
+        speedup = tree_kernel.get("speedup")
+        print(
+            f"  tree kernel python vs numpy: "
+            f"{tree_kernel.get('python_seconds', 0.0):.3f}s -> "
+            f"{tree_kernel.get('numpy_seconds', 0.0):.3f}s "
+            f"({speedup:.1f}x, {tree_kernel.get('vectorized_shards', 0)} "
+            f"vectorized shard(s))"
+            if isinstance(speedup, (int, float)) else
+            "  tree kernel comparison incomplete"
+        )
+    scale = report["scale1024"]
+    if scale:
+        n_values = scale.get("n_values", [])
+        print(
+            f"  scale1024: N={min(n_values)}..{max(n_values)} in "
+            f"{scale.get('wall_time_seconds', 0.0):.1f}s "
+            f"({scale.get('repetitions')} rep(s), backend "
+            f"{scale.get('backend')})"
+            if n_values else "  scale1024 record incomplete"
+        )
     if comparison:
         speedup = comparison.get("speedup")
-        print(
-            f"  serial vs jobs={comparison.get('jobs')}: "
-            f"{comparison.get('serial_seconds', 0.0):.3f}s -> "
-            f"{comparison.get('parallel_seconds', 0.0):.3f}s "
-            f"({speedup:.2f}x on {comparison.get('cpu_count')} cpu(s))"
-            if isinstance(speedup, (int, float)) else
-            "  serial vs jobs comparison incomplete"
-        )
+        if isinstance(speedup, (int, float)):
+            print(
+                f"  serial vs jobs={comparison.get('jobs')}: "
+                f"{comparison.get('serial_seconds', 0.0):.3f}s -> "
+                f"{comparison.get('parallel_seconds', 0.0):.3f}s "
+                f"({speedup:.2f}x on {comparison.get('cpu_count')} cpu(s))"
+            )
+        elif comparison.get("speedup_note"):
+            print(f"  serial vs jobs: {comparison['speedup_note']}")
+        else:
+            print("  serial vs jobs comparison incomplete")
     return 0
 
 
