@@ -1,906 +1,18 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""``python -m repro`` — thin entry point over :mod:`repro.cli`.
 
-Commands:
-
-- ``experiment <id> [...]`` — regenerate paper artifacts by id;
-                              ``--describe`` prints each experiment's
-                              declared parameter schema, ``--param
-                              NAME=VALUE`` sets any declared parameter.
-- ``run <id>``              — run one experiment with the execution
-                              layer (``--jobs`` worker processes,
-                              ``--cache`` content-addressed result
-                              reuse) and print a results digest for
-                              bit-identity checks (see
-                              docs/performance.md).
-- ``list``                  — list available experiment ids.
-- ``report``                — run every experiment, write reports to a
-                              directory.
-- ``verify``                — re-check the paper's headline claims and
-                              print PASS/FAIL with measured evidence.
-- ``barrier``               — simulate one barrier configuration.
-- ``trace``                 — schedule an application and report its
-                              synchronization statistics (optionally
-                              saving the trace to .npz).
-- ``advise``                — profile an application and recommend a
-                              backoff policy (Section 8's pipeline).
-- ``profile``               — run one experiment with tracing enabled;
-                              writes manifest.json + events.jsonl + a
-                              counter summary (see docs/observability.md).
-- ``faults``                — run one experiment resiliently under a
-                              fault-injection plan: per-point
-                              checkpoint/resume, timeouts, bounded
-                              retry, resilience summary (see
-                              docs/faults.md).
-- ``check``                 — verify the reproduction itself: invariant
-                              conservation laws, differential oracles
-                              (analytic vs simulated, execution-mode
-                              parity, metamorphic relations) and
-                              schema-derived fuzzing over every
-                              registered experiment (see
-                              docs/testing.md).
-- ``chaos``                 — kill workers mid-sweep, tear a cache
-                              entry and a checkpoint record, then
-                              assert supervised recovery reproduces the
-                              serial baseline digests bit-for-bit (see
-                              docs/resilience.md).
-
-``run``/``profile``/``faults``/``check`` also take the supervision
-flags ``--retries`` / ``--deadline`` / ``--retry-policy`` (bounded
-adaptive-backoff retries and per-point wall-clock budgets), and
-``run``/``profile`` take ``--checkpoint-dir`` / ``--resume`` (durable
-per-point checkpoints for any registry experiment).
-
-Experiment ids are validated against the registry, not hard-coded into
-the parser: an unknown id exits with status 2 and a did-you-mean
-suggestion, consistently across ``experiment``/``run``/``profile``/
-``faults``/``check``.
+The CLI itself lives in the :mod:`repro.cli` package (one module per
+subcommand, shared options in :mod:`repro.cli.common`); this module
+only re-exports ``build_parser``/``main`` so ``python -m repro`` and
+the historical ``from repro.__main__ import main`` both keep working.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-from typing import Optional, Sequence
 
-from repro.analysis.experiments import EXPERIMENTS, run as run_experiment
-from repro.barrier.backend import (
-    BACKENDS,
-    BackendUnavailableError,
-    backend_context,
-)
-from repro.core.backoff import (
-    ExponentialFlagBackoff,
-    LinearFlagBackoff,
-    NoBackoff,
-    VariableBackoff,
-)
-from repro.core.selection import PolicyAdvisor, SynchronizationProfile
-from repro.exec.context import (
-    DEFAULT_CACHE_DIR,
-    ExecConfig,
-    execution,
-    get_stats,
-    jobs_arg,
-    reset_stats,
-)
-from repro.exec.supervisor import (
-    SupervisorConfig,
-    parse_backoff_spec,
-    supervision,
-)
+from repro.cli import build_parser, main
 
-
-#: Seeds feed numpy Generators; this is the range every stream accepts.
-MAX_SEED = 2**32
-
-
-def _seed_arg(text: str) -> int:
-    """argparse type for ``--seed``: an integer in ``[0, 2**32)``.
-
-    Validating here turns a bad seed into a one-line usage error
-    instead of a raw numpy traceback from deep inside a simulator.
-    """
-    try:
-        seed = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"seed must be an integer, got {text!r}"
-        ) from None
-    if not 0 <= seed < MAX_SEED:
-        raise argparse.ArgumentTypeError(
-            f"seed must be in [0, 2**32), got {seed}"
-        )
-    return seed
-
-
-def _build_policy(name: str, base: int, step: int):
-    if name == "none":
-        return NoBackoff()
-    if name == "variable":
-        return VariableBackoff()
-    if name == "linear":
-        return LinearFlagBackoff(step=step)
-    if name == "exponential":
-        return ExponentialFlagBackoff(base=base)
-    raise ValueError(f"unknown policy {name!r}")
-
-
-def _cmd_list(_args) -> int:
-    for experiment_id in sorted(EXPERIMENTS):
-        doc = (EXPERIMENTS[experiment_id].__doc__ or "").strip().splitlines()
-        summary = doc[0] if doc else ""
-        print(f"{experiment_id:12} {summary}")
-    return 0
-
-
-def _experiment_kwargs(
-    experiment_id: str, repetitions=None, scale=None, seed=None, params=None
-) -> dict:
-    """CLI overrides resolved against the experiment's declared schema.
-
-    The shared flags (``--repetitions`` / ``--scale`` / ``--seed``)
-    apply when the spec declares the parameter; ``--param NAME=VALUE``
-    entries are parsed by the declared parameter type and reject
-    unknown names with the list of valid ones
-    (:class:`repro.registry.ParameterError`).
-    """
-    from repro.registry import ParameterError, get_spec
-
-    spec = get_spec(experiment_id)
-    names = set(spec.param_names())
-    kwargs = {}
-    for name, value in (
-        ("repetitions", repetitions),
-        ("scale", scale),
-        ("seed", seed),
-    ):
-        if value is not None and name in names:
-            kwargs[name] = value
-    for entry in params or ():
-        name, sep, text = entry.partition("=")
-        if not sep:
-            raise ParameterError(
-                f"--param expects NAME=VALUE, got {entry!r}"
-            )
-        kwargs[name] = spec.get_param(name).parse(text)
-    return kwargs
-
-
-def _add_param_arg(p: argparse.ArgumentParser) -> None:
-    p.add_argument(
-        "-p", "--param", action="append", default=None, metavar="NAME=VALUE",
-        help="set any declared experiment parameter (repeatable; see "
-             "'experiment --describe <id>' for names, types and defaults)",
-    )
-
-
-def _add_backend_arg(p: argparse.ArgumentParser) -> None:
-    p.add_argument(
-        "--backend", choices=BACKENDS, default=None,
-        help="episode engine for barrier sweeps: 'numpy' is the "
-             "vectorized kernel (requires the [fast] extra), 'python' "
-             "the reference event loop, 'auto' picks numpy when "
-             "available; results are bit-identical (docs/vectorization.md)",
-    )
-
-
-def _add_exec_args(p: argparse.ArgumentParser) -> None:
-    """The shared execution flags: ``--jobs``, ``--cache``, ``--cache-dir``."""
-    p.add_argument(
-        "--jobs", type=jobs_arg, default=None,
-        help="worker processes for sweep execution (>= 1; default: serial)",
-    )
-    p.add_argument(
-        "--cache", action=argparse.BooleanOptionalAction, default=None,
-        help="reuse results from the content-addressed cache and store "
-             "fresh ones into it",
-    )
-    p.add_argument(
-        "--cache-dir", default=None,
-        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
-    )
-
-
-def _exec_config_from_args(args) -> Optional[ExecConfig]:
-    """An engine-routed ExecConfig, or None when no exec flag was given.
-
-    Any explicit exec flag — even ``--jobs 1`` — routes the run through
-    the exec engine, so serial and parallel runs of the same experiment
-    produce identical observability output and manifest digests.
-    """
-    jobs = getattr(args, "jobs", None)
-    cache = getattr(args, "cache", None)
-    cache_dir = getattr(args, "cache_dir", None)
-    if jobs is None and cache is None and cache_dir is None:
-        return None
-    return ExecConfig(
-        jobs=jobs if jobs is not None else 1,
-        cache=bool(cache),
-        cache_dir=cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR,
-        force_engine=True,
-    )
-
-
-def _retry_policy_arg(text: str) -> str:
-    """argparse type for ``--retry-policy``: validate the spec up front."""
-    try:
-        parse_backoff_spec(text)
-    except ValueError as error:
-        raise argparse.ArgumentTypeError(str(error)) from None
-    return text
-
-
-def _add_supervisor_args(
-    p: argparse.ArgumentParser, checkpoint: bool = True
-) -> None:
-    """The shared supervision flags (see docs/resilience.md)."""
-    p.add_argument(
-        "--retries", type=int, default=None, metavar="N",
-        help="retry a failed or timed-out point up to N times "
-             "(default: 0 — fail fast)",
-    )
-    p.add_argument(
-        "--deadline", type=float, default=None, metavar="SECONDS",
-        help="per-point wall-clock budget; an expired point raises "
-             "PointTimeoutError (and is retried under --retries)",
-    )
-    p.add_argument(
-        "--retry-policy", type=_retry_policy_arg, default=None,
-        metavar="SPEC",
-        help="retry-wait schedule: exponential[:base=B], linear[:step=S] "
-             "or none — the paper's own backoff shapes (default: "
-             "exponential)",
-    )
-    if checkpoint:
-        p.add_argument(
-            "--checkpoint-dir", default=None, metavar="DIR",
-            help="write an atomic digest-verified checkpoint per finished "
-                 "point into DIR",
-        )
-        p.add_argument(
-            "--resume", action="store_true",
-            help="replay compatible points from --checkpoint-dir before "
-                 "running the rest",
-        )
-
-
-def _supervisor_config_from_args(args) -> Optional[SupervisorConfig]:
-    """A SupervisorConfig, or None when no supervision flag was given."""
-    retries = getattr(args, "retries", None)
-    deadline = getattr(args, "deadline", None)
-    policy = getattr(args, "retry_policy", None)
-    checkpoint_dir = getattr(args, "checkpoint_dir", None)
-    resume = bool(getattr(args, "resume", False))
-    if resume and not checkpoint_dir:
-        raise ValueError("--resume requires --checkpoint-dir")
-    if (
-        retries is None
-        and deadline is None
-        and policy is None
-        and checkpoint_dir is None
-    ):
-        return None
-    return SupervisorConfig(
-        retries=retries if retries is not None else 0,
-        deadline_seconds=deadline,
-        backoff=policy if policy is not None else "exponential",
-        checkpoint_dir=checkpoint_dir,
-        resume=resume,
-    )
-
-
-def _render_exec_stats(config: ExecConfig) -> str:
-    stats = get_stats()
-    cache_state = "on" if config.cache else "off"
-    line = (
-        f"jobs={config.jobs}, cache {cache_state}, "
-        f"{stats.cache_hits} hit(s) / {stats.cache_misses} miss(es) / "
-        f"{stats.cache_stores} store(s)"
-    )
-    if stats.shards:
-        line += f", {stats.shards} shard(s)"
-    recoveries = []
-    if stats.points_resumed:
-        recoveries.append(f"{stats.points_resumed} resumed")
-    if stats.retries:
-        recoveries.append(f"{stats.retries} retried")
-    if stats.worker_deaths:
-        recoveries.append(f"{stats.worker_deaths} worker death(s)")
-    if stats.cache_quarantined:
-        recoveries.append(f"{stats.cache_quarantined} quarantined")
-    if recoveries:
-        line += ", " + ", ".join(recoveries)
-    return line
-
-
-def _cmd_experiment(args) -> int:
-    if args.describe:
-        from repro.registry import get_spec
-
-        for index, experiment_id in enumerate(args.ids):
-            if index:
-                print()
-            print(get_spec(experiment_id).describe())
-        return 0
-    for experiment_id in args.ids:
-        kwargs = _experiment_kwargs(
-            experiment_id, args.repetitions, args.scale, params=args.param
-        )
-        print(run_experiment(experiment_id, **kwargs))
-        print()
-    return 0
-
-
-def _cmd_run(args) -> int:
-    import time
-    from contextlib import ExitStack
-
-    from repro.exec.cache import payload_digest
-    from repro.obs.manifest import jsonable
-
-    config = _exec_config_from_args(args)
-    try:
-        supervisor = _supervisor_config_from_args(args)
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    if supervisor is not None and config is None:
-        # Supervision lives in the exec engine: arm it even without an
-        # explicit exec flag, so --retries alone still takes effect.
-        config = ExecConfig(force_engine=True)
-    kwargs = _experiment_kwargs(
-        args.id, args.repetitions, args.scale, seed=args.seed,
-        params=args.param,
-    )
-    reset_stats()
-    start = time.perf_counter()
-    with ExitStack() as stack:
-        if supervisor is not None:
-            stack.enter_context(supervision(supervisor))
-        if config is not None:
-            stack.enter_context(execution(config))
-        result = run_experiment(args.id, **kwargs)
-    wall_time = time.perf_counter() - start
-    if not args.quiet:
-        print(result)
-        print()
-    print(f"experiment     : {args.id}")
-    print(f"wall time      : {wall_time:.3f}s")
-    if config is not None:
-        print(f"execution      : {_render_exec_stats(config)}")
-    # The digest covers the canonicalized result data alone — never
-    # wall time or execution mode — so any two runs of the same
-    # experiment and seed can be compared with one string equality.
-    print(f"results digest : {payload_digest(jsonable(result.data))}")
-    return 0
-
-
-def _cmd_profile(args) -> int:
-    from contextlib import ExitStack
-
-    from repro.obs import profile_experiment
-
-    config = _exec_config_from_args(args)
-    try:
-        supervisor = _supervisor_config_from_args(args)
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    if supervisor is not None and config is None:
-        config = ExecConfig(force_engine=True)
-    kwargs = _experiment_kwargs(
-        args.id, args.repetitions, args.scale, params=args.param
-    )
-    with ExitStack() as stack:
-        if supervisor is not None:
-            stack.enter_context(supervision(supervisor))
-        if config is not None:
-            stack.enter_context(execution(config))
-        profile = profile_experiment(
-            args.id,
-            output_dir=args.output,
-            ring_size=args.ring_size,
-            **kwargs,
-        )
-    if args.show_result:
-        print(profile.result)
-        print()
-    print(profile.summary)
-    print()
-    print(f"manifest : {profile.manifest_path}")
-    print(f"events   : {profile.events_path} "
-          f"({profile.manifest.events_emitted:,} events)")
-    print(f"summary  : {profile.summary_path}")
-    print(f"digest   : {profile.manifest.deterministic_digest()}")
-    return 0
-
-
-def _cmd_barrier(args) -> int:
-    if args.barrier_style == "tree":
-        from repro.barrier.tree import simulate_tree_barrier
-
-        policy = _build_policy(args.policy, args.base, args.step)
-        aggregate = simulate_tree_barrier(
-            args.n, args.interval_a, degree=args.degree, policy=policy,
-            repetitions=args.repetitions, seed=args.seed,
-        )
-        print(
-            f"N={args.n} A={args.interval_a} policy={args.policy} "
-            f"tree degree={args.degree} (reps={aggregate.repetitions})"
-        )
-        print(f"  accesses/process : {aggregate.mean_accesses:.2f}")
-        print(f"  waiting cycles   : {aggregate.mean_waiting_time:.2f}")
-        print(f"  relative sigma   : {aggregate.relative_stddev_accesses:.3f}")
-        return 0
-    from repro.barrier.simulator import simulate_barrier
-
-    policy = _build_policy(args.policy, args.base, args.step)
-    aggregate = simulate_barrier(
-        args.n, args.interval_a, policy, repetitions=args.repetitions,
-        seed=args.seed,
-    )
-    print(
-        f"N={args.n} A={args.interval_a} policy={args.policy} "
-        f"(reps={aggregate.repetitions})"
-    )
-    print(f"  accesses/process : {aggregate.mean_accesses:.2f}")
-    print(f"  waiting cycles   : {aggregate.mean_waiting_time:.2f}")
-    print(f"  relative sigma   : {aggregate.relative_stddev_accesses:.3f}")
-    return 0
-
-
-def _cmd_trace(args) -> int:
-    from repro.trace.apps import build_app
-    from repro.trace.scheduler import PostMortemScheduler
-
-    program = build_app(args.app, scale=args.scale)
-    scheduler = PostMortemScheduler(
-        program,
-        args.cpus,
-        barrier_style=args.barrier_style,
-        tree_degree=args.degree,
-    )
-    trace = scheduler.run()
-    print(
-        f"{args.app} x{args.cpus} (scale {args.scale}, "
-        f"{args.barrier_style} barriers):"
-    )
-    print(f"  references       : {len(trace):,} over {trace.cycles:,} cycles")
-    print(f"  sync fraction    : {100 * trace.sync_fraction:.2f}%")
-    print(f"  barriers         : {len(trace.barriers)}")
-    print(f"  mean A / mean E  : {trace.mean_interval_a():.0f} / "
-          f"{trace.mean_interval_e():.0f} cycles")
-    if args.save:
-        from repro.trace.io import save_trace
-
-        save_trace(trace, args.save)
-        print(f"  saved to         : {args.save}")
-    return 0
-
-
-def _cmd_report(args) -> int:
-    """Run every experiment and write reports to a directory."""
-    import os
-
-    os.makedirs(args.output, exist_ok=True)
-    failures = 0
-    for experiment_id in sorted(EXPERIMENTS):
-        try:
-            result = run_experiment(experiment_id)
-        except Exception as error:  # pragma: no cover - defensive
-            print(f"{experiment_id:18} FAILED: {error}")
-            failures += 1
-            continue
-        path = os.path.join(args.output, f"{experiment_id}.txt")
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(str(result) + "\n")
-        print(f"{experiment_id:18} -> {path}")
-    return 1 if failures else 0
-
-
-def _cmd_verify(args) -> int:
-    from repro.analysis.claims import verify_report
-
-    report = verify_report(repetitions=args.repetitions, seed=args.seed)
-    print(report)
-    return 0 if "FAIL" not in report else 1
-
-
-def _cmd_faults(args) -> int:
-    from repro.faults.runner import (
-        CheckpointMismatchError,
-        run_experiment_resilient,
-    )
-
-    overrides = _experiment_kwargs(
-        args.id, args.repetitions, args.scale, params=args.param
-    )
-    try:
-        summary = run_experiment_resilient(
-            args.id,
-            plan_spec=args.plan,
-            seed=args.seed,
-            checkpoint_dir=args.checkpoint_dir,
-            timeout_seconds=args.timeout,
-            max_retries=args.max_retries,
-            retry_backoff_seconds=args.retry_backoff,
-            max_points=args.max_points,
-            fresh=args.fresh,
-            jobs=args.jobs,
-            use_cache=args.cache,
-            cache_dir=args.cache_dir,
-            retry_policy=(
-                args.retry_policy
-                if args.retry_policy is not None
-                else "exponential"
-            ),
-            **overrides,
-        )
-    except (ValueError, CheckpointMismatchError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    print(summary.render())
-    return 0 if summary.ok else 1
-
-
-def _cmd_check(args) -> int:
-    import os
-    from contextlib import ExitStack
-
-    from repro.check import run_checks
-
-    try:
-        supervisor = _supervisor_config_from_args(args)
-        with ExitStack() as stack:
-            if supervisor is not None:
-                stack.enter_context(supervision(supervisor))
-            report = run_checks(
-                suites=args.suite,
-                budget=args.budget,
-                seed=args.seed,
-                ids=args.ids,
-                out_dir=args.output,
-            )
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    print(report.render())
-    if args.output:
-        print()
-        print(f"report   : {os.path.join(args.output, 'report.json')}")
-        print(f"manifest : {os.path.join(args.output, 'manifest.json')} "
-              f"(digest {report.manifest_digest[:16]}…)")
-    return 0 if report.ok else 1
-
-
-def _cmd_chaos(args) -> int:
-    import json
-    import os
-
-    from repro.exec.chaos import run_chaos
-
-    overrides = _experiment_kwargs(
-        args.id, args.repetitions, args.scale, params=args.param
-    )
-    try:
-        report = run_chaos(
-            args.id,
-            seed=args.seed,
-            jobs=args.jobs if args.jobs is not None else 4,
-            kill=args.kill,
-            hang=args.hang,
-            hang_seconds=args.hang_seconds,
-            deadline_seconds=args.deadline,
-            retries=args.retries if args.retries is not None else 2,
-            retry_policy=(
-                args.retry_policy
-                if args.retry_policy is not None
-                else "exponential"
-            ),
-            corrupt_cache=args.corrupt_cache,
-            truncate_checkpoint=args.truncate_checkpoint,
-            work_dir=args.work_dir,
-            keep=args.keep,
-            **overrides,
-        )
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    print(report.render())
-    if args.counters:
-        os.makedirs(os.path.dirname(args.counters) or ".", exist_ok=True)
-        with open(args.counters, "w", encoding="utf-8") as handle:
-            json.dump(report.counters(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"counters  : {args.counters}")
-    return 0 if report.ok else 1
-
-
-def _cmd_advise(args) -> int:
-    from repro.trace.apps import build_app
-    from repro.trace.scheduler import PostMortemScheduler
-
-    program = build_app(args.app, scale=args.scale)
-    trace = PostMortemScheduler(program, args.cpus).run()
-    profile = SynchronizationProfile.from_trace(trace)
-    advisor = PolicyAdvisor(waiting_weight=args.waiting_weight)
-    print(f"profile: N={profile.num_processors}, A~{profile.interval_a:.0f}, "
-          f"A/N={profile.spread_ratio:.2f}")
-    print(f"analytic   : {advisor.recommend(profile)}")
-    if not args.no_simulate:
-        recommendation = advisor.select(
-            profile, repetitions=args.repetitions, seed=args.seed
-        )
-        print(f"empirical  : {recommendation}")
-    return 0
-
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Adaptive Backoff Synchronization Techniques — reproduction CLI",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    sub.add_parser("list", help="list experiment ids").set_defaults(fn=_cmd_list)
-
-    p = sub.add_parser("experiment", help="run experiments by id")
-    p.add_argument("ids", nargs="+", metavar="ID",
-                   help="experiment id(s); see 'python -m repro list'")
-    p.add_argument("--repetitions", type=int, default=None)
-    p.add_argument("--scale", type=float, default=None)
-    p.add_argument(
-        "--describe", action="store_true",
-        help="print each experiment's parameter schema instead of running",
-    )
-    _add_param_arg(p)
-    p.set_defaults(fn=_cmd_experiment)
-
-    p = sub.add_parser(
-        "run",
-        help="run one experiment, optionally parallel/cached, and print "
-             "its results digest",
-    )
-    p.add_argument("id", metavar="ID",
-                   help="experiment id; see 'python -m repro list'")
-    p.add_argument("--repetitions", type=int, default=None)
-    p.add_argument("--scale", type=float, default=None)
-    p.add_argument("--seed", type=_seed_arg, default=None)
-    p.add_argument("--quiet", action="store_true",
-                   help="print only the run summary, not the report text")
-    _add_param_arg(p)
-    _add_exec_args(p)
-    _add_supervisor_args(p)
-    _add_backend_arg(p)
-    p.set_defaults(fn=_cmd_run)
-
-    p = sub.add_parser("barrier", help="simulate one barrier configuration")
-    p.add_argument("--n", type=int, default=64, help="processors")
-    p.add_argument("--interval-a", type=int, default=1000, help="arrival interval A")
-    p.add_argument(
-        "--policy",
-        choices=("none", "variable", "linear", "exponential"),
-        default="exponential",
-    )
-    p.add_argument("--base", type=int, default=2, help="exponential base")
-    p.add_argument("--step", type=int, default=1, help="linear step")
-    p.add_argument("--repetitions", type=int, default=100)
-    p.add_argument("--seed", type=_seed_arg, default=0)
-    p.add_argument("--barrier-style", choices=("flat", "tree"),
-                   default="flat",
-                   help="flat Tang-Yew barrier or a combining tree")
-    p.add_argument("--degree", type=int, default=4,
-                   help="combining-tree fan-in (with --barrier-style tree)")
-    _add_backend_arg(p)
-    p.set_defaults(fn=_cmd_barrier)
-
-    p = sub.add_parser("trace", help="schedule an application")
-    p.add_argument("--app", choices=("FFT", "SIMPLE", "WEATHER"), default="SIMPLE")
-    p.add_argument("--cpus", type=int, default=64)
-    p.add_argument("--scale", type=float, default=1.0)
-    p.add_argument("--barrier-style", choices=("flat", "tree"), default="flat")
-    p.add_argument("--degree", type=int, default=4, help="tree fan-in")
-    p.add_argument("--save", default=None, help="write trace to this .npz path")
-    p.set_defaults(fn=_cmd_trace)
-
-    p = sub.add_parser("report", help="run every experiment, write reports")
-    p.add_argument("--output", default="reports", help="output directory")
-    p.set_defaults(fn=_cmd_report)
-
-    p = sub.add_parser("verify", help="re-check the paper's headline claims")
-    p.add_argument("--repetitions", type=int, default=30)
-    p.add_argument("--seed", type=_seed_arg, default=0)
-    p.set_defaults(fn=_cmd_verify)
-
-    p = sub.add_parser(
-        "profile",
-        help="run one experiment with tracing on; write manifest + events",
-    )
-    p.add_argument("id", metavar="ID",
-                   help="experiment id; see 'python -m repro list'")
-    p.add_argument(
-        "--output", default=None,
-        help="output directory (default: profiles/<experiment-id>)",
-    )
-    p.add_argument("--repetitions", type=int, default=None)
-    p.add_argument("--scale", type=float, default=None)
-    p.add_argument(
-        "--ring-size", type=int, default=4096,
-        help="in-memory event buffer size (the JSONL file gets everything)",
-    )
-    p.add_argument(
-        "--show-result", action="store_true",
-        help="also print the experiment's report text",
-    )
-    _add_param_arg(p)
-    _add_exec_args(p)
-    _add_supervisor_args(p)
-    _add_backend_arg(p)
-    p.set_defaults(fn=_cmd_profile)
-
-    p = sub.add_parser(
-        "faults",
-        help="run an experiment resiliently under a fault-injection plan",
-    )
-    p.add_argument("id", metavar="ID",
-                   help="experiment id; see 'python -m repro list'")
-    p.add_argument(
-        "--plan", default="none",
-        help="named plan (none, stragglers, hot-module, lossy-net, "
-             "flaky-flags, chaos) or a spec string like "
-             "'stragglers:probability=0.2;grants:drop=0.05'",
-    )
-    p.add_argument("--seed", type=_seed_arg, default=0,
-                   help="root seed for the fault schedules")
-    p.add_argument(
-        "--checkpoint-dir", default=None,
-        help="checkpoint directory (default: checkpoints/<experiment-id>)",
-    )
-    p.add_argument("--timeout", "--deadline", dest="timeout",
-                   type=float, default=None,
-                   help="per-point wall-clock budget in seconds "
-                        "(--deadline is the run/profile spelling)")
-    p.add_argument("--max-retries", "--retries", dest="max_retries",
-                   type=int, default=2,
-                   help="retries per failed point "
-                        "(--retries is the run/profile spelling)")
-    p.add_argument("--retry-backoff", type=float, default=0.05,
-                   help="base retry sleep in seconds; the wait shape "
-                        "comes from --retry-policy")
-    p.add_argument("--retry-policy", type=_retry_policy_arg, default=None,
-                   metavar="SPEC",
-                   help="retry-wait schedule: exponential[:base=B], "
-                        "linear[:step=S] or none (default: exponential, "
-                        "the historical doubling schedule)")
-    p.add_argument(
-        "--max-points", type=int, default=None,
-        help="stop after running this many new points (simulates a crash; "
-             "rerun to resume from the checkpoint)",
-    )
-    p.add_argument("--fresh", action="store_true",
-                   help="discard any existing checkpoint first")
-    p.add_argument("--repetitions", type=int, default=None)
-    p.add_argument("--scale", type=float, default=None)
-    _add_param_arg(p)
-    _add_exec_args(p)
-    _add_backend_arg(p)
-    p.set_defaults(fn=_cmd_faults)
-
-    p = sub.add_parser(
-        "check",
-        help="verify the reproduction: invariants, differential oracles, "
-             "schema-derived fuzzing",
-    )
-    p.add_argument(
-        "--suite", action="append", default=None,
-        choices=("invariants", "differential", "fuzz"),
-        help="run only this suite (repeatable; default: all three)",
-    )
-    p.add_argument(
-        "--budget", default="default",
-        help="effort profile: small, default, large, or an integer "
-             "case count",
-    )
-    p.add_argument("--seed", type=_seed_arg, default=0,
-                   help="root seed; every randomized case derives from it")
-    p.add_argument(
-        "--ids", nargs="+", default=None, metavar="ID",
-        help="restrict fuzzing (and exec-parity sampling) to these "
-             "experiment ids",
-    )
-    p.add_argument(
-        "--output", default="checks",
-        help="directory for report.json + manifest.json artifacts",
-    )
-    _add_supervisor_args(p, checkpoint=False)
-    _add_backend_arg(p)
-    p.set_defaults(fn=_cmd_check)
-
-    p = sub.add_parser(
-        "chaos",
-        help="kill workers and damage durable state mid-sweep, then "
-             "assert supervised recovery matches the serial baseline",
-    )
-    p.add_argument("id", metavar="ID",
-                   help="experiment id; see 'python -m repro list'")
-    p.add_argument("--seed", type=_seed_arg, default=0,
-                   help="seeds the victim choice and the fault schedule")
-    p.add_argument("--jobs", type=jobs_arg, default=None,
-                   help="worker processes for the chaos runs (default: 4)")
-    p.add_argument("--kill", type=int, default=1,
-                   help="worker kills (SIGKILL) to inject mid-sweep")
-    p.add_argument("--hang", type=int, default=0,
-                   help="points to hang into their --deadline")
-    p.add_argument("--hang-seconds", type=float, default=30.0,
-                   help="how long an injected hang sleeps")
-    p.add_argument(
-        "--corrupt-cache", action=argparse.BooleanOptionalAction,
-        default=True,
-        help="tear the victim point's cache entry between runs",
-    )
-    p.add_argument(
-        "--truncate-checkpoint", action=argparse.BooleanOptionalAction,
-        default=True,
-        help="tear the victim point's checkpoint record between runs",
-    )
-    p.add_argument("--work-dir", default=None,
-                   help="directory for the cache + checkpoints "
-                        "(default: a temp dir, deleted afterwards)")
-    p.add_argument("--keep", action="store_true",
-                   help="keep the work dir for post-mortems")
-    p.add_argument("--counters", default=None, metavar="PATH",
-                   help="also write the recovery counters as JSON to PATH")
-    p.add_argument("--repetitions", type=int, default=None)
-    p.add_argument("--scale", type=float, default=None)
-    _add_param_arg(p)
-    _add_supervisor_args(p, checkpoint=False)
-    _add_backend_arg(p)
-    p.set_defaults(fn=_cmd_chaos)
-
-    p = sub.add_parser("advise", help="recommend a backoff policy from a profile")
-    p.add_argument("--app", choices=("FFT", "SIMPLE", "WEATHER"), default="SIMPLE")
-    p.add_argument("--cpus", type=int, default=64)
-    p.add_argument("--scale", type=float, default=0.5)
-    p.add_argument("--waiting-weight", type=float, default=0.1)
-    p.add_argument("--repetitions", type=int, default=30)
-    p.add_argument("--seed", type=_seed_arg, default=0)
-    p.add_argument("--no-simulate", action="store_true",
-                   help="skip the empirical ranking")
-    p.set_defaults(fn=_cmd_advise)
-    return parser
-
-
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    from repro.registry import ParameterError, UnknownExperimentError
-
-    args = build_parser().parse_args(argv)
-    try:
-        # --backend installs the process default for the whole command;
-        # every sweep the command triggers then resolves against it.
-        with backend_context(getattr(args, "backend", None)):
-            return args.fn(args)
-    except BackendUnavailableError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    except (ParameterError, UnknownExperimentError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    except KeyboardInterrupt:
-        # Release the worker pools without blocking on them (the pool
-        # leak fix): a ^C mid-sweep must not strand worker processes.
-        from repro.exec.engine import shutdown_pools
-
-        shutdown_pools(wait=False)
-        print("interrupted", file=sys.stderr)
-        return 130
-    except BrokenPipeError:
-        # Output was piped into something like `head`; exit quietly.
-        try:
-            sys.stdout.close()
-        except Exception:
-            pass
-        return 0
-
+__all__ = ["build_parser", "main"]
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -14,7 +14,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from repro.barrier.metrics import BarrierAggregate
 from repro.barrier.simulator import simulate_barrier
 from repro.core.backoff import BackoffPolicy, paper_policies
-from repro.exec.context import ExecConfig, get_exec_config, validate_jobs
+from repro.exec.plan import resolve_exec_config  # noqa: F401  (re-export)
 from repro.faults.plan import get_fault_plan
 from repro.sim.stats import Series
 
@@ -23,27 +23,6 @@ PAPER_N_VALUES = (2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 #: The arrival intervals of Figures 4-10.
 PAPER_A_VALUES = (0, 100, 1000)
-
-
-def resolve_exec_config(
-    jobs: Optional[int] = None,
-    cache: Optional[bool] = None,
-    cache_dir: Optional[str] = None,
-) -> ExecConfig:
-    """The ambient exec config with any explicit overrides applied.
-
-    Passing an override makes the result engine-routed even at
-    ``jobs=1``, so explicit requests always go through the exec layer.
-    """
-    base = get_exec_config()
-    if jobs is None and cache is None and cache_dir is None:
-        return base
-    return ExecConfig(
-        jobs=validate_jobs(jobs) if jobs is not None else base.jobs,
-        cache=base.cache if cache is None else bool(cache),
-        cache_dir=cache_dir if cache_dir is not None else base.cache_dir,
-        force_engine=True,
-    )
 
 
 def sweep(

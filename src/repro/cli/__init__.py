@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+One module per subcommand, each exposing ``add_parser(sub)`` (which
+binds its ``cmd`` via ``set_defaults(fn=...)``); the shared option
+groups and validation — seed/jobs/cache/backend/supervision — live in
+:mod:`repro.cli.common`, so every subcommand rejects a bad value with
+the same schema-aware error text and exit code 2.
+
+Commands:
+
+- ``experiment <id> [...]`` — regenerate paper artifacts by id;
+                              ``--describe`` prints each experiment's
+                              declared parameter schema, ``--param
+                              NAME=VALUE`` sets any declared parameter.
+- ``run <id>``              — run one experiment with the execution
+                              layer (``--jobs`` worker processes,
+                              ``--cache`` content-addressed result
+                              reuse) and print a results digest for
+                              bit-identity checks (see
+                              docs/performance.md).
+- ``list``                  — list available experiment ids.
+- ``report``                — run every experiment, write reports to a
+                              directory.
+- ``verify``                — re-check the paper's headline claims and
+                              print PASS/FAIL with measured evidence.
+- ``barrier``               — simulate one barrier configuration.
+- ``trace``                 — schedule an application and report its
+                              synchronization statistics (optionally
+                              saving the trace to .npz).
+- ``advise``                — profile an application and recommend a
+                              backoff policy (Section 8's pipeline).
+- ``profile``               — run one experiment with tracing enabled;
+                              writes manifest.json + events.jsonl + a
+                              counter summary (see docs/observability.md).
+- ``faults``                — run one experiment resiliently under a
+                              fault-injection plan: per-point
+                              checkpoint/resume, timeouts, bounded
+                              retry, resilience summary (see
+                              docs/faults.md).
+- ``check``                 — verify the reproduction itself: invariant
+                              conservation laws, differential oracles
+                              (analytic vs simulated, execution-mode
+                              parity, metamorphic relations) and
+                              schema-derived fuzzing over every
+                              registered experiment (see
+                              docs/testing.md).
+- ``chaos``                 — kill workers mid-sweep, tear a cache
+                              entry and a checkpoint record, then
+                              assert supervised recovery reproduces the
+                              serial baseline digests bit-for-bit (see
+                              docs/resilience.md).
+- ``scenario``              — expand a YAML/JSON scenario file into a
+                              matrix of runs over the registry, with an
+                              aggregate report and baseline diff (see
+                              docs/scenarios.md).
+
+``run``/``profile``/``faults``/``check`` also take the supervision
+flags ``--retries`` / ``--deadline`` / ``--retry-policy`` (bounded
+adaptive-backoff retries and per-point wall-clock budgets), and
+``run``/``profile`` take ``--checkpoint-dir`` / ``--resume`` (durable
+per-point checkpoints for any registry experiment).
+
+Experiment ids are validated against the registry, not hard-coded into
+the parser: an unknown id exits with status 2 and a did-you-mean
+suggestion, consistently across ``experiment``/``run``/``profile``/
+``faults``/``check``/``scenario``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.barrier.backend import BackendUnavailableError, backend_context
+from repro.cli import (
+    advise,
+    barrier,
+    chaos,
+    check,
+    experiment,
+    faults,
+    listing,
+    profile,
+    report,
+    run,
+    scenario,
+    trace,
+    verify,
+)
+
+__all__ = ["build_parser", "main"]
+
+#: Subcommand modules, in ``--help`` display order.
+COMMANDS = (
+    listing,
+    experiment,
+    run,
+    barrier,
+    trace,
+    report,
+    verify,
+    profile,
+    faults,
+    check,
+    chaos,
+    scenario,
+    advise,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Adaptive Backoff Synchronization Techniques — "
+                    "reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for module in COMMANDS:
+        module.add_parser(sub)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.registry import ParameterError, UnknownExperimentError
+
+    args = build_parser().parse_args(argv)
+    try:
+        # --backend installs the process default for the whole command;
+        # every sweep the command triggers then resolves against it.
+        with backend_context(getattr(args, "backend", None)):
+            return args.fn(args)
+    except BackendUnavailableError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (ParameterError, UnknownExperimentError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        # Release the worker pools without blocking on them (the pool
+        # leak fix): a ^C mid-sweep must not strand worker processes.
+        from repro.exec.engine import shutdown_pools
+
+        shutdown_pools(wait=False)
+        print("interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # Output was piped into something like `head`; exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0

@@ -1,0 +1,38 @@
+"""``experiment``: regenerate paper artifacts by id."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run as run_experiment
+from repro.cli.common import add_param_arg, experiment_kwargs
+
+
+def add_parser(sub) -> None:
+    p = sub.add_parser("experiment", help="run experiments by id")
+    p.add_argument("ids", nargs="+", metavar="ID",
+                   help="experiment id(s); see 'python -m repro list'")
+    p.add_argument("--repetitions", type=int, default=None)
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument(
+        "--describe", action="store_true",
+        help="print each experiment's parameter schema instead of running",
+    )
+    add_param_arg(p)
+    p.set_defaults(fn=cmd)
+
+
+def cmd(args) -> int:
+    if args.describe:
+        from repro.registry import get_spec
+
+        for index, experiment_id in enumerate(args.ids):
+            if index:
+                print()
+            print(get_spec(experiment_id).describe())
+        return 0
+    for experiment_id in args.ids:
+        kwargs = experiment_kwargs(
+            experiment_id, args.repetitions, args.scale, params=args.param
+        )
+        print(run_experiment(experiment_id, **kwargs))
+        print()
+    return 0

@@ -1,0 +1,17 @@
+"""``list``: print the experiment catalogue."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import EXPERIMENTS
+
+
+def add_parser(sub) -> None:
+    sub.add_parser("list", help="list experiment ids").set_defaults(fn=cmd)
+
+
+def cmd(_args) -> int:
+    for experiment_id in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[experiment_id].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{experiment_id:12} {summary}")
+    return 0

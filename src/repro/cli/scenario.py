@@ -1,0 +1,176 @@
+"""``scenario``: declarative experiment matrices (see docs/scenarios.md)."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli.common import add_backend_arg, add_exec_args
+
+
+def add_parser(sub) -> None:
+    p = sub.add_parser(
+        "scenario",
+        help="expand a scenario file into a matrix of runs, with "
+             "aggregate report and baseline diff",
+    )
+    ssub = p.add_subparsers(dest="scenario_command", required=True)
+
+    r = ssub.add_parser(
+        "run", help="run every cell of a scenario matrix"
+    )
+    r.add_argument("file", metavar="FILE",
+                   help="scenario file (.json, or .yaml with PyYAML)")
+    r.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the aggregate report JSON here "
+             "(default: .repro-scenario/<name>/report.json)",
+    )
+    r.add_argument(
+        "--against", default=None, metavar="BASELINE",
+        help="diff the aggregate report against this baseline report; "
+             "regressed or changed cells exit 1 (overrides the "
+             "scenario file's 'baseline' key)",
+    )
+    r.add_argument(
+        "--work-dir", default=None, metavar="DIR",
+        help="directory for fault-cell checkpoints "
+             "(default: .repro-scenario/<name>)",
+    )
+    r.add_argument("--quiet", action="store_true",
+                   help="skip the per-cell progress lines")
+    add_exec_args(r)
+    add_backend_arg(r)
+    r.set_defaults(fn=cmd, scenario_fn=_cmd_run)
+
+    d = ssub.add_parser(
+        "describe",
+        help="print a scenario's expansion (cells, params) without running",
+    )
+    d.add_argument("file", metavar="FILE",
+                   help="scenario file (.json, or .yaml with PyYAML)")
+    d.set_defaults(fn=cmd, scenario_fn=_cmd_describe)
+
+    f = ssub.add_parser(
+        "diff", help="diff two scenario aggregate reports cell by cell"
+    )
+    f.add_argument("report", metavar="REPORT",
+                   help="the new aggregate report JSON")
+    f.add_argument("baseline", metavar="BASELINE",
+                   help="the baseline aggregate report JSON")
+    f.set_defaults(fn=cmd, scenario_fn=_cmd_diff)
+
+
+def cmd(args) -> int:
+    from repro.scenario import ScenarioError
+
+    try:
+        return args.scenario_fn(args)
+    except (OSError, ScenarioError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _cmd_run(args) -> int:
+    import os
+
+    from repro.scenario import (
+        diff_reports,
+        load_report,
+        load_scenario,
+        render_diff,
+        render_summary,
+        run_scenario,
+        scenario_report,
+        write_report,
+    )
+    from repro.scenario.report import regressions
+    from repro.scenario.runner import DEFAULT_WORK_DIR
+
+    spec = load_scenario(args.file)
+
+    def progress(outcome) -> None:
+        if not args.quiet:
+            print(
+                f"[{outcome.cell.index + 1}/{spec.cell_count()}] "
+                f"{outcome.status:9} {outcome.cell.cell_id} "
+                f"({outcome.wall_time_seconds:.2f}s)"
+            )
+
+    run = run_scenario(
+        spec,
+        jobs=args.jobs,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
+        work_dir=args.work_dir,
+        on_cell=progress,
+    )
+    payload = scenario_report(run)
+    output = (
+        args.output
+        if args.output is not None
+        else os.path.join(DEFAULT_WORK_DIR, spec.name, "report.json")
+    )
+    write_report(payload, output)
+    if not args.quiet:
+        print()
+    print(render_summary(payload))
+    print(f"report     : {output}")
+    status = 0 if run.ok else 1
+    # --against overrides the scenario file's baseline; --against ""
+    # disables the diff (useful when regenerating the baseline itself).
+    baseline_path = (
+        spec.baseline if args.against is None else (args.against or None)
+    )
+    if baseline_path:
+        try:
+            baseline = load_report(baseline_path)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        diff = diff_reports(payload, baseline)
+        print()
+        print(f"baseline   : {baseline_path}")
+        print(render_diff(diff))
+        if regressions(diff):
+            status = 1
+    return status
+
+
+def _cmd_describe(args) -> int:
+    from repro.scenario import expand, load_scenario
+
+    spec = load_scenario(args.file)
+    print(f"scenario   : {spec.name}")
+    if spec.description:
+        print(f"description: {spec.description}")
+    if spec.baseline:
+        print(f"baseline   : {spec.baseline}")
+    cells = expand(spec)
+    print(f"cells      : {len(cells)} across {len(spec.blocks)} block(s)")
+    for cell in cells:
+        plan = cell.plan
+        details = []
+        if plan.fault_plan is not None:
+            details.append(f"plan={plan.fault_plan}")
+        if plan.backend is not None:
+            details.append(f"backend={plan.backend}")
+        suffix = f"  [{', '.join(details)}]" if details else ""
+        print(f"  {cell.index:3d}  {cell.cell_id}{suffix}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.scenario import diff_reports, load_report, render_diff
+    from repro.scenario.report import regressions
+
+    try:
+        new = load_report(args.report)
+        old = load_report(args.baseline)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"aggregate  : {new['aggregate_digest']}")
+    print(f"baseline   : {old['aggregate_digest']}")
+    diff = diff_reports(new, old)
+    print(render_diff(diff))
+    return 1 if regressions(diff) else 0

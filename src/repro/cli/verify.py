@@ -1,0 +1,20 @@
+"""``verify``: re-check the paper's headline claims."""
+
+from __future__ import annotations
+
+from repro.cli.common import seed_arg
+
+
+def add_parser(sub) -> None:
+    p = sub.add_parser("verify", help="re-check the paper's headline claims")
+    p.add_argument("--repetitions", type=int, default=30)
+    p.add_argument("--seed", type=seed_arg, default=0)
+    p.set_defaults(fn=cmd)
+
+
+def cmd(args) -> int:
+    from repro.analysis.claims import verify_report
+
+    report = verify_report(repetitions=args.repetitions, seed=args.seed)
+    print(report)
+    return 0 if "FAIL" not in report else 1

@@ -19,6 +19,11 @@ Public surface:
   — the supervision layer (also lazy): worker-death recovery,
   adaptive-backoff retries, deadlines, checkpoint/resume, and the
   chaos-injection hooks.  See docs/resilience.md.
+- :class:`RunPlan` / :class:`FaultOptions` / :class:`PlanOutcome` /
+  :func:`execute` / :func:`resolve_exec_config` /
+  :func:`validate_seed` — the declarative run-plan layer (also lazy):
+  one dataclass capturing an entire run, one ``execute`` path shared
+  by the CLI and the scenario matrices.  See docs/scenarios.md.
 
 See docs/performance.md for the determinism guarantees.
 """
@@ -50,7 +55,11 @@ __all__ = [
     "ChaosPlan",
     "ExecConfig",
     "ExecStats",
+    "FaultOptions",
+    "MAX_SEED",
+    "PlanOutcome",
     "PointSpec",
+    "RunPlan",
     "ResultCache",
     "RetryPolicy",
     "SupervisorConfig",
@@ -58,6 +67,7 @@ __all__ = [
     "canonical_params",
     "chaos_injection",
     "code_digest",
+    "execute",
     "execute_barrier_points",
     "execution",
     "get_exec_config",
@@ -66,14 +76,26 @@ __all__ = [
     "jobs_arg",
     "payload_digest",
     "reset_stats",
+    "resolve_exec_config",
     "set_exec_config",
     "set_supervisor_config",
     "shutdown_pools",
     "supervision",
     "validate_jobs",
+    "validate_seed",
 ]
 
 _LAZY_ENGINE = {"PointSpec", "execute_barrier_points", "shutdown_pools"}
+
+_LAZY_PLAN = {
+    "FaultOptions",
+    "MAX_SEED",
+    "PlanOutcome",
+    "RunPlan",
+    "execute",
+    "resolve_exec_config",
+    "validate_seed",
+}
 
 _LAZY_SUPERVISOR = {
     "ChaosPlan",
@@ -95,4 +117,8 @@ def __getattr__(name: str):
         from repro.exec import supervisor
 
         return getattr(supervisor, name)
+    if name in _LAZY_PLAN:
+        from repro.exec import plan
+
+        return getattr(plan, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -74,6 +74,7 @@ __all__ = [
     "build_point_plan",
     "fault_point_cache_key",
     "run_experiment_resilient",
+    "run_plan_resilient",
     "run_fault_point_task",
     "run_resilient_sweep",
     "time_limit",
@@ -619,6 +620,35 @@ def run_experiment_resilient(
         jobs=jobs,
         cache_hits=len(cached_records),
         cache_stores=cache_stores,
+    )
+
+
+def run_plan_resilient(plan) -> ResilienceSummary:
+    """Execute a fault-plan :class:`~repro.exec.plan.RunPlan`.
+
+    The RunPlan port of :func:`run_experiment_resilient`: the plan's
+    ``fault_plan`` spec, seed, parameter overrides and
+    :class:`~repro.exec.plan.FaultOptions` map onto the resilient
+    runner's keyword surface, while ``jobs``/``cache`` resolve from the
+    ambient exec config the plan installed via
+    :meth:`RunPlan.contexts` — exactly how the CLI has always wired
+    them, so record digests are pinned unchanged.
+    """
+    from repro.exec.plan import FaultOptions
+
+    options = plan.faults if plan.faults is not None else FaultOptions()
+    return run_experiment_resilient(
+        plan.experiment_id,
+        plan_spec=plan.fault_plan if plan.fault_plan is not None else "none",
+        seed=plan.seed if plan.seed is not None else 0,
+        checkpoint_dir=options.checkpoint_dir,
+        timeout_seconds=options.timeout_seconds,
+        max_retries=options.max_retries,
+        retry_backoff_seconds=options.retry_backoff_seconds,
+        max_points=options.max_points,
+        fresh=options.fresh,
+        retry_policy=options.retry_policy,
+        **plan.overrides(),
     )
 
 

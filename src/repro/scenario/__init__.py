@@ -1,0 +1,52 @@
+"""Scenario matrices: declarative sweeps over registry experiments.
+
+- :mod:`repro.scenario.spec` — file format, validation against each
+  experiment's typed Param schema, expansion into
+  :class:`~repro.exec.plan.RunPlan` cells.
+- :mod:`repro.scenario.runner` — execute every cell through the shared
+  RunPlan spine (worker fan-out, result cache, fault plans).
+- :mod:`repro.scenario.report` — aggregate reports and baseline diffs.
+
+CLI: ``python -m repro scenario run|describe|diff``.
+See docs/scenarios.md.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.report import (
+    diff_reports,
+    load_report,
+    render_diff,
+    render_summary,
+    scenario_report,
+    write_report,
+)
+from repro.scenario.runner import CellOutcome, ScenarioRun, run_scenario
+from repro.scenario.spec import (
+    ScenarioBlock,
+    ScenarioCell,
+    ScenarioError,
+    ScenarioSpec,
+    expand,
+    load_scenario,
+    parse_scenario,
+)
+
+__all__ = [
+    "CellOutcome",
+    "ScenarioBlock",
+    "ScenarioCell",
+    "ScenarioError",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "diff_reports",
+    "expand",
+    "load_report",
+    "load_scenario",
+    "parse_scenario",
+    "render_diff",
+    "render_summary",
+    "run_scenario",
+    "scenario_report",
+    "write_report",
+]

@@ -1,0 +1,174 @@
+"""Aggregate scenario reports and baseline diffs.
+
+The report JSON mirrors the ``repro check`` report idiom that
+``tools/check_report.py`` already understands (and has been taught to
+read): a list of per-cell outcomes plus one aggregate digest.  The
+aggregate digest covers every cell's ``(digest, status)`` pair and
+nothing else — never wall times, worker counts, or cache hit rates —
+so a serial run, a ``--jobs 2`` run, and a cache-warmed rerun of the
+same scenario produce byte-identical aggregate digests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List
+
+from repro.exec.cache import payload_digest
+from repro.obs.manifest import jsonable
+from repro.scenario.runner import ScenarioRun
+
+__all__ = [
+    "aggregate_digest",
+    "diff_reports",
+    "load_report",
+    "render_diff",
+    "render_summary",
+    "scenario_report",
+    "write_report",
+]
+
+#: Report schema marker; ``tools/check_report.py`` dispatches on it.
+REPORT_KIND = "scenario-report"
+
+#: Health ordering for regression detection.
+_SEVERITY = {"ok": 0, "degraded": 1, "failed": 2}
+
+
+def aggregate_digest(cells: List[Dict[str, Any]]) -> str:
+    """One digest over every cell's ``(digest, status)`` pair."""
+    payload = {
+        cell["id"]: {"digest": cell["digest"], "status": cell["status"]}
+        for cell in cells
+    }
+    return payload_digest(payload)
+
+
+def scenario_report(run: ScenarioRun) -> Dict[str, Any]:
+    """The aggregate report payload for one scenario run."""
+    cells = []
+    for outcome in run.outcomes:
+        plan = outcome.cell.plan
+        cells.append(
+            {
+                "id": outcome.cell.cell_id,
+                "experiment": plan.experiment_id,
+                "params": jsonable(dict(plan.params)),
+                "seed": plan.seed,
+                "fault_plan": plan.fault_plan,
+                "backend": plan.backend,
+                "digest": outcome.digest,
+                "status": outcome.status,
+                "wall_time_seconds": outcome.wall_time_seconds,
+                "error": outcome.error,
+            }
+        )
+    counts = {
+        "cells": len(cells),
+        "ok": sum(1 for c in cells if c["status"] == "ok"),
+        "degraded": sum(1 for c in cells if c["status"] == "degraded"),
+        "failed": sum(1 for c in cells if c["status"] == "failed"),
+    }
+    return {
+        "kind": REPORT_KIND,
+        "scenario": run.spec.name,
+        "description": run.spec.description,
+        "counts": counts,
+        "aggregate_digest": aggregate_digest(cells),
+        "execution": {
+            "jobs": run.config.jobs,
+            "cache": run.config.cache,
+        },
+        "cells": cells,
+    }
+
+
+def write_report(payload: Dict[str, Any], path: str) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    """Load a scenario aggregate report, validating its shape."""
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("kind") != REPORT_KIND or "cells" not in report:
+        raise ValueError(f"{path}: not a scenario report")
+    return report
+
+
+def render_summary(payload: Dict[str, Any]) -> str:
+    counts = payload["counts"]
+    lines = [
+        f"scenario   : {payload['scenario']}",
+        f"cells      : {counts['cells']} "
+        f"({counts['ok']} ok, {counts['degraded']} degraded, "
+        f"{counts['failed']} failed)",
+        f"aggregate  : {payload['aggregate_digest']}",
+    ]
+    for cell in payload["cells"]:
+        if cell["status"] != "ok":
+            line = f"  {cell['status']:9} {cell['id']}"
+            if cell.get("error"):
+                line += f" ({cell['error']})"
+            lines.append(line)
+    return "\n".join(lines)
+
+
+def diff_reports(
+    new: Dict[str, Any], old: Dict[str, Any]
+) -> Dict[str, List[str]]:
+    """Cell-level transitions old -> new, keyed by stable cell id.
+
+    - ``regressed``: the cell's health worsened (ok -> degraded/failed).
+    - ``changed``: same health, different result digest — the quiet
+      failure mode a status-only diff misses; counts as a regression.
+    - ``recovered``: health improved.
+    - ``appeared`` / ``disappeared``: the matrix itself changed.
+    """
+    new_by_id = {cell["id"]: cell for cell in new["cells"]}
+    old_by_id = {cell["id"]: cell for cell in old["cells"]}
+    shared = set(new_by_id) & set(old_by_id)
+    regressed = sorted(
+        cell_id for cell_id in shared
+        if _SEVERITY[new_by_id[cell_id]["status"]]
+        > _SEVERITY[old_by_id[cell_id]["status"]]
+    )
+    recovered = sorted(
+        cell_id for cell_id in shared
+        if _SEVERITY[new_by_id[cell_id]["status"]]
+        < _SEVERITY[old_by_id[cell_id]["status"]]
+    )
+    changed = sorted(
+        cell_id for cell_id in shared
+        if cell_id not in regressed and cell_id not in recovered
+        and new_by_id[cell_id]["digest"] != old_by_id[cell_id]["digest"]
+    )
+    return {
+        "regressed": regressed,
+        "changed": changed,
+        "recovered": recovered,
+        "appeared": sorted(set(new_by_id) - set(old_by_id)),
+        "disappeared": sorted(set(old_by_id) - set(new_by_id)),
+    }
+
+
+def regressions(diff: Dict[str, List[str]]) -> int:
+    """How many diff entries gate a baseline comparison (exit 1)."""
+    return len(diff["regressed"]) + len(diff["changed"])
+
+
+def render_diff(diff: Dict[str, List[str]]) -> str:
+    lines = []
+    for label in ("regressed", "changed", "recovered", "appeared",
+                  "disappeared"):
+        if diff[label]:
+            lines.append(f"{label}: {', '.join(diff[label])}")
+    if not lines:
+        return "no changes between the reports"
+    return "\n".join(lines)

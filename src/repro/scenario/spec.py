@@ -1,0 +1,398 @@
+"""Scenario files: declarative matrices over registry experiments.
+
+A scenario file (JSON always; YAML when PyYAML is importable) composes
+experiment matrices::
+
+    name: example
+    description: two backoff policies at two machine sizes
+    blocks:
+      - experiment: determinism
+        params: {repetitions: 5}
+        axes:
+          base: [2, 4]          # cartesian: every combination runs
+          points: [[[2, 0]], [[4, 0]]]
+          seed: [0, 1]          # special axis: the run seed
+      - experiment: figure5
+        params: {repetitions: 3, n_values: [2, 4]}
+        fault_plan: "stragglers:probability=0.2"
+        seed: 0
+
+Every axis name is validated against the experiment's declared
+:class:`~repro.registry.Param` schema — a typo'd axis fails with the
+same schema-aware error text as ``--param`` on the CLI — except the
+three special names:
+
+- ``seed`` — the run seed (plain runs: injected when the spec declares
+  a ``seed`` parameter; fault runs: the fault-schedule root seed),
+- ``fault_plan`` — a fault-injection plan spec routed through the
+  resilient runner (:mod:`repro.faults`),
+- ``backend`` — the episode backend (``python``/``numpy``/``auto``).
+
+``axes`` entries combine cartesian; ``zip`` entries advance in
+lockstep (all value lists must share one length) and the zipped group
+is crossed against the cartesian axes.  Each resulting cell is one
+:class:`~repro.exec.plan.RunPlan`, so scenarios inherit the execution
+layer wholesale: worker fan-out, the content-addressed cache,
+supervision, and the digest contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exec.plan import RunPlan, validate_seed
+
+__all__ = [
+    "ScenarioBlock",
+    "ScenarioCell",
+    "ScenarioError",
+    "ScenarioSpec",
+    "expand",
+    "load_scenario",
+    "parse_scenario",
+]
+
+#: Axis names with scenario-level meaning rather than a Param schema.
+SPECIAL_AXES = ("seed", "fault_plan", "backend")
+
+_BLOCK_KEYS = frozenset(
+    ("experiment", "params", "axes", "zip") + SPECIAL_AXES
+)
+_TOP_KEYS = frozenset(("name", "description", "baseline", "blocks"))
+
+
+class ScenarioError(ValueError):
+    """A scenario file failed validation (CLI: exit 2 usage error)."""
+
+
+def _fmt(value: Any) -> str:
+    """A compact, deterministic rendering of one axis value."""
+    if isinstance(value, str):
+        return value
+    return json.dumps(value, separators=(",", ":"), sort_keys=True)
+
+
+@dataclass(frozen=True)
+class ScenarioBlock:
+    """One experiment's matrix: fixed params plus varying axes."""
+
+    experiment_id: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    #: Cartesian axes, in file order: ``{name: (value, ...)}``.
+    axes: Mapping[str, Tuple[Any, ...]] = field(default_factory=dict)
+    #: Zipped axes: all tuples share one length and advance together.
+    zipped: Mapping[str, Tuple[Any, ...]] = field(default_factory=dict)
+    seed: Optional[int] = None
+    fault_plan: Optional[str] = None
+    backend: Optional[str] = None
+
+    def cell_count(self) -> int:
+        count = 1
+        for values in self.axes.values():
+            count *= len(values)
+        if self.zipped:
+            count *= len(next(iter(self.zipped.values())))
+        return count
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A parsed, fully validated scenario file."""
+
+    name: str
+    blocks: Tuple[ScenarioBlock, ...]
+    description: str = ""
+    #: Optional default baseline report path for ``scenario run/diff``.
+    baseline: Optional[str] = None
+
+    def cell_count(self) -> int:
+        return sum(block.cell_count() for block in self.blocks)
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One expanded matrix cell: a RunPlan plus its stable identity."""
+
+    index: int
+    block_index: int
+    #: Stable id built from the experiment and the axis assignments;
+    #: the unit of comparison for baseline diffs.
+    cell_id: str
+    plan: RunPlan
+
+
+def _require_mapping(value: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise ScenarioError(f"{what} must be a mapping, got {type(value).__name__}")
+    return value
+
+
+def _check_keys(data: Mapping[str, Any], allowed: frozenset, what: str) -> None:
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ScenarioError(
+            f"{what}: unknown key(s) {', '.join(map(repr, unknown))}; "
+            f"valid keys: {', '.join(sorted(allowed))}"
+        )
+
+
+def _coerce_special(name: str, value: Any, seed_hint: int = 0) -> Any:
+    """Validate a special-axis value; returns the coerced value."""
+    if name == "seed":
+        return validate_seed(value)
+    if name == "fault_plan":
+        from repro.faults.spec import parse_plan
+
+        if not isinstance(value, str):
+            raise ScenarioError(
+                f"fault_plan must be a plan spec string, got {value!r}"
+            )
+        parse_plan(value, seed=seed_hint)
+        return value
+    if name == "backend":
+        from repro.barrier.backend import validate_backend
+
+        validate_backend(value)
+        return value
+    raise ScenarioError(f"not a special axis: {name!r}")  # pragma: no cover
+
+
+def _parse_axis_map(
+    raw: Any, spec, where: str, taken: set
+) -> Dict[str, Tuple[Any, ...]]:
+    """Validate one ``axes``/``zip`` mapping against the Param schema."""
+    axes: Dict[str, Tuple[Any, ...]] = {}
+    for name, values in _require_mapping(raw, where).items():
+        if name in taken:
+            raise ScenarioError(
+                f"{where}: {name!r} is assigned more than once in this block"
+            )
+        taken.add(name)
+        if not isinstance(values, Sequence) or isinstance(values, (str, bytes)):
+            raise ScenarioError(
+                f"{where}: axis {name!r} must be a list of values, "
+                f"got {values!r}"
+            )
+        if not values:
+            raise ScenarioError(f"{where}: axis {name!r} is empty")
+        if name in SPECIAL_AXES:
+            axes[name] = tuple(_coerce_special(name, v) for v in values)
+        else:
+            param = spec.get_param(name)  # ParameterError lists valid names
+            axes[name] = tuple(param.coerce(v) for v in values)
+    return axes
+
+
+def parse_scenario(data: Any, source: str = "<scenario>") -> ScenarioSpec:
+    """Validate raw scenario data into a :class:`ScenarioSpec`.
+
+    Experiment ids and parameter names fail with the registry's own
+    errors (``UnknownExperimentError`` with a did-you-mean,
+    ``ParameterError`` listing valid names) — the same text every CLI
+    subcommand prints; structural problems raise :class:`ScenarioError`.
+    """
+    from repro.registry import get_spec
+
+    data = _require_mapping(data, f"{source}: scenario")
+    _check_keys(data, _TOP_KEYS, source)
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise ScenarioError(f"{source}: 'name' must be a non-empty string")
+    description = data.get("description", "")
+    if not isinstance(description, str):
+        raise ScenarioError(f"{source}: 'description' must be a string")
+    baseline = data.get("baseline")
+    if baseline is not None and not isinstance(baseline, str):
+        raise ScenarioError(f"{source}: 'baseline' must be a path string")
+    raw_blocks = data.get("blocks")
+    if not isinstance(raw_blocks, Sequence) or not raw_blocks:
+        raise ScenarioError(f"{source}: 'blocks' must be a non-empty list")
+
+    blocks: List[ScenarioBlock] = []
+    for i, raw in enumerate(raw_blocks):
+        where = f"{source}: block {i}"
+        raw = _require_mapping(raw, where)
+        _check_keys(raw, _BLOCK_KEYS, where)
+        experiment_id = raw.get("experiment")
+        if not isinstance(experiment_id, str) or not experiment_id:
+            raise ScenarioError(f"{where}: 'experiment' is required")
+        spec = get_spec(experiment_id)  # UnknownExperimentError: exit 2
+
+        taken: set = set()
+        params: Dict[str, Any] = {}
+        for pname, value in _require_mapping(
+            raw.get("params", {}), f"{where}: params"
+        ).items():
+            if pname in SPECIAL_AXES:
+                raise ScenarioError(
+                    f"{where}: {pname!r} belongs at the block level or in "
+                    f"axes, not under params"
+                )
+            taken.add(pname)
+            params[pname] = spec.get_param(pname).coerce(value)
+
+        axes = _parse_axis_map(raw.get("axes", {}), spec, f"{where}: axes", taken)
+        zipped = _parse_axis_map(raw.get("zip", {}), spec, f"{where}: zip", taken)
+        if zipped:
+            lengths = {len(v) for v in zipped.values()}
+            if len(lengths) > 1:
+                raise ScenarioError(
+                    f"{where}: zip axes must share one length, got "
+                    f"{sorted(lengths)}"
+                )
+
+        scalars: Dict[str, Any] = {}
+        for sname in SPECIAL_AXES:
+            if sname in raw:
+                if sname in taken:
+                    raise ScenarioError(
+                        f"{where}: {sname!r} is both a scalar and an axis"
+                    )
+                scalars[sname] = _coerce_special(sname, raw[sname])
+
+        block = ScenarioBlock(
+            experiment_id=experiment_id,
+            params=params,
+            axes=axes,
+            zipped=zipped,
+            seed=scalars.get("seed"),
+            fault_plan=scalars.get("fault_plan"),
+            backend=scalars.get("backend"),
+        )
+        has_fault_plan = (
+            block.fault_plan is not None
+            or "fault_plan" in axes
+            or "fault_plan" in zipped
+        )
+        varies_seed = "seed" in axes or "seed" in zipped
+        if (
+            varies_seed
+            and not has_fault_plan
+            and "seed" not in spec.param_names()
+        ):
+            raise ScenarioError(
+                f"{where}: experiment {experiment_id!r} does not declare a "
+                f"'seed' parameter and no fault plan is set, so a seed axis "
+                f"would run identical cells"
+            )
+        blocks.append(block)
+    return ScenarioSpec(
+        name=name,
+        blocks=tuple(blocks),
+        description=description,
+        baseline=baseline,
+    )
+
+
+def load_scenario(path: str) -> ScenarioSpec:
+    """Parse and validate a scenario file (.json, or .yaml with PyYAML)."""
+    if not os.path.exists(path):
+        raise ScenarioError(f"scenario file not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if path.endswith((".yaml", ".yml")):
+        try:
+            import yaml
+        except ImportError:
+            raise ScenarioError(
+                f"{path}: reading YAML scenarios requires PyYAML; "
+                f"install it or convert the file to JSON"
+            ) from None
+        data = yaml.safe_load(text)
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ScenarioError(f"{path}: invalid JSON ({error})") from None
+    return parse_scenario(data, source=os.path.basename(path))
+
+
+def _cell_assignments(
+    block: ScenarioBlock,
+) -> List[List[Tuple[str, Any]]]:
+    """Every cell's ``(name, value)`` assignments, in deterministic order."""
+    axis_items = [
+        [(name, value) for value in values]
+        for name, values in block.axes.items()
+    ]
+    if block.zipped:
+        names = list(block.zipped)
+        rows = list(zip(*(block.zipped[name] for name in names)))
+        axis_items.append(
+            [tuple(zip(names, row)) for row in rows]  # one composite axis
+        )
+    cells: List[List[Tuple[str, Any]]] = []
+    for combo in itertools.product(*axis_items):
+        flat: List[Tuple[str, Any]] = []
+        for entry in combo:
+            if entry and isinstance(entry[0], tuple):  # zipped composite
+                flat.extend(entry)
+            else:
+                flat.append(entry)
+        cells.append(flat)
+    return cells
+
+
+def expand(spec: ScenarioSpec) -> List[ScenarioCell]:
+    """Expand a scenario into one :class:`RunPlan` per matrix cell.
+
+    Cell ids are stable across runs (experiment + axis assignments +
+    the block's scalar specials), so aggregate reports from different
+    runs of the same scenario diff cell-by-cell.
+    """
+    cells: List[ScenarioCell] = []
+    seen: Dict[str, int] = {}
+    index = 0
+    for block_index, block in enumerate(spec.blocks):
+        for assignments in _cell_assignments(block):
+            params = dict(block.params)
+            seed = block.seed
+            fault_plan = block.fault_plan
+            backend = block.backend
+            id_parts = [block.experiment_id]
+            for name, value in assignments:
+                id_parts.append(f"{name}={_fmt(value)}")
+                if name == "seed":
+                    seed = value
+                elif name == "fault_plan":
+                    fault_plan = value
+                elif name == "backend":
+                    backend = value
+                else:
+                    params[name] = value
+            for sname, svalue in (
+                ("seed", block.seed),
+                ("fault_plan", block.fault_plan),
+                ("backend", block.backend),
+            ):
+                if svalue is not None:
+                    id_parts.append(f"{sname}={_fmt(svalue)}")
+            cell_id = "/".join(id_parts)
+            if cell_id in seen:
+                raise ScenarioError(
+                    f"blocks {seen[cell_id]} and {block_index} expand to "
+                    f"the same cell id {cell_id!r}; make the blocks "
+                    f"distinguishable (different axes or params)"
+                )
+            seen[cell_id] = block_index
+            plan = RunPlan(
+                experiment_id=block.experiment_id,
+                params=params,
+                seed=seed,
+                fault_plan=fault_plan,
+                backend=backend,
+            )
+            cells.append(
+                ScenarioCell(
+                    index=index,
+                    block_index=block_index,
+                    cell_id=cell_id,
+                    plan=plan,
+                )
+            )
+            index += 1
+    return cells

@@ -22,6 +22,7 @@ class TestParser:
         assert commands == {
             "list", "experiment", "barrier", "trace", "report", "advise",
             "verify", "profile", "faults", "run", "check", "chaos",
+            "scenario",
         }
 
     def test_barrier_defaults(self):
@@ -93,7 +94,7 @@ class TestReportCommand:
     def test_report_writes_files(self, tmp_path, monkeypatch):
         # Patch the registry to two fast experiments so the test stays
         # quick while exercising the real command path.
-        import repro.__main__ as cli
+        import repro.cli.report as report_cmd
         from repro.analysis.experiments import ExperimentResult
 
         calls = []
@@ -102,8 +103,10 @@ class TestReportCommand:
             calls.append(experiment_id)
             return ExperimentResult(experiment_id, "t", "body", {"x": 1})
 
-        monkeypatch.setattr(cli, "EXPERIMENTS", {"alpha": None, "beta": None})
-        monkeypatch.setattr(cli, "run_experiment", fake_run)
+        monkeypatch.setattr(
+            report_cmd, "EXPERIMENTS", {"alpha": None, "beta": None}
+        )
+        monkeypatch.setattr(report_cmd, "run_experiment", fake_run)
         out = tmp_path / "reports"
         code = main(["report", "--output", str(out)])
         assert code == 0
@@ -112,13 +115,13 @@ class TestReportCommand:
         assert "body" in (out / "alpha.txt").read_text()
 
     def test_report_counts_failures(self, tmp_path, monkeypatch):
-        import repro.__main__ as cli
+        import repro.cli.report as report_cmd
 
         def exploding_run(experiment_id, **kwargs):
             raise RuntimeError("boom")
 
-        monkeypatch.setattr(cli, "EXPERIMENTS", {"alpha": None})
-        monkeypatch.setattr(cli, "run_experiment", exploding_run)
+        monkeypatch.setattr(report_cmd, "EXPERIMENTS", {"alpha": None})
+        monkeypatch.setattr(report_cmd, "run_experiment", exploding_run)
         code = main(["report", "--output", str(tmp_path / "r")])
         assert code == 1
 
@@ -195,15 +198,15 @@ class TestCheckCommand:
 
 class TestPolicyBuilder:
     def test_unknown_policy(self):
-        from repro.__main__ import _build_policy
+        from repro.cli.common import build_policy
 
         with pytest.raises(ValueError):
-            _build_policy("quadratic", 2, 1)
+            build_policy("quadratic", 2, 1)
 
     def test_linear_policy(self):
-        from repro.__main__ import _build_policy
+        from repro.cli.common import build_policy
 
-        policy = _build_policy("linear", 2, 5)
+        policy = build_policy("linear", 2, 5)
         assert policy.flag_wait(2) == 10
 
 
@@ -306,7 +309,7 @@ class TestKeyboardInterruptHandling:
     def test_interrupt_exits_130_and_releases_pools(
         self, monkeypatch, capsys
     ):
-        import repro.__main__ as cli
+        import repro.cli.listing as listing_cmd
         from repro.exec import engine
 
         engine._get_pool(2)  # a live pool that must not leak
@@ -314,7 +317,7 @@ class TestKeyboardInterruptHandling:
         def interrupted(_args):
             raise KeyboardInterrupt()
 
-        monkeypatch.setattr(cli, "_cmd_list", interrupted)
+        monkeypatch.setattr(listing_cmd, "cmd", interrupted)
         assert main(["list"]) == 130
         assert "interrupted" in capsys.readouterr().err
         assert engine._POOLS == {}

@@ -1,0 +1,451 @@
+"""Scenario matrices: validation, expansion, digests, reports, CLI."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.registry import ParameterError, UnknownExperimentError
+from repro.scenario import (
+    ScenarioError,
+    diff_reports,
+    expand,
+    load_report,
+    load_scenario,
+    parse_scenario,
+    render_diff,
+    run_scenario,
+    scenario_report,
+    write_report,
+)
+from repro.scenario.report import regressions
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: A miniature valid scenario reused across tests: 2x2 determinism
+#: cells plus one fault-plan cell.
+TINY = {
+    "name": "tiny",
+    "description": "test matrix",
+    "blocks": [
+        {
+            "experiment": "determinism",
+            "params": {"repetitions": 3, "points": [[2, 0]]},
+            "axes": {"base": [2, 4], "seed": [0, 1]},
+        },
+        {
+            "experiment": "figure5",
+            "params": {"repetitions": 1, "n_values": [2]},
+            "fault_plan": "stragglers:probability=0.2",
+            "seed": 0,
+        },
+    ],
+}
+
+
+class TestParsing:
+    def test_valid_scenario_parses(self):
+        spec = parse_scenario(TINY)
+        assert spec.name == "tiny"
+        assert spec.cell_count() == 5
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ScenarioError, match="unknown key"):
+            parse_scenario({**TINY, "matrix": []})
+
+    def test_unknown_block_key(self):
+        bad = {**TINY, "blocks": [{"experiment": "figure5", "grid": {}}]}
+        with pytest.raises(ScenarioError, match="unknown key"):
+            parse_scenario(bad)
+
+    def test_unknown_experiment_uses_registry_error(self):
+        bad = {**TINY, "blocks": [{"experiment": "figure99"}]}
+        with pytest.raises(UnknownExperimentError, match="did you mean"):
+            parse_scenario(bad)
+
+    def test_unknown_axis_uses_param_schema_error(self):
+        bad = {
+            **TINY,
+            "blocks": [{"experiment": "figure5", "axes": {"bogus": [1]}}],
+        }
+        with pytest.raises(ParameterError, match="bogus"):
+            parse_scenario(bad)
+
+    def test_empty_axis_rejected(self):
+        bad = {
+            **TINY,
+            "blocks": [{"experiment": "figure5", "axes": {"n_values": []}}],
+        }
+        with pytest.raises(ScenarioError, match="empty"):
+            parse_scenario(bad)
+
+    def test_zip_length_mismatch(self):
+        bad = {
+            **TINY,
+            "blocks": [
+                {
+                    "experiment": "determinism",
+                    "zip": {"base": [2, 4], "seed": [0]},
+                }
+            ],
+        }
+        with pytest.raises(ScenarioError, match="share one length"):
+            parse_scenario(bad)
+
+    def test_duplicate_assignment_rejected(self):
+        bad = {
+            **TINY,
+            "blocks": [
+                {
+                    "experiment": "determinism",
+                    "params": {"base": 2},
+                    "axes": {"base": [2, 4]},
+                }
+            ],
+        }
+        with pytest.raises(ScenarioError, match="more than once"):
+            parse_scenario(bad)
+
+    def test_scalar_and_axis_conflict_rejected(self):
+        bad = {
+            **TINY,
+            "blocks": [
+                {
+                    "experiment": "determinism",
+                    "seed": 0,
+                    "axes": {"seed": [0, 1]},
+                }
+            ],
+        }
+        with pytest.raises(ScenarioError, match="scalar and an axis"):
+            parse_scenario(bad)
+
+    def test_seed_axis_requires_declared_seed_or_fault_plan(self):
+        bad = {
+            **TINY,
+            "blocks": [{"experiment": "figure1", "axes": {"seed": [0, 1]}}],
+        }
+        with pytest.raises(ScenarioError, match="identical cells"):
+            parse_scenario(bad)
+
+    def test_bad_seed_value_in_axis(self):
+        bad = {
+            **TINY,
+            "blocks": [
+                {"experiment": "determinism", "axes": {"seed": [-1]}}
+            ],
+        }
+        with pytest.raises(ValueError, match="seed must be"):
+            parse_scenario(bad)
+
+    def test_bad_fault_plan_value(self):
+        bad = {
+            **TINY,
+            "blocks": [
+                {"experiment": "figure5", "fault_plan": "meteor-strike"}
+            ],
+        }
+        with pytest.raises(ValueError):
+            parse_scenario(bad)
+
+    def test_missing_file_is_usage_error(self):
+        with pytest.raises(ScenarioError, match="not found"):
+            load_scenario("no/such/scenario.json")
+
+    def test_committed_scenarios_parse(self):
+        spec = load_scenario(os.path.join(REPO_ROOT, "scenarios", "ci_smoke.json"))
+        assert spec.cell_count() == 9
+        yaml = pytest.importorskip("yaml")  # noqa: F841
+        example = load_scenario(
+            os.path.join(REPO_ROOT, "scenarios", "example.yaml")
+        )
+        assert example.cell_count() == 9
+
+
+class TestExpansion:
+    def test_cartesian_order_and_ids(self):
+        cells = expand(parse_scenario(TINY))
+        assert len(cells) == 5
+        assert [c.cell_id for c in cells[:4]] == [
+            "determinism/base=2/seed=0",
+            "determinism/base=2/seed=1",
+            "determinism/base=4/seed=0",
+            "determinism/base=4/seed=1",
+        ]
+        assert cells[4].cell_id == (
+            "figure5/seed=0/fault_plan=stragglers:probability=0.2"
+        )
+        assert cells[4].plan.fault_plan == "stragglers:probability=0.2"
+
+    def test_zip_advances_in_lockstep(self):
+        spec = parse_scenario(
+            {
+                "name": "z",
+                "blocks": [
+                    {
+                        "experiment": "determinism",
+                        "axes": {"seed": [0, 1]},
+                        "zip": {"base": [2, 4], "repetitions": [3, 5]},
+                    }
+                ],
+            }
+        )
+        cells = expand(spec)
+        assert len(cells) == 4  # 2 seeds x 2 zipped rows
+        combos = {
+            (c.plan.params["base"], c.plan.params["repetitions"])
+            for c in cells
+        }
+        assert combos == {(2, 3), (4, 5)}  # never (2, 5) or (4, 3)
+
+    def test_duplicate_cell_ids_rejected(self):
+        block = {
+            "experiment": "determinism",
+            "axes": {"base": [2]},
+            "seed": 0,
+        }
+        with pytest.raises(ScenarioError, match="same cell id"):
+            expand(parse_scenario({"name": "d", "blocks": [block, dict(block)]}))
+
+    def test_cells_validate_as_plans(self):
+        for cell in expand(parse_scenario(TINY)):
+            cell.plan.validate()
+
+
+class TestRunDigests:
+    """The acceptance bar: one matrix, three execution modes, one digest."""
+
+    def test_serial_jobs2_and_warm_cache_aggregate_identically(self, tmp_path):
+        spec = parse_scenario(TINY)
+        serial = scenario_report(
+            run_scenario(spec, work_dir=str(tmp_path / "w0"))
+        )
+        cache_dir = str(tmp_path / "cache")
+        jobs2 = scenario_report(
+            run_scenario(
+                spec, jobs=2, cache=True, cache_dir=cache_dir,
+                work_dir=str(tmp_path / "w1"),
+            )
+        )
+        warm = scenario_report(
+            run_scenario(
+                spec, jobs=2, cache=True, cache_dir=cache_dir,
+                work_dir=str(tmp_path / "w2"),
+            )
+        )
+        assert (
+            serial["aggregate_digest"]
+            == jobs2["aggregate_digest"]
+            == warm["aggregate_digest"]
+        )
+        assert serial["counts"] == {
+            "cells": 5, "ok": 5, "degraded": 0, "failed": 0,
+        }
+
+    def test_failed_cell_recorded_not_fatal(self, tmp_path, monkeypatch):
+        import repro.scenario.runner as runner_mod
+
+        spec = parse_scenario(TINY)
+        real_execute = runner_mod.execute
+        victim = expand(spec)[0].cell_id
+
+        def flaky(plan, **kwargs):
+            if plan.experiment_id == "determinism" and plan.seed == 0 \
+                    and plan.params.get("base") == 2:
+                raise RuntimeError("boom")
+            return real_execute(plan, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "execute", flaky)
+        run = run_scenario(spec, work_dir=str(tmp_path))
+        report = scenario_report(run)
+        assert not run.ok
+        failed = [c for c in report["cells"] if c["status"] == "failed"]
+        assert [c["id"] for c in failed] == [victim]
+        assert "boom" in failed[0]["error"]
+        assert report["counts"]["failed"] == 1
+
+
+class TestReportsAndDiffs:
+    def _small_report(self, tmp_path, name="r"):
+        spec = parse_scenario(TINY)
+        return scenario_report(run_scenario(spec, work_dir=str(tmp_path / name)))
+
+    def test_report_roundtrip(self, tmp_path):
+        payload = self._small_report(tmp_path)
+        path = str(tmp_path / "report.json")
+        write_report(payload, path)
+        assert load_report(path)["aggregate_digest"] == payload["aggregate_digest"]
+
+    def test_load_rejects_non_scenario_report(self, tmp_path):
+        path = str(tmp_path / "bogus.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"outcomes": []}, handle)
+        with pytest.raises(ValueError, match="not a scenario report"):
+            load_report(path)
+
+    def test_diff_identical_reports_is_empty(self, tmp_path):
+        payload = self._small_report(tmp_path)
+        diff = diff_reports(payload, payload)
+        assert regressions(diff) == 0
+        assert render_diff(diff) == "no changes between the reports"
+
+    def test_diff_flags_digest_change_and_status_regression(self, tmp_path):
+        payload = self._small_report(tmp_path)
+        tampered = json.loads(json.dumps(payload))
+        tampered["cells"][0]["digest"] = "deadbeef"
+        tampered["cells"][4]["status"] = "failed"
+        diff = diff_reports(tampered, payload)
+        assert diff["changed"] == [payload["cells"][0]["id"]]
+        assert diff["regressed"] == [payload["cells"][4]["id"]]
+        assert regressions(diff) == 2
+
+    def test_diff_tracks_matrix_shape_changes(self, tmp_path):
+        payload = self._small_report(tmp_path)
+        smaller = json.loads(json.dumps(payload))
+        removed = smaller["cells"].pop()
+        diff = diff_reports(smaller, payload)
+        assert diff["disappeared"] == [removed["id"]]
+        assert regressions(diff) == 0  # shape changes report, don't gate
+
+
+class TestCheckReportTool:
+    """tools/check_report.py reads scenario aggregate reports too."""
+
+    @pytest.fixture()
+    def tool(self):
+        spec = importlib.util.spec_from_file_location(
+            "check_report",
+            os.path.join(REPO_ROOT, "tools", "check_report.py"),
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_summarize_and_diff_scenario_reports(self, tool, tmp_path, capsys):
+        spec = parse_scenario(TINY)
+        payload = scenario_report(run_scenario(spec, work_dir=str(tmp_path)))
+        path = str(tmp_path / "report.json")
+        write_report(payload, path)
+        assert tool.main([path, "--against", path]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=tiny" in out
+        assert "no changes between the reports" in out
+
+    def test_digest_change_gates_exit_code(self, tool, tmp_path, capsys):
+        spec = parse_scenario(TINY)
+        payload = scenario_report(run_scenario(spec, work_dir=str(tmp_path)))
+        base = str(tmp_path / "base.json")
+        write_report(payload, base)
+        payload["cells"][0]["digest"] = "deadbeef"
+        newer = str(tmp_path / "new.json")
+        write_report(payload, newer)
+        assert tool.main([newer, "--against", base]) == 1
+        assert "changed:" in capsys.readouterr().out
+
+    def test_mixed_kinds_rejected(self, tool, tmp_path, capsys):
+        spec = parse_scenario(TINY)
+        scenario_path = str(tmp_path / "s.json")
+        write_report(
+            scenario_report(run_scenario(spec, work_dir=str(tmp_path))),
+            scenario_path,
+        )
+        check_path = str(tmp_path / "c.json")
+        with open(check_path, "w", encoding="utf-8") as handle:
+            json.dump({"seed": 0, "budget": "small", "outcomes": []}, handle)
+        assert tool.main([scenario_path, "--against", check_path]) == 2
+        assert "kinds differ" in capsys.readouterr().err
+
+    def test_check_reports_still_work(self, tool, tmp_path, capsys):
+        check_path = str(tmp_path / "c.json")
+        with open(check_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "seed": 0,
+                    "budget": "small",
+                    "outcomes": [
+                        {"suite": "s", "check": "a", "passed": True}
+                    ],
+                },
+                handle,
+            )
+        assert tool.main([check_path]) == 0
+        assert "failures=0" in capsys.readouterr().out
+
+
+class TestScenarioCLI:
+    def _write(self, tmp_path, data):
+        path = str(tmp_path / "scenario.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+        return path
+
+    def test_describe_lists_cells(self, tmp_path, capsys):
+        path = self._write(tmp_path, TINY)
+        assert main(["scenario", "describe", path]) == 0
+        out = capsys.readouterr().out
+        assert "cells      : 5" in out
+        assert "determinism/base=2/seed=0" in out
+
+    def test_run_writes_report_and_diffs_clean(self, tmp_path, capsys):
+        path = self._write(tmp_path, TINY)
+        report = str(tmp_path / "report.json")
+        argv = [
+            "scenario", "run", path, "--quiet",
+            "--output", report, "--work-dir", str(tmp_path / "w"),
+        ]
+        assert main(argv + ["--against", ""]) == 0
+        capsys.readouterr()
+        second = str(tmp_path / "second.json")
+        assert main([
+            "scenario", "run", path, "--quiet", "--output", second,
+            "--work-dir", str(tmp_path / "w2"), "--against", report,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no changes between the reports" in out
+        assert (
+            load_report(report)["aggregate_digest"]
+            == load_report(second)["aggregate_digest"]
+        )
+
+    def test_diff_subcommand_gates_on_changes(self, tmp_path, capsys):
+        path = self._write(tmp_path, TINY)
+        report = str(tmp_path / "report.json")
+        assert main([
+            "scenario", "run", path, "--quiet", "--output", report,
+            "--work-dir", str(tmp_path / "w"), "--against", "",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["scenario", "diff", report, report]) == 0
+        tampered = json.loads(open(report).read())
+        tampered["cells"][0]["digest"] = "deadbeef"
+        other = str(tmp_path / "tampered.json")
+        with open(other, "w", encoding="utf-8") as handle:
+            json.dump(tampered, handle)
+        capsys.readouterr()
+        assert main(["scenario", "diff", other, report]) == 1
+        assert "changed:" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["scenario", "run", str(tmp_path / "none.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_unknown_experiment_exits_2_with_suggestion(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, {"name": "x", "blocks": [{"experiment": "figure99"}]}
+        )
+        assert main(["scenario", "describe", path]) == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_bad_axis_exits_2_with_schema_error(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            {
+                "name": "x",
+                "blocks": [{"experiment": "figure5", "axes": {"bogus": [1]}}],
+            },
+        )
+        assert main(["scenario", "describe", path]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "n_values" in err

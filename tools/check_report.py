@@ -1,23 +1,30 @@
 #!/usr/bin/env python
-"""Inspect and compare ``repro check`` JSON reports.
+"""Inspect and compare ``repro check`` and ``repro scenario`` reports.
 
-``python -m repro check`` writes ``checks/report.json`` (CI uploads it
-as the ``check-report`` artifact).  This tool answers the two questions
-a red check run raises without re-running anything:
+``python -m repro check`` writes ``checks/report.json`` and
+``python -m repro scenario run`` writes an aggregate scenario report
+(CI uploads both as artifacts).  This tool answers the two questions a
+red run raises without re-running anything:
 
 - **What failed, and how do I reproduce it?**  ``summarize`` prints
-  every failing check with its detail and single-line repro command.
+  every failing check (with its detail and single-line repro command)
+  or every non-ok scenario cell.
 - **What changed between two runs?**  ``--against`` diffs a second
-  report: checks that regressed (pass -> fail), recovered, appeared,
-  or disappeared.
+  report: checks/cells that regressed, recovered, appeared, or
+  disappeared — and, for scenario reports, cells whose result digest
+  *changed* while staying healthy (the quiet failure mode a
+  status-only diff misses; counted as a regression).
 
 Usage::
 
     python tools/check_report.py checks/report.json
     python tools/check_report.py new/report.json --against old/report.json
+    python tools/check_report.py scenario-report.json --against baseline.json
 
-Exits 0 when the (primary) report is all-pass and, with ``--against``,
-nothing regressed; 1 otherwise; 2 on unreadable input.
+The report kind is sniffed from the payload, so the same invocation
+works for both formats (mixing kinds across ``--against`` is an
+error).  Exits 0 when the (primary) report is all-pass and, with
+``--against``, nothing regressed; 1 otherwise; 2 on unreadable input.
 """
 
 from __future__ import annotations
@@ -27,14 +34,28 @@ import json
 import sys
 from typing import Any, Dict
 
+#: Scenario aggregate reports carry this marker (repro.scenario.report).
+SCENARIO_KIND = "scenario-report"
+
+#: Cell-health ordering for scenario regression detection.
+_SEVERITY = {"ok": 0, "degraded": 1, "failed": 2}
+
 
 def load_report(path: str) -> Dict[str, Any]:
     with open(path, "r", encoding="utf-8") as handle:
         report = json.load(handle)
+    if report.get("kind") == SCENARIO_KIND:
+        if "cells" not in report or "aggregate_digest" not in report:
+            raise ValueError(f"{path}: malformed scenario report")
+        return report
     for field in ("seed", "budget", "outcomes"):
         if field not in report:
             raise ValueError(f"{path}: not a check report (missing {field!r})")
     return report
+
+
+def is_scenario(report: Dict[str, Any]) -> bool:
+    return report.get("kind") == SCENARIO_KIND
 
 
 def _key(outcome: Dict[str, Any]) -> str:
@@ -43,6 +64,8 @@ def _key(outcome: Dict[str, Any]) -> str:
 
 def summarize(report: Dict[str, Any]) -> int:
     """Print the report's headline and every failure; returns failures."""
+    if is_scenario(report):
+        return _summarize_scenario(report)
     failures = [o for o in report["outcomes"] if not o["passed"]]
     print(
         f"seed={report['seed']} budget={report['budget']} "
@@ -58,8 +81,27 @@ def summarize(report: Dict[str, Any]) -> int:
     return len(failures)
 
 
+def _summarize_scenario(report: Dict[str, Any]) -> int:
+    """Scenario flavour of :func:`summarize`; returns non-ok cells."""
+    counts = report["counts"]
+    bad = [c for c in report["cells"] if c["status"] != "ok"]
+    print(
+        f"scenario={report['scenario']} cells={counts['cells']} "
+        f"ok={counts['ok']} degraded={counts['degraded']} "
+        f"failed={counts['failed']} "
+        f"aggregate={report['aggregate_digest'][:16]}…"
+    )
+    for cell in bad:
+        print(f"\n{cell['status'].upper()} {cell['id']}")
+        if cell.get("error"):
+            print(f"  {cell['error']}")
+    return len(bad)
+
+
 def diff(new: Dict[str, Any], old: Dict[str, Any]) -> int:
-    """Print pass/fail transitions old -> new; returns regressions."""
+    """Print transitions old -> new; returns regressions."""
+    if is_scenario(new):
+        return _diff_scenario(new, old)
     new_by_key = {_key(o): o for o in new["outcomes"]}
     old_by_key = {_key(o): o for o in old["outcomes"]}
     regressed = sorted(
@@ -87,17 +129,63 @@ def diff(new: Dict[str, Any], old: Dict[str, Any]) -> int:
     return len(regressed)
 
 
+def _diff_scenario(new: Dict[str, Any], old: Dict[str, Any]) -> int:
+    """Scenario flavour of :func:`diff`: status transitions plus the
+    digest-aware ``changed`` category; returns regressions."""
+    new_by_id = {cell["id"]: cell for cell in new["cells"]}
+    old_by_id = {cell["id"]: cell for cell in old["cells"]}
+    shared = sorted(set(new_by_id) & set(old_by_id))
+    regressed = [
+        cid for cid in shared
+        if _SEVERITY[new_by_id[cid]["status"]]
+        > _SEVERITY[old_by_id[cid]["status"]]
+    ]
+    recovered = [
+        cid for cid in shared
+        if _SEVERITY[new_by_id[cid]["status"]]
+        < _SEVERITY[old_by_id[cid]["status"]]
+    ]
+    moved = set(regressed) | set(recovered)
+    changed = [
+        cid for cid in shared
+        if cid not in moved
+        and new_by_id[cid]["digest"] != old_by_id[cid]["digest"]
+    ]
+    appeared = sorted(set(new_by_id) - set(old_by_id))
+    disappeared = sorted(set(old_by_id) - set(new_by_id))
+    for label, keys in (
+        ("regressed", regressed),
+        ("changed", changed),
+        ("recovered", recovered),
+        ("appeared", appeared),
+        ("disappeared", disappeared),
+    ):
+        if keys:
+            print(f"{label}: {', '.join(keys)}")
+    if not any((regressed, changed, recovered, appeared, disappeared)):
+        print("no changes between the reports")
+    # A digest change on a healthy cell is still a reproducibility
+    # regression: the same cell no longer computes the same result.
+    return len(regressed) + len(changed)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("report", help="path to a check report.json")
+    parser.add_argument(
+        "report", help="path to a check report.json or scenario report"
+    )
     parser.add_argument(
         "--against", default=None, metavar="OLD",
-        help="also diff against this earlier report.json",
+        help="also diff against this earlier report of the same kind",
     )
     args = parser.parse_args(argv)
     try:
         report = load_report(args.report)
         old = load_report(args.against) if args.against else None
+        if old is not None and is_scenario(report) != is_scenario(old):
+            raise ValueError(
+                f"{args.against}: report kinds differ (check vs scenario)"
+            )
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
