@@ -1,0 +1,103 @@
+"""Benchmark: the serve warm path — dedupe hits against one warm job.
+
+The service's "millions of users" claim rests on the warm path: after
+one client has paid for a computation, every identical submission must
+be answered from the job store + content-addressed cache at HTTP
+round-trip cost, not experiment cost.  This benchmark runs one cold
+job, then times ``POST /jobs`` dedupe hits and ``GET /jobs/<id>/result``
+fetches over a real socket, and asserts the median warm round trip
+stays under a (generous, CI-shared-runner-proof) 1-second budget while
+confirming the plan executed exactly once.
+
+Writes ``reports/serve_warm_path.json`` for ``tools/bench_report.py``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import statistics
+import time
+
+from benchmarks._util import write_record
+from repro.serve import ServeConfig
+from repro.serve.testing import BackgroundServer
+
+ROUNDS = 20
+MAX_WARM_SECONDS = 1.0
+
+SUBMISSION = {
+    "experiment": "figure5",
+    "params": {"n_values": [2, 4], "repetitions": 2},
+    "seed": 3,
+}
+
+
+def _request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request(method, path, body=json.dumps(body) if body else None)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def bench_serve_warm_path(tmp_path):
+    config = ServeConfig(
+        port=0,
+        jobs=1,
+        cache=True,
+        cache_dir=str(tmp_path / "cache"),
+        work_dir=str(tmp_path / "work"),
+    )
+    with BackgroundServer(config) as server:
+        port = server.port
+        # Cold: pay for the computation once.
+        cold_start = time.perf_counter()
+        _, accepted = _request(port, "POST", "/jobs", SUBMISSION)
+        job_id = accepted["job"]["id"]
+        while True:
+            _, status = _request(port, "GET", f"/jobs/{job_id}")
+            if status["state"] in ("done", "failed"):
+                break
+            time.sleep(0.05)
+        cold_seconds = time.perf_counter() - cold_start
+        assert status["state"] == "done"
+
+        # Warm: every identical submission is a dedupe hit plus a
+        # result fetch — no recomputation.
+        warm_times = []
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            _, again = _request(port, "POST", "/jobs", SUBMISSION)
+            assert again["deduplicated"] is True
+            assert again["job"]["id"] == job_id
+            _, result = _request(port, "GET", f"/jobs/{job_id}/result")
+            assert result["digest"] == status["digest"]
+            warm_times.append(time.perf_counter() - start)
+
+        _, stats = _request(port, "GET", "/stats")
+        executed_points = stats["exec"]["points"]
+
+    warm_median = statistics.median(warm_times)
+    write_record("serve_warm_path", {
+        "experiment_id": SUBMISSION["experiment"],
+        "rounds": ROUNDS,
+        "cpu_count": os.cpu_count(),
+        "cold_seconds": cold_seconds,
+        "warm_median_seconds": warm_median,
+        "warm_min_seconds": min(warm_times),
+        "executed_points": executed_points,
+        "max_warm_seconds": MAX_WARM_SECONDS,
+    })
+    print(
+        f"\nserve warm round trip median {1000 * warm_median:.1f}ms "
+        f"(cold {cold_seconds:.3f}s, {executed_points} points executed once)"
+    )
+    assert executed_points == 2, "the warm path must not recompute"
+    assert warm_median < MAX_WARM_SECONDS, (
+        f"warm round trip {warm_median:.3f}s exceeds "
+        f"{MAX_WARM_SECONDS:.1f}s"
+    )

@@ -1,0 +1,119 @@
+"""Thread-scoped ambient state shared by the tracer/exec/backend knobs.
+
+Several subsystems expose a process-global "ambient" setting with a
+``get_x()`` / ``set_x()`` pair and a context manager: the obs tracer,
+the exec config, the supervisor config, the default barrier backend,
+and the installed fault plan.  That model was fine while every run
+owned the whole process (the CLI), but ``repro serve`` executes jobs
+on worker *threads*, and two jobs must be able to hold different
+tracers/configs at once without clobbering each other.
+
+:class:`AmbientState` keeps the old contract and adds thread scoping:
+
+- ``set(value)`` writes the **process-wide default** (legacy
+  ``set_x()`` behaviour — what tests and the CLI top level use).
+- ``scoped(value)`` pushes a **per-thread override**; ``get()``
+  returns the innermost override of the *current thread*, falling
+  back to the process default.  Context-manager nesting therefore
+  behaves exactly as before on a single thread, while overrides on a
+  job thread are invisible to every other thread.
+
+Worker processes are forked/spawned from a job thread, so the child's
+main thread can inherit a non-empty override stack via the fork
+snapshot; :func:`reset_thread_overrides` clears every registered
+state's stack for the current thread and is called from
+``repro.exec.shards.reset_worker_state``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Generic, Iterator, List, TypeVar
+
+T = TypeVar("T")
+
+#: Every AmbientState ever constructed, so worker bootstrap can clear
+#: inherited per-thread overrides without knowing who owns what.
+_REGISTRY: List["AmbientState"] = []
+
+
+class AmbientState(Generic[T]):
+    """A process-wide default plus a per-thread override stack."""
+
+    def __init__(self, name: str, default: T) -> None:
+        self.name = name
+        self._default = default
+        self._initial = default
+        self._local = threading.local()
+        _REGISTRY.append(self)
+
+    def _stack(self) -> List[T]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def get(self) -> T:
+        """Innermost override of this thread, else the process default."""
+        stack = self._stack()
+        if stack:
+            return stack[-1]
+        return self._default
+
+    def set(self, value: T) -> None:
+        """Set the process-wide default (legacy ``set_x`` semantics)."""
+        self._default = value
+
+    def get_default(self) -> T:
+        return self._default
+
+    @contextmanager
+    def scoped(self, value: T) -> Iterator[T]:
+        """Push a thread-local override for the duration of the block."""
+        stack = self._stack()
+        stack.append(value)
+        try:
+            yield value
+        finally:
+            stack.pop()
+
+    def clear_thread(self) -> None:
+        """Drop every override held by the current thread."""
+        self._local.stack = []
+
+    def reset(self) -> None:
+        """Restore the construction-time default (test helper)."""
+        self._default = self._initial
+        self.clear_thread()
+
+
+def reset_thread_overrides() -> None:
+    """Clear the current thread's override stacks on every state.
+
+    Called from worker bootstrap: a pool worker is forked from the job
+    thread that submitted the task, so the child starts life with that
+    thread's overrides baked into its main thread.
+    """
+    for state in _REGISTRY:
+        state.clear_thread()
+
+
+def registered() -> List["AmbientState"]:
+    return list(_REGISTRY)
+
+
+Missing = object()
+
+
+def scoped_or_default(state: "AmbientState", value: Any = Missing):
+    """``state.scoped(value)`` unless value is Missing → no-op context."""
+    if value is Missing:
+        return _noop()
+    return state.scoped(value)
+
+
+@contextmanager
+def _noop() -> Iterator[None]:
+    yield None

@@ -26,13 +26,15 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator, Optional
 
+from repro._ambient import AmbientState
+
 #: The user-facing backend settings.
 BACKENDS = ("auto", "python", "numpy")
 
-#: Process-global default, consulted when no explicit backend is given.
+#: Ambient default, consulted when no explicit backend is given.
 #: ``auto`` means: the numpy kernel when it is importable and supports
 #: the configuration, the reference loop otherwise.
-_default_backend = "auto"
+_default_backend = AmbientState("barrier.backend", "auto")
 
 #: Test hook: force :func:`numpy_available` to this value when not None
 #: (simulates a missing numpy without uninstalling it).
@@ -53,29 +55,29 @@ def numpy_available() -> bool:
 
 
 def get_default_backend() -> str:
-    """The process-global backend setting (``auto`` unless overridden)."""
-    return _default_backend
+    """The ambient backend setting: this thread's innermost
+    :func:`backend_context` override, else the process default."""
+    return _default_backend.get()
 
 
 def set_default_backend(backend: Optional[str]) -> str:
-    """Install a new default backend; returns the previous one.
+    """Install a new process-wide default; returns the previous one.
 
     ``None`` restores the built-in ``auto`` default.
     """
-    global _default_backend
-    previous = _default_backend
-    _default_backend = validate_backend(backend) if backend else "auto"
+    previous = _default_backend.get_default()
+    _default_backend.set(validate_backend(backend) if backend else "auto")
     return previous
 
 
 @contextlib.contextmanager
 def backend_context(backend: Optional[str]) -> Iterator[str]:
-    """Run a block under ``backend`` as the default, then restore."""
-    previous = set_default_backend(backend)
-    try:
-        yield get_default_backend()
-    finally:
-        set_default_backend(previous)
+    """Run a block under ``backend`` as this thread's default.
+
+    Thread-scoped so concurrent serve jobs can pin different backends."""
+    value = validate_backend(backend) if backend else "auto"
+    with _default_backend.scoped(value):
+        yield value
 
 
 def validate_backend(backend: str) -> str:

@@ -53,6 +53,11 @@ Commands:
                               matrix of runs over the registry, with an
                               aggregate report and baseline diff (see
                               docs/scenarios.md).
+- ``serve``                 — run the async HTTP experiment service:
+                              JSON plan/scenario submissions validated
+                              against the same schemas, job ids, event
+                              streams, shared warm cache, dedupe by
+                              plan cache key (see docs/serving.md).
 
 ``run``/``profile``/``faults``/``check`` also take the supervision
 flags ``--retries`` / ``--deadline`` / ``--retry-policy`` (bounded
@@ -85,6 +90,7 @@ from repro.cli import (
     report,
     run,
     scenario,
+    serve,
     trace,
     verify,
 )
@@ -105,6 +111,7 @@ COMMANDS = (
     check,
     chaos,
     scenario,
+    serve,
     advise,
 )
 

@@ -1,0 +1,67 @@
+"""``serve``: the async experiment service (see docs/serving.md)."""
+
+from __future__ import annotations
+
+from repro.cli.common import add_backend_arg, add_exec_args
+from repro.exec.context import DEFAULT_CACHE_DIR, jobs_arg
+
+
+def add_parser(sub) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="run the HTTP experiment service: submit plans/scenarios "
+             "as JSON, poll or stream job progress, share one warm "
+             "result cache",
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8080,
+        help="port to bind; 0 picks a free port (default: 8080)",
+    )
+    add_exec_args(p)
+    p.add_argument(
+        "--concurrency", type=jobs_arg, default=1, metavar="N",
+        help="jobs executed simultaneously (worker threads; default: 1)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="supervisor retries per point for served jobs (default: 1)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock budget for served jobs "
+             "(default: unbounded)",
+    )
+    p.add_argument(
+        "--work-dir", default=None, metavar="DIR",
+        help="scratch directory for checkpoints and scenario cells "
+             "(default: .repro-serve)",
+    )
+    add_backend_arg(p)
+    p.set_defaults(fn=cmd)
+
+
+def cmd(args) -> int:
+    from repro.serve import DEFAULT_WORK_DIR, ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs if args.jobs is not None else 1,
+        cache=True if args.cache is None else bool(args.cache),
+        cache_dir=(
+            args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR
+        ),
+        concurrency=args.concurrency,
+        retries=args.retries,
+        deadline=args.deadline,
+        work_dir=args.work_dir if args.work_dir is not None else DEFAULT_WORK_DIR,
+        # The service pins the backend per job thread (thread-scoped),
+        # so the top-level backend_context in main() — which only
+        # covers the main thread — is re-applied here explicitly.
+        backend=args.backend,
+    )
+    return run_server(config)

@@ -23,7 +23,12 @@ Public surface:
   :func:`execute` / :func:`resolve_exec_config` /
   :func:`validate_seed` — the declarative run-plan layer (also lazy):
   one dataclass capturing an entire run, one ``execute`` path shared
-  by the CLI and the scenario matrices.  See docs/scenarios.md.
+  by the CLI, the scenario matrices and the serve job runner.  See
+  docs/scenarios.md.
+- :func:`plan_to_json` / :func:`plan_from_json` /
+  :func:`plan_cache_key` — the canonical plan serialization (the HTTP
+  submission schema of ``repro serve`` and its dedupe key).  See
+  docs/serving.md.
 
 See docs/performance.md for the determinism guarantees.
 """
@@ -75,6 +80,9 @@ __all__ = [
     "get_supervisor_config",
     "jobs_arg",
     "payload_digest",
+    "plan_cache_key",
+    "plan_from_json",
+    "plan_to_json",
     "reset_stats",
     "resolve_exec_config",
     "set_exec_config",
@@ -93,6 +101,9 @@ _LAZY_PLAN = {
     "PlanOutcome",
     "RunPlan",
     "execute",
+    "plan_cache_key",
+    "plan_from_json",
+    "plan_to_json",
     "resolve_exec_config",
     "validate_seed",
 }

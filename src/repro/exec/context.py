@@ -9,8 +9,9 @@ config with :func:`execution` and the barrier layer consults it via
 :func:`get_exec_config`.
 
 This module is deliberately stdlib-only and imports nothing from the
-rest of the repository, so any layer (including the hot simulator
-paths) can read the ambient config without import cycles.
+rest of the repository (beyond the shared :mod:`repro._ambient`
+scoping helper), so any layer (including the hot simulator paths) can
+read the ambient config without import cycles.
 """
 
 from __future__ import annotations
@@ -21,6 +22,8 @@ import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, Optional
+
+from repro._ambient import AmbientState
 
 #: Default on-disk location of the content-addressed result cache.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -89,22 +92,24 @@ class ExecConfig:
 #: The serial, uncached default every process starts with.
 DEFAULT_CONFIG = ExecConfig()
 
-_active = DEFAULT_CONFIG
+_active = AmbientState("exec.config", DEFAULT_CONFIG)
 
 
 def get_exec_config() -> ExecConfig:
-    """The process-wide active execution config (serial by default)."""
-    return _active
+    """The active execution config: this thread's innermost
+    :func:`execution` override, else the process default (serial)."""
+    return _active.get()
 
 
 def set_exec_config(config: Optional[ExecConfig]) -> ExecConfig:
-    """Install ``config`` as the active one; returns the previous config.
+    """Install ``config`` as the process-wide default; returns the
+    previous default.
 
-    Passing None restores the serial default.
+    Passing None restores the serial default.  Thread-scoped
+    :func:`execution` overrides shadow the default on their own thread.
     """
-    global _active
-    previous = _active
-    _active = config if config is not None else DEFAULT_CONFIG
+    previous = _active.get_default()
+    _active.set(config if config is not None else DEFAULT_CONFIG)
     return previous
 
 
@@ -112,16 +117,16 @@ def set_exec_config(config: Optional[ExecConfig]) -> ExecConfig:
 def execution(config: ExecConfig) -> Iterator[ExecConfig]:
     """Context manager: install ``config`` for the duration of the block.
 
+    The override is scoped to the current thread, so concurrent serve
+    jobs can run under different ``--jobs``/``--cache`` settings.
+
     Example::
 
         with execution(ExecConfig(jobs=4, cache=True)):
             sweep_accesses(repetitions=100)
     """
-    previous = set_exec_config(config)
-    try:
+    with _active.scoped(config if config is not None else DEFAULT_CONFIG):
         yield config
-    finally:
-        set_exec_config(previous)
 
 
 @dataclass

@@ -58,10 +58,11 @@ from repro.barrier.metrics import (
 )
 from repro.exec.cache import ResultCache, cache_key, canonical_payload
 from repro.exec.context import (
+    DEFAULT_CONFIG,
     ExecConfig,
+    execution,
     get_exec_config,
     get_stats,
-    set_exec_config,
 )
 from repro.exec.shards import make_shard_task, make_tree_shard_task, shard_bounds
 from repro.exec.supervisor import (
@@ -429,12 +430,9 @@ def _run_experiment_point_inline(experiment_id: str, kwargs: dict) -> Any:
     from repro.registry.spec import get_spec
 
     spec = get_spec(experiment_id)
-    previous = set_exec_config(None)
-    try:
+    with execution(DEFAULT_CONFIG):
         with tracing(NULL_TRACER):
             return canonical_payload(spec.run_point(**kwargs))
-    finally:
-        set_exec_config(previous)
 
 
 def execute_experiment_points(

@@ -42,7 +42,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterator, Mapping, Optional
 
 from repro.barrier.backend import backend_context, validate_backend
-from repro.exec.cache import payload_digest
+from repro.exec.cache import canonical_params, payload_digest
 from repro.exec.context import (
     ExecConfig,
     execution,
@@ -214,6 +214,111 @@ class RunPlan:
             if self.exec_config is not None:
                 stack.enter_context(execution(self.exec_config))
             yield self
+
+
+# -- serialization ------------------------------------------------------
+
+#: The accepted top-level keys of a serialized plan (the HTTP
+#: submission schema of ``repro serve`` and the round-trip contract of
+#: :func:`plan_to_json` / :func:`plan_from_json`).
+PLAN_JSON_KEYS = ("experiment", "params", "seed", "fault_plan", "backend")
+
+
+def plan_to_json(plan: RunPlan) -> Dict[str, Any]:
+    """The canonical JSON form of a plan's result-determining fields.
+
+    Parameters are coerced through the spec's Param schema and
+    normalised to JSON-native values, and fields left at their default
+    are omitted, so any two plans that would produce the same result
+    payload serialize identically — the property the round-trip tests
+    pin and the serve dedupe key builds on.  Execution-only fields
+    (``exec_config``, ``supervisor``, ``faults``) are deliberately not
+    part of the form: they change how a run executes, never what it
+    computes (the digest contract above).
+    """
+    from repro.registry import get_spec
+
+    plan.validate()
+    spec = get_spec(plan.experiment_id)
+    params = {
+        name: spec.get_param(name).coerce(value)
+        for name, value in plan.params.items()
+    }
+    payload: Dict[str, Any] = {
+        "experiment": plan.experiment_id,
+        "params": canonical_params(params),
+    }
+    if plan.seed is not None:
+        payload["seed"] = validate_seed(plan.seed)
+    if plan.fault_plan is not None:
+        payload["fault_plan"] = plan.fault_plan
+    if plan.backend:
+        payload["backend"] = plan.backend
+    return payload
+
+
+def plan_from_json(data: Any) -> RunPlan:
+    """Parse a serialized plan back into a validated :class:`RunPlan`.
+
+    The inverse of :func:`plan_to_json`, and the parser behind ``POST
+    /jobs`` experiment submissions.  Raises exactly the exceptions the
+    CLI maps to exit-2 usage errors (``UnknownExperimentError``,
+    ``ParameterError``, ``ValueError``), so a bad HTTP submission and a
+    bad command line produce the same error text.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"plan must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - set(PLAN_JSON_KEYS))
+    if unknown:
+        raise ValueError(
+            "unknown plan key(s): "
+            + ", ".join(repr(key) for key in unknown)
+            + f"; expected {', '.join(PLAN_JSON_KEYS)}"
+        )
+    experiment_id = data.get("experiment")
+    if not isinstance(experiment_id, str) or not experiment_id:
+        raise ValueError("plan requires an 'experiment' id (string)")
+    params = data.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ValueError(
+            f"plan params must be a JSON object, got {type(params).__name__}"
+        )
+    seed = data.get("seed")
+    if seed is not None:
+        seed = validate_seed(seed)
+    fault_plan = data.get("fault_plan")
+    if fault_plan is not None and not isinstance(fault_plan, str):
+        raise ValueError("fault_plan must be a string plan spec")
+    backend = data.get("backend")
+    if backend is not None and not isinstance(backend, str):
+        raise ValueError("backend must be a string")
+    plan = RunPlan(
+        experiment_id=experiment_id,
+        params=dict(params),
+        seed=seed,
+        fault_plan=fault_plan,
+        backend=backend or None,
+    )
+    return plan.validate()
+
+
+def plan_cache_key(plan: RunPlan) -> str:
+    """A stable content address for everything that determines results.
+
+    SHA-256 over the canonical JSON form plus the process code digest
+    — the dedupe key of the serve job store.  The backend is
+    deliberately excluded: backends are bit-identical by the
+    vectorization contract (docs/vectorization.md), so two clients
+    asking for the same experiment on different backends share one
+    computation, exactly as they share one cache entry.
+    """
+    from repro.exec.cache import code_digest
+
+    payload = plan_to_json(plan)
+    payload.pop("backend", None)
+    return payload_digest({"plan": payload, "code": code_digest()})
 
 
 @dataclass

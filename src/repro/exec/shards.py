@@ -111,8 +111,13 @@ def reset_worker_state() -> None:
     """Drop registries a forked worker inherited from its parent."""
     # Imported here for the same package-initialisation reason as the
     # simulator import below: supervisor pulls in exec.context.
+    from repro._ambient import reset_thread_overrides
     from repro.exec.supervisor import set_chaos_plan, set_supervisor_config
 
+    # A forked worker's main thread is a snapshot of the submitting
+    # thread, so thread-scoped overrides (a serve job's tracer/config)
+    # must be dropped along with the process defaults.
+    reset_thread_overrides()
     set_tracer(None)
     clear_fault_plan()
     set_exec_config(None)

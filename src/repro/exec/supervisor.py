@@ -78,6 +78,7 @@ from repro.core.backoff import (
     LinearFlagBackoff,
     NoBackoff,
 )
+from repro._ambient import AmbientState
 from repro.exec.context import get_stats
 from repro.obs.manifest import git_revision, jsonable
 from repro.obs.tracer import get_tracer
@@ -325,32 +326,32 @@ class SupervisorConfig:
 #: The recover-worker-death-only default every process starts with.
 DEFAULT_SUPERVISOR = SupervisorConfig()
 
-_active = DEFAULT_SUPERVISOR
+_active = AmbientState("exec.supervisor", DEFAULT_SUPERVISOR)
 
 
 def get_supervisor_config() -> SupervisorConfig:
-    """The process-wide active supervisor config."""
-    return _active
+    """The active supervisor config: this thread's innermost
+    :func:`supervision` override, else the process default."""
+    return _active.get()
 
 
 def set_supervisor_config(
     config: Optional[SupervisorConfig],
 ) -> SupervisorConfig:
-    """Install ``config``; returns the previous one (None = default)."""
-    global _active
-    previous = _active
-    _active = config if config is not None else DEFAULT_SUPERVISOR
+    """Install the process-wide default; returns the previous one
+    (None = default)."""
+    previous = _active.get_default()
+    _active.set(config if config is not None else DEFAULT_SUPERVISOR)
     return previous
 
 
 @contextmanager
 def supervision(config: SupervisorConfig) -> Iterator[SupervisorConfig]:
-    """Context manager: install ``config`` for the duration of the block."""
-    previous = set_supervisor_config(config)
-    try:
+    """Context manager: install ``config`` for the duration of the block.
+
+    Thread-scoped, so each serve job thread supervises its own run."""
+    with _active.scoped(config if config is not None else DEFAULT_SUPERVISOR):
         yield config
-    finally:
-        set_supervisor_config(previous)
 
 
 # -- chaos injection -----------------------------------------------------

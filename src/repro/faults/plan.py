@@ -43,6 +43,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro._ambient import AmbientState
+
 #: Grant outcomes returned by :meth:`FaultInjector.grant_outcome`.
 GRANT_OK = "ok"
 GRANT_DROP = "drop"
@@ -224,23 +226,25 @@ class FaultPlan:
 # Active-plan registry (mirrors repro.obs.tracer's get/set/contextmanager).
 # ----------------------------------------------------------------------
 
-_ACTIVE_PLAN: Optional[FaultPlan] = None
+_ACTIVE_PLAN: "AmbientState" = AmbientState("faults.plan", None)
 
 
 def get_fault_plan() -> Optional[FaultPlan]:
-    """The installed plan, or None (the common, zero-cost case)."""
-    return _ACTIVE_PLAN
+    """The installed plan — this thread's innermost
+    :func:`fault_injection` override, else the process default — or
+    None (the common, zero-cost case)."""
+    return _ACTIVE_PLAN.get()
 
 
 def install_fault_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
-    """Install ``plan`` process-wide; returns it.  None uninstalls."""
-    global _ACTIVE_PLAN
-    _ACTIVE_PLAN = plan
+    """Install ``plan`` as the process-wide default; returns it.
+    None uninstalls."""
+    _ACTIVE_PLAN.set(plan)
     return plan
 
 
 def clear_fault_plan() -> None:
-    """Uninstall any active plan."""
+    """Uninstall any process-default plan."""
     install_fault_plan(None)
 
 
@@ -256,9 +260,5 @@ def fault_injection(plan: FaultPlan) -> Iterator[FaultPlan]:
         >>> get_fault_plan() is None
         True
     """
-    previous = _ACTIVE_PLAN
-    install_fault_plan(plan)
-    try:
+    with _ACTIVE_PLAN.scoped(plan):
         yield plan
-    finally:
-        install_fault_plan(previous)

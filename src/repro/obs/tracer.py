@@ -35,6 +35,8 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro._ambient import AmbientState
+
 
 class JsonlSink:
     """Append-only JSON-lines event sink (one event object per line)."""
@@ -66,6 +68,30 @@ class JsonlSink:
 
     def __repr__(self) -> str:
         return f"JsonlSink({self.path!r}, lines={self.lines_written})"
+
+
+class CallbackSink:
+    """Event sink that hands every event dict to a callable.
+
+    The per-job subscription hook used by ``repro serve``: each job
+    installs ``Tracer(sink=CallbackSink(job.add_event))`` so progress
+    events stream to HTTP clients as they are emitted.  The callback
+    runs on the emitting thread; it must be cheap and thread-safe.
+    """
+
+    def __init__(self, callback: Callable[[Dict[str, Any]], None]) -> None:
+        self.callback = callback
+        self.events_delivered = 0
+
+    def write(self, event: Dict[str, Any]) -> None:
+        self.callback(event)
+        self.events_delivered += 1
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+    def __repr__(self) -> str:
+        return f"CallbackSink(events={self.events_delivered})"
 
 
 class ValueStats:
@@ -294,28 +320,34 @@ class NullTracer:
 #: The shared no-op tracer installed by default.
 NULL_TRACER = NullTracer()
 
-_active = NULL_TRACER
+_active = AmbientState("obs.tracer", NULL_TRACER)
 
 
 def get_tracer():
-    """The process-wide active tracer (:data:`NULL_TRACER` by default)."""
-    return _active
+    """The active tracer: this thread's innermost :func:`tracing`
+    override, else the process-wide default (:data:`NULL_TRACER`)."""
+    return _active.get()
 
 
 def set_tracer(tracer) -> Any:
-    """Install ``tracer`` as the active tracer; returns the previous one.
+    """Install ``tracer`` as the process-wide default; returns the
+    previous default.
 
-    Passing None restores the no-op default.
+    Passing None restores the no-op default.  Thread-scoped
+    :func:`tracing` overrides (e.g. a serve job's tracer) shadow the
+    default on their own thread only.
     """
-    global _active
-    previous = _active
-    _active = tracer if tracer is not None else NULL_TRACER
+    previous = _active.get_default()
+    _active.set(tracer if tracer is not None else NULL_TRACER)
     return previous
 
 
 @contextmanager
 def tracing(tracer: Tracer):
     """Context manager: install ``tracer`` for the duration of the block.
+
+    The override is scoped to the current thread, so concurrent jobs
+    (one per serve worker thread) each see their own tracer.
 
     Example::
 
@@ -324,8 +356,5 @@ def tracing(tracer: Tracer):
             simulate_barrier(64, 1000, NoBackoff(), repetitions=10)
         print(tracer.counters["barrier.accesses"])
     """
-    previous = set_tracer(tracer)
-    try:
+    with _active.scoped(tracer if tracer is not None else NULL_TRACER):
         yield tracer
-    finally:
-        set_tracer(previous)

@@ -1,0 +1,30 @@
+"""``repro serve``: the async experiment service on the RunPlan spine.
+
+Submissions are JSON plans (or scenario matrices) validated through
+the same registry Param schemas and scenario parser as the CLI; jobs
+run through :func:`repro.exec.plan.execute` on a bounded worker pool
+with supervision, share the content-addressed result cache, and are
+deduped by :func:`repro.exec.plan.plan_cache_key`.  See
+docs/serving.md for the API and a worked session.
+"""
+
+from __future__ import annotations
+
+from repro.serve.app import (
+    DEFAULT_WORK_DIR,
+    ExperimentService,
+    ServeConfig,
+    parse_submission,
+    run_server,
+)
+from repro.serve.jobs import Job, JobStore
+
+__all__ = [
+    "DEFAULT_WORK_DIR",
+    "ExperimentService",
+    "Job",
+    "JobStore",
+    "ServeConfig",
+    "parse_submission",
+    "run_server",
+]

@@ -1,0 +1,196 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the experiment service.
+
+The repository's zero-extra-dependency rule extends to the service
+layer: no FastAPI/uvicorn, just ``asyncio.start_server`` and enough of
+HTTP/1.1 to serve JSON request/response bodies and chunked JSONL event
+streams.  Deliberately small:
+
+- one request per connection (``Connection: close``) — clients are
+  pollers and streamers, not keep-alive fleets;
+- request bodies only via ``Content-Length`` (chunked *requests* are
+  rejected with 411), capped at :data:`MAX_BODY_BYTES`;
+- responses either carry a ``Content-Length`` or use chunked transfer
+  encoding (the events stream).
+
+Everything protocol-shaped lives here so :mod:`repro.serve.app` is
+pure routing and job logic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qs, urlsplit
+
+#: Submission bodies are small JSON documents; anything bigger than
+#: this is a client error, not a workload.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Request line + headers must fit the StreamReader line limit.
+MAX_LINE_BYTES = 64 * 1024
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A protocol- or client-level error carrying an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, list] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def param(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        values = self.query.get(name)
+        return values[-1] if values else default
+
+    def json(self) -> Any:
+        """The request body parsed as JSON; 400 on anything else."""
+        if not self.body:
+            raise HttpError(400, "request body required (application/json)")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(400, f"invalid JSON body: {error}") from None
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the wire; None on a closed connection."""
+    try:
+        raw_line = await reader.readline()
+    except (ValueError, ConnectionError):
+        raise HttpError(413, "request line too long")
+    if not raw_line:
+        return None
+    try:
+        request_line = raw_line.decode("latin-1").rstrip("\r\n")
+        method, target, version = request_line.split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: Dict[str, str] = {}
+    while True:
+        try:
+            raw_header = await reader.readline()
+        except (ValueError, ConnectionError):
+            raise HttpError(413, "header section too long")
+        line = raw_header.decode("latin-1").rstrip("\r\n")
+        if not line:
+            break
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(411, "chunked request bodies are not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "invalid Content-Length")
+        if length < 0:
+            raise HttpError(400, "invalid Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "request body shorter than Content-Length")
+
+    parts = urlsplit(target)
+    return Request(
+        method=method.upper(),
+        path=parts.path,
+        query=parse_qs(parts.query),
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+) -> bytes:
+    """A complete, Content-Length-framed HTTP/1.1 response."""
+    reason = REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def json_response(status: int, payload: Any) -> bytes:
+    body = (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode(
+        "utf-8"
+    )
+    return render_response(status, body)
+
+
+def error_response(status: int, message: str) -> bytes:
+    return json_response(status, {"error": message, "status": status})
+
+
+class ChunkedStream:
+    """A chunked-transfer response body (the JSONL event stream)."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.started = False
+
+    async def start(self, content_type: str = "application/jsonl") -> None:
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            f"Content-Type: {content_type}\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        self.writer.write(head.encode("latin-1"))
+        await self.writer.drain()
+        self.started = True
+
+    async def send(self, data: bytes) -> None:
+        if not data:
+            return
+        self.writer.write(f"{len(data):x}\r\n".encode("latin-1"))
+        self.writer.write(data)
+        self.writer.write(b"\r\n")
+        await self.writer.drain()
+
+    async def send_json_line(self, payload: Any) -> None:
+        line = json.dumps(payload, sort_keys=True, default=str) + "\n"
+        await self.send(line.encode("utf-8"))
+
+    async def finish(self) -> None:
+        self.writer.write(b"0\r\n\r\n")
+        await self.writer.drain()

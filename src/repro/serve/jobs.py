@@ -1,0 +1,210 @@
+"""The serve job store: lifecycle state, event buffers, dedupe index.
+
+A :class:`Job` is one submitted RunPlan (or scenario matrix) moving
+through ``queued → running → done|failed``.  Jobs execute on worker
+threads while HTTP handlers read them from the event loop, so every
+mutation happens under the job's lock and event appends wake waiting
+streamers via ``loop.call_soon_threadsafe``.
+
+Dedupe contract (the "millions of users, one warm cache" story): the
+store indexes in-flight *and completed* jobs by their submission key —
+:func:`repro.exec.plan.plan_cache_key` for experiment jobs, a digest
+over the expanded cells' plan keys for scenarios — so a second
+identical submission attaches to the first job instead of recomputing.
+Failed jobs are evicted from the index: resubmitting a failure retries
+it (under a fresh job id) rather than replaying the error forever.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: States a job can still leave.
+ACTIVE_STATES = (QUEUED, RUNNING)
+
+
+class Job:
+    """One submission's full lifecycle, safe to touch from any thread."""
+
+    def __init__(
+        self,
+        job_id: str,
+        kind: str,
+        key: str,
+        submission: Dict[str, Any],
+    ) -> None:
+        self.id = job_id
+        #: ``experiment`` or ``scenario``.
+        self.kind = kind
+        #: The dedupe key (plan cache key / scenario aggregate key).
+        self.key = key
+        #: The canonical submission echoed back in status payloads.
+        self.submission = submission
+        self.state = QUEUED
+        self.created_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: Result digest (plan digest / scenario aggregate digest).
+        self.digest: Optional[str] = None
+        #: The canonical result payload served by ``/jobs/<id>/result``.
+        self.result: Optional[Any] = None
+        self.error: Optional[str] = None
+        #: How many submissions were answered by this job beyond the
+        #: first (the dedupe counter the tests assert on).
+        self.attached = 0
+        self.wall_time_seconds: Optional[float] = None
+        #: Per-run exec counter deltas (worker deaths, retries, ...).
+        self.stats: Dict[str, Any] = {}
+        self._events: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        #: (loop, asyncio.Event) pairs of waiting event streamers.
+        self._listeners: List[Tuple[Any, Any]] = []
+
+    # -- events (called from job threads and the event loop) -----------
+
+    def add_event(self, event: Dict[str, Any]) -> None:
+        """Append one obs event and wake every waiting streamer."""
+        with self._lock:
+            self._events.append(dict(event))
+            listeners = list(self._listeners)
+        for loop, waiter in listeners:
+            loop.call_soon_threadsafe(waiter.set)
+
+    def events_after(self, cursor: int) -> Tuple[List[Dict[str, Any]], int]:
+        """Events past ``cursor`` plus the new cursor position."""
+        with self._lock:
+            tail = self._events[cursor:]
+            return tail, cursor + len(tail)
+
+    def notify(self) -> None:
+        """Wake every waiting streamer without appending an event
+        (called after the terminal state transition lands)."""
+        with self._lock:
+            listeners = list(self._listeners)
+        for loop, waiter in listeners:
+            loop.call_soon_threadsafe(waiter.set)
+
+    def add_listener(self, loop: Any, waiter: Any) -> None:
+        with self._lock:
+            self._listeners.append((loop, waiter))
+
+    def remove_listener(self, loop: Any, waiter: Any) -> None:
+        with self._lock:
+            try:
+                self._listeners.remove((loop, waiter))
+            except ValueError:
+                pass
+
+    # -- state transitions (called from job threads) -------------------
+
+    def mark_running(self) -> None:
+        with self._lock:
+            self.state = RUNNING
+            self.started_at = time.time()
+
+    def mark_done(
+        self,
+        digest: str,
+        result: Any,
+        wall_time_seconds: float,
+        stats: Dict[str, Any],
+    ) -> None:
+        with self._lock:
+            self.state = DONE
+            self.digest = digest
+            self.result = result
+            self.wall_time_seconds = wall_time_seconds
+            self.stats = dict(stats)
+            self.finished_at = time.time()
+
+    def mark_failed(self, error: str) -> None:
+        with self._lock:
+            self.state = FAILED
+            self.error = error
+            self.finished_at = time.time()
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    def status(self) -> Dict[str, Any]:
+        """The ``GET /jobs/<id>`` payload."""
+        with self._lock:
+            payload: Dict[str, Any] = {
+                "id": self.id,
+                "kind": self.kind,
+                "key": self.key,
+                "state": self.state,
+                "submission": self.submission,
+                "created_at": self.created_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "events": len(self._events),
+                "attached": self.attached,
+            }
+            if self.digest is not None:
+                payload["digest"] = self.digest
+            if self.wall_time_seconds is not None:
+                payload["wall_time_seconds"] = self.wall_time_seconds
+            if self.stats:
+                payload["stats"] = self.stats
+            if self.error is not None:
+                payload["error"] = self.error
+            return payload
+
+
+class JobStore:
+    """Job registry plus the submission-key dedupe index.
+
+    Only ever touched from the server's event loop (submissions are
+    routed there), so check-and-insert is atomic without a lock; the
+    jobs it hands out are individually thread-safe.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+        self._by_key: Dict[str, Job] = {}
+        self._ids = itertools.count(1)
+
+    def submit(
+        self,
+        kind: str,
+        key: str,
+        submission: Dict[str, Any],
+    ) -> Tuple[Job, bool]:
+        """Return ``(job, deduplicated)`` for one submission.
+
+        An active or completed job under the same key answers the new
+        submission (``deduplicated=True``); otherwise a fresh job is
+        registered and returned for launching.
+        """
+        existing = self._by_key.get(key)
+        if existing is not None and existing.state != FAILED:
+            existing.attached += 1
+            return existing, True
+        job = Job(f"job-{next(self._ids):06d}", kind, key, submission)
+        self._jobs[job.id] = job
+        self._by_key[key] = job
+        return job, False
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        return list(self._jobs.values())
+
+    def counts(self) -> Dict[str, int]:
+        counts = {QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0}
+        for job in self._jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts

@@ -1,0 +1,72 @@
+"""In-process server harness for the serve test battery.
+
+Runs an :class:`~repro.serve.app.ExperimentService` on a dedicated
+event-loop thread bound to an ephemeral port, so tests exercise the
+real socket path (``http.client`` against ``127.0.0.1``) while still
+being able to reach into the service — e.g. to install a chaos plan or
+read the process-wide exec counters — because everything lives in the
+test process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.serve.app import ExperimentService, ServeConfig
+
+
+class BackgroundServer:
+    """Context manager: a live service on ``127.0.0.1:<ephemeral>``."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.service: Optional[ExperimentService] = None
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("server failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}"
+            )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def _main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            service = ExperimentService(self.config)
+            server = loop.run_until_complete(service.start())
+        except BaseException as error:  # pragma: no cover - startup bugs
+            self._startup_error = error
+            self._ready.set()
+            loop.close()
+            return
+        self.service = service
+        self.port = service.port
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            service.shutdown()
+            loop.close()

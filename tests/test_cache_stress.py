@@ -1,0 +1,153 @@
+"""Concurrent-cache stress: two processes share one ``--cache-dir``.
+
+The serve story is many clients behind one warm content-addressed
+cache, so the cache must tolerate genuinely concurrent writers: two
+OS processes warming the same directory on identical *and* overlapping
+sweeps must end with bit-identical aggregates, no corrupted entries,
+and nothing quarantined.  (Within a process the engine already
+serializes stores; across processes only the write-to-temp +
+atomic-rename protocol protects us — this is the test that pins it.)
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.exec.cache import QUARANTINE_DIR, ResultCache
+from repro.exec.context import ExecConfig
+from repro.exec.plan import RunPlan, execute
+
+#: Identical and overlapping work between the two writers: both run
+#: figure5 seed=2 and figure6 seed=1; each also has a private sweep.
+PARAMS = {"n_values": [2, 4], "repetitions": 2}
+WRITER_A = [
+    {"experiment": "figure5", "params": PARAMS, "seed": 1},
+    {"experiment": "figure5", "params": PARAMS, "seed": 2},
+    {"experiment": "figure6", "params": PARAMS, "seed": 1},
+]
+WRITER_B = [
+    {"experiment": "figure5", "params": PARAMS, "seed": 2},
+    {"experiment": "figure5", "params": PARAMS, "seed": 3},
+    {"experiment": "figure6", "params": PARAMS, "seed": 1},
+]
+
+CHILD = """\
+import json, sys
+from repro.exec.context import ExecConfig
+from repro.exec.plan import RunPlan, execute
+
+cache_dir = sys.argv[1]
+plans = json.loads(sys.argv[2])
+digests = {}
+# Two rounds: round one interleaves cold stores with the sibling
+# process, round two reads entries the sibling may have written.
+for round_index in range(2):
+    for entry in plans:
+        plan = RunPlan(
+            entry["experiment"],
+            params=entry["params"],
+            seed=entry["seed"],
+            exec_config=ExecConfig(
+                jobs=1, cache=True, cache_dir=cache_dir, force_engine=True
+            ),
+        )
+        outcome = execute(plan)
+        key = f"{entry['experiment']}:{entry['seed']}:{round_index}"
+        digests[key] = outcome.digest
+print(json.dumps(digests))
+"""
+
+
+def spawn_writer(plans, cache_dir):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-c", CHILD, str(cache_dir), json.dumps(plans)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+
+
+@pytest.mark.slow
+def test_two_processes_warming_one_cache_agree(tmp_path):
+    cache_dir = tmp_path / "shared-cache"
+
+    writer_a = spawn_writer(WRITER_A, cache_dir)
+    writer_b = spawn_writer(WRITER_B, cache_dir)
+    out_a, err_a = writer_a.communicate(timeout=560)
+    out_b, err_b = writer_b.communicate(timeout=560)
+    assert writer_a.returncode == 0, err_a
+    assert writer_b.returncode == 0, err_b
+    digests_a = json.loads(out_a)
+    digests_b = json.loads(out_b)
+
+    # Serial uncached ground truth in this process.
+    expected = {}
+    for entry in WRITER_A + WRITER_B:
+        key = f"{entry['experiment']}:{entry['seed']}"
+        if key not in expected:
+            expected[key] = execute(
+                RunPlan(
+                    entry["experiment"],
+                    params=entry["params"],
+                    seed=entry["seed"],
+                )
+            ).digest
+
+    for digests in (digests_a, digests_b):
+        for key, digest in digests.items():
+            experiment, seed, _round = key.rsplit(":", 2)
+            assert digest == expected[f"{experiment}:{seed}"], key
+    # Cold and warm rounds agreed inside each writer too.
+    for digests in (digests_a, digests_b):
+        for key in list(digests):
+            experiment, seed, _round = key.rsplit(":", 2)
+            assert digests[f"{experiment}:{seed}:0"] == (
+                digests[f"{experiment}:{seed}:1"]
+            )
+
+    # Nothing was corrupted or quarantined by the concurrent writers.
+    quarantine = cache_dir / QUARANTINE_DIR
+    assert not quarantine.exists() or not any(quarantine.iterdir())
+
+    # A warm read-back in this process hits the cache and agrees.
+    from repro.exec.context import get_stats
+
+    before = get_stats().cache_hits
+    outcome = execute(
+        RunPlan(
+            "figure5",
+            params=PARAMS,
+            seed=2,
+            exec_config=ExecConfig(
+                jobs=1, cache=True, cache_dir=str(cache_dir), force_engine=True
+            ),
+        )
+    )
+    assert outcome.digest == expected["figure5:2"]
+    assert get_stats().cache_hits > before
+
+    # Every entry on disk is loadable (no torn writes survived).  The
+    # store lays entries out as <dir>/<key[:2]>/<key>.json.
+    cache = ResultCache(str(cache_dir))
+    keys = []
+    for shard in os.listdir(cache_dir):
+        shard_dir = cache_dir / shard
+        if shard == QUARANTINE_DIR or not shard_dir.is_dir():
+            continue
+        keys.extend(
+            name[: -len(".json")]
+            for name in os.listdir(shard_dir)
+            if name.endswith(".json")
+        )
+    assert keys, "the writers should have populated the cache"
+    for key in keys:
+        assert cache.get(key) is not None, f"unreadable cache entry {key}"
+    # ... and none of those reads quarantined anything.
+    assert not quarantine.exists() or not any(quarantine.iterdir())

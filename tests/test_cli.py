@@ -22,7 +22,7 @@ class TestParser:
         assert commands == {
             "list", "experiment", "barrier", "trace", "report", "advise",
             "verify", "profile", "faults", "run", "check", "chaos",
-            "scenario",
+            "scenario", "serve",
         }
 
     def test_barrier_defaults(self):

@@ -63,6 +63,11 @@ OPTION_SURFACE = {
         "--backend",
     ],
     "scenario": ["-h/--help", "<scenario_command>"],
+    "serve": [
+        "-h/--help", "--host", "--port", "--jobs", "--cache/--no-cache",
+        "--cache-dir", "--concurrency", "--retries", "--deadline",
+        "--work-dir", "--backend",
+    ],
     "advise": [
         "-h/--help", "--app", "--cpus", "--scale", "--waiting-weight",
         "--repetitions", "--seed", "--no-simulate",

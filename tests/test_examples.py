@@ -12,20 +12,27 @@ import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
 
-#: (script, argv) — args shrink the workload where supported.
+#: (script, argv) — args shrink the workload where supported.  The
+#: paper-scale scripts that dominate the suite's wall clock carry the
+#: ``slow`` marker: ``-m "not slow"`` is the fast lane (docs/testing.md).
 EXAMPLES = [
     ("quickstart.py", []),
     ("trace_driven_coherence.py", ["0.15"]),
     ("spin_vs_block.py", []),
     ("combining_tree.py", []),
-    ("network_hotspot.py", []),
+    pytest.param("network_hotspot.py", [], marks=pytest.mark.slow),
     ("adaptive_selection.py", ["0.15"]),
-    ("tree_saturation.py", []),
+    pytest.param("tree_saturation.py", [], marks=pytest.mark.slow),
     ("model_vs_simulation.py", []),
 ]
 
+EXAMPLE_IDS = [
+    entry.values[0] if hasattr(entry, "values") else entry[0]
+    for entry in EXAMPLES
+]
 
-@pytest.mark.parametrize("script,args", EXAMPLES, ids=[s for s, _ in EXAMPLES])
+
+@pytest.mark.parametrize("script,args", EXAMPLES, ids=EXAMPLE_IDS)
 def test_example_runs(script, args):
     path = os.path.join(EXAMPLES_DIR, script)
     completed = subprocess.run(
@@ -47,7 +54,10 @@ def test_examples_list_is_complete():
     on_disk = {
         name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
     }
-    covered = {script for script, __ in EXAMPLES}
+    covered = {
+        entry.values[0] if hasattr(entry, "values") else entry[0]
+        for entry in EXAMPLES
+    }
     assert covered == on_disk, (
         "examples on disk and the smoke-test list have drifted apart"
     )

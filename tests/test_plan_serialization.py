@@ -1,0 +1,88 @@
+"""RunPlan JSON round-trip properties over the whole registry.
+
+The serve submission schema is exactly
+:func:`repro.exec.plan.plan_to_json` / :func:`plan_from_json`, so this
+suite is the contract behind both the HTTP API and the dedupe index:
+for every registry id and any schema-valid parameter draw, serialize →
+parse → serialize is a fixed point, and the parsed plan shares the
+original's cache key and payload digest.  Parameter draws come from the
+same schema-derived strategies as ``python -m repro check --suite
+fuzz`` (:func:`repro.check.fuzz.kwargs_strategy`).
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.check.fuzz import kwargs_strategy
+from repro.exec.cache import payload_digest
+from repro.exec.plan import (
+    MAX_SEED,
+    RunPlan,
+    plan_cache_key,
+    plan_from_json,
+    plan_to_json,
+)
+from repro.registry import all_specs, get_spec
+
+ALL_IDS = sorted(spec.id for spec in all_specs())
+
+#: Optional plan axes beyond params: seeds, fault plans, backends.
+seeds = st.one_of(st.none(), st.integers(min_value=0, max_value=MAX_SEED - 1))
+fault_plans = st.sampled_from([None, "none", "stragglers", "chaos"])
+backends = st.sampled_from([None, "auto", "python", "numpy"])
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_roundtrip_fixed_point(experiment_id, data):
+    """serialize → parse → same canonical form, cache key and digest."""
+    params = data.draw(kwargs_strategy(get_spec(experiment_id)))
+    plan = RunPlan(
+        experiment_id,
+        params=params,
+        seed=data.draw(seeds),
+        fault_plan=data.draw(fault_plans),
+        backend=data.draw(backends),
+    )
+
+    payload = plan_to_json(plan)
+    # The canonical form must survive an actual JSON wire trip.
+    wire = json.loads(json.dumps(payload))
+    parsed = plan_from_json(wire)
+
+    assert plan_to_json(parsed) == payload
+    assert plan_cache_key(parsed) == plan_cache_key(plan)
+    assert payload_digest(plan_to_json(parsed)) == payload_digest(payload)
+    # Both plans resolve to identical run_point overrides.
+    assert parsed.overrides() == plan.overrides()
+
+
+def test_covers_the_whole_registry():
+    """The suite runs over every registered experiment id."""
+    assert len(ALL_IDS) >= 27
+    assert ALL_IDS == sorted(spec.id for spec in all_specs())
+
+
+def test_defaults_are_omitted_and_canonical():
+    lean = plan_to_json(RunPlan("figure5"))
+    assert lean == {"experiment": "figure5", "params": {}}
+    assert plan_from_json(lean) == RunPlan("figure5")
+
+
+def test_backend_is_excluded_from_the_cache_key():
+    """Backends are bit-identical, so they share one computation."""
+    python_plan = RunPlan("figure5", seed=1, backend="python")
+    auto_plan = RunPlan("figure5", seed=1, backend="auto")
+    assert plan_cache_key(python_plan) == plan_cache_key(auto_plan)
+    # ... while anything result-determining changes it.
+    assert plan_cache_key(python_plan) != plan_cache_key(
+        RunPlan("figure5", seed=2, backend="python")
+    )

@@ -219,15 +219,18 @@ class TestTimeLimit:
 
         def work():
             # Off the main thread SIGALRM cannot engage: the block must
-            # run to completion and the fallback must be counted.
-            with time_limit(0.01):
-                time.sleep(0.05)
+            # run to completion and the fallback must be counted.  The
+            # tracer is installed *on this thread* — tracing() overrides
+            # are thread-scoped, exactly how a serve job thread holds
+            # its own tracer while enforcing deadlines.
+            with tracing(tracer):
+                with time_limit(0.01):
+                    time.sleep(0.05)
             outcome["done"] = True
 
-        with tracing(tracer):
-            thread = threading.Thread(target=work)
-            thread.start()
-            thread.join()
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
         assert outcome["done"]
         counters = tracer.snapshot()["counters"]
         assert counters["exec.deadline_unenforced"] == 1

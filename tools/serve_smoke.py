@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""CI serve smoke: the experiment service end-to-end over a real port.
+
+1. start ``python -m repro serve`` as a subprocess on a free port,
+2. wait for ``/healthz``,
+3. submit the committed ``scenarios/ci_smoke.json`` matrix as a
+   ``{"scenario": ...}`` job,
+4. poll ``/jobs/<id>`` to completion (streaming a progress line per
+   poll from the job's event count),
+5. fetch ``/jobs/<id>/result`` and write the scenario report JSON —
+   the CI job then gates it against the committed baseline with
+   ``tools/check_report.py``,
+6. resubmit the identical document and require a dedupe hit answered
+   by the same (completed) job.
+
+Exit 1 on any failed step.  Usage::
+
+    python tools/serve_smoke.py --scenario scenarios/ci_smoke.json \\
+        --report serve-report.json [--jobs 2] [--timeout 600]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def http_json(method: str, url: str, body=None, timeout=60.0):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def wait_healthy(base: str, deadline: float) -> None:
+    while time.monotonic() < deadline:
+        try:
+            status, payload = http_json("GET", f"{base}/healthz", timeout=5.0)
+            if status == 200 and payload.get("status") == "ok":
+                return
+        except (urllib.error.URLError, ConnectionError, OSError):
+            pass
+        time.sleep(0.25)
+    raise RuntimeError("server never became healthy")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario", default="scenarios/ci_smoke.json",
+        help="scenario file to submit (default: scenarios/ci_smoke.json)",
+    )
+    parser.add_argument(
+        "--report", default="serve-report.json",
+        help="where to write the served scenario report JSON",
+    )
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes inside the server")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="overall budget in seconds")
+    args = parser.parse_args()
+    deadline = time.monotonic() + args.timeout
+
+    with open(args.scenario, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    # The scenario submission schema carries the document itself; the
+    # file-level 'baseline' pointer is CI's concern, not the server's.
+    document.pop("baseline", None)
+
+    port = free_port()
+    base = f"http://127.0.0.1:{port}"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    scratch = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", str(port),
+            "--jobs", str(args.jobs),
+            "--cache-dir", os.path.join(scratch, "cache"),
+            "--work-dir", os.path.join(scratch, "work"),
+        ],
+        env=env,
+        cwd=ROOT,
+    )
+    try:
+        wait_healthy(base, deadline)
+        print(f"server healthy on {base}")
+
+        status, accepted = http_json(
+            "POST", f"{base}/jobs", {"scenario": document}
+        )
+        if status != 202 or accepted["deduplicated"]:
+            raise RuntimeError(f"unexpected submission response: {accepted}")
+        job_id = accepted["job"]["id"]
+        print(f"submitted {args.scenario} as {job_id}")
+
+        while True:
+            if time.monotonic() > deadline:
+                raise RuntimeError(f"job {job_id} exceeded the budget")
+            _, job = http_json("GET", f"{base}/jobs/{job_id}")
+            print(
+                f"  {job_id}: {job['state']} ({job['events']} events)",
+                flush=True,
+            )
+            if job["state"] in ("done", "failed"):
+                break
+            time.sleep(1.0)
+        if job["state"] != "done":
+            raise RuntimeError(f"job failed: {job.get('error')}")
+
+        _, result = http_json("GET", f"{base}/jobs/{job_id}/result")
+        report = result["result"]
+        if report.get("kind") != "scenario-report":
+            raise RuntimeError(f"unexpected result kind: {report.get('kind')}")
+        if result["digest"] != report["aggregate_digest"]:
+            raise RuntimeError("result digest disagrees with the report")
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(
+            f"wrote {args.report} "
+            f"(aggregate digest {result['digest'][:16]}…)"
+        )
+
+        status, again = http_json(
+            "POST", f"{base}/jobs", {"scenario": document}
+        )
+        if not again["deduplicated"] or again["job"]["id"] != job_id:
+            raise RuntimeError(f"resubmission was not deduplicated: {again}")
+        print(f"resubmission deduplicated onto {job_id} (status {status})")
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
